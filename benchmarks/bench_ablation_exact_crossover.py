@@ -1,0 +1,103 @@
+"""A4 — ablation: per-cutset decomposition vs the full product chain.
+
+The paper's core scalability argument: the exact product chain of an SD
+fault tree is exponential in the number of basic events ("2^2500 states"
+for a real study), while the per-cutset decomposition solves many small
+chains instead.  This ablation grows a redundant-pair tree and measures
+both methods until the exact one falls off the cliff; it also checks
+that the two values agree (decomposition over-approximates slightly).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.analyzer import AnalysisOptions, analyze, analyze_exact
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.errors import AnalysisError
+
+OPTIONS = AnalysisOptions(horizon=24.0)
+
+PAIRS = (2, 3, 4, 5, 6)
+
+
+def _redundant_pairs(n_pairs: int):
+    """n cooling subsystems, each a primary pump with a triggered spare."""
+    b = SdFaultTreeBuilder(f"pairs-{n_pairs}")
+    subsystem_gates = []
+    for i in range(n_pairs):
+        primary = f"p{i}"
+        spare = f"q{i}"
+        b.dynamic_event(primary, repairable(0.01 + 0.001 * i, 0.1))
+        b.dynamic_event(spare, triggered_repairable(0.01 + 0.001 * i, 0.1))
+        b.or_(f"primary{i}", primary)
+        b.and_(f"sub{i}", f"primary{i}", spare)
+        b.trigger(f"primary{i}", spare)
+        subsystem_gates.append(f"sub{i}")
+    b.or_("top", *subsystem_gates)
+    return b.build("top")
+
+
+@pytest.mark.parametrize("n_pairs", PAIRS)
+def bench_per_cutset(benchmark, n_pairs):
+    sdft = _redundant_pairs(n_pairs)
+    result = benchmark(lambda: analyze(sdft, OPTIONS))
+    emit(
+        benchmark,
+        f"A4/per-cutset-{2 * n_pairs}events",
+        probability=f"{result.failure_probability:.3e}",
+        largest_chain=max(r.chain_states for r in result.records),
+    )
+
+
+@pytest.mark.parametrize("n_pairs", PAIRS[:3])
+def bench_exact_product(benchmark, n_pairs):
+    sdft = _redundant_pairs(n_pairs)
+    value = benchmark.pedantic(
+        lambda: analyze_exact(sdft, OPTIONS.horizon), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        f"A4/exact-product-{2 * n_pairs}events",
+        probability=f"{value:.3e}",
+    )
+
+
+def bench_exact_wall(benchmark):
+    """The product chain hits the state cap where the decomposition
+    keeps cruising — the paper's whole point, in one assertion."""
+
+    def run():
+        sdft = _redundant_pairs(8)  # 16 events, 6^8 > 1.6M raw states
+        decomposed = analyze(sdft, OPTIONS).failure_probability
+        try:
+            analyze_exact(sdft, OPTIONS.horizon, max_states=50_000)
+            exact_exploded = False
+        except AnalysisError:
+            exact_exploded = True
+        return decomposed, exact_exploded
+
+    decomposed, exploded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert exploded, "expected the product chain to exceed the state cap"
+    emit(
+        benchmark,
+        "A4/wall",
+        per_cutset_probability=f"{decomposed:.3e}",
+        exact_product="exceeds 50k states",
+    )
+
+
+def bench_methods_agree(benchmark):
+    def run():
+        ratios = []
+        for n_pairs in PAIRS[:3]:
+            sdft = _redundant_pairs(n_pairs)
+            decomposed = analyze(sdft, OPTIONS).failure_probability
+            exact = analyze_exact(sdft, OPTIONS.horizon)
+            ratios.append(decomposed / exact)
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    for ratio in ratios:
+        assert 1.0 - 1e-9 <= ratio < 1.2, ratios
+    emit(benchmark, "A4/agreement", ratios=str([f"{r:.4f}" for r in ratios]))

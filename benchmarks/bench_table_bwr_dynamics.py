@@ -1,0 +1,81 @@
+"""E2 — Section VI-A table: repairs and triggers added one by one.
+
+The paper's table (k = 1 phase, 24 h horizon) starts from the static
+analysis ("no timing"), then turns the pump fail-in-operation events
+dynamic with increasing repair rates, then adds the six trigger stages
+cumulatively (FEED&BLEED, RHR, EFW, ECC, SWS, CCW).  The reported shape:
+the failure frequency falls monotonically down the rows while the
+analysis time stays in the seconds range.
+
+One benchmark per row; the frequency is attached to each row's output.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.analyzer import AnalysisOptions, analyze, analyze_static
+from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+OPTIONS = AnalysisOptions(horizon=24.0)
+
+ROWS = [
+    ("no-timing", None),
+    ("no-repair", BwrConfig(repair_rate=None)),
+    ("repair-1-per-1000h", BwrConfig(repair_rate=1e-3)),
+    ("repair-1-per-100h", BwrConfig(repair_rate=1e-2)),
+    ("repair-1-per-20h", BwrConfig(repair_rate=5e-2)),
+]
+for i in range(1, len(TRIGGER_STAGES) + 1):
+    ROWS.append(
+        (
+            f"+{TRIGGER_STAGES[i - 1]}-trigger",
+            BwrConfig(repair_rate=5e-2, triggers=TRIGGER_STAGES[:i]),
+        )
+    )
+
+
+@pytest.mark.parametrize("label,config", ROWS, ids=[r[0] for r in ROWS])
+def bench_bwr_dynamics_row(benchmark, label, config):
+    if config is None:
+        sdft = build_bwr(BwrConfig(dynamic=False))
+        frequency = benchmark.pedantic(
+            lambda: analyze_static(sdft, OPTIONS), rounds=1, iterations=1
+        )
+        emit(benchmark, f"E2/{label}", failure_frequency=f"{frequency:.3e}")
+        return
+    sdft = build_bwr(config)
+    result = benchmark.pedantic(
+        lambda: analyze(sdft, OPTIONS), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        f"E2/{label}",
+        failure_frequency=f"{result.failure_probability:.3e}",
+        dynamic_cutsets=result.n_dynamic_cutsets,
+        cutsets=result.n_cutsets,
+    )
+
+
+def bench_bwr_dynamics_shape_check(benchmark):
+    """Assert the table's monotone shape in one pass (the headline
+    qualitative claim of Section VI-A)."""
+
+    def run():
+        values = [analyze_static(build_bwr(BwrConfig(dynamic=False)), OPTIONS)]
+        values.append(
+            analyze(build_bwr(BwrConfig(repair_rate=5e-2)), OPTIONS).failure_probability
+        )
+        for i in (2, len(TRIGGER_STAGES)):
+            config = BwrConfig(repair_rate=5e-2, triggers=TRIGGER_STAGES[:i])
+            values.append(analyze(build_bwr(config), OPTIONS).failure_probability)
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier * 1.0001, values
+    emit(
+        benchmark,
+        "E2/shape",
+        monotone_decrease=True,
+        static_to_full_ratio=f"{values[0] / values[-1]:.2f}",
+    )

@@ -1,0 +1,83 @@
+"""E8 — Section VI-B: analysis horizon sweep on model 2.
+
+Paper values (model 2, k = 1):
+
+| horizon | failure frequency | analysis time |
+|---------|-------------------|---------------|
+| 24 h    | 1.86e-6           |  9m 31s       |
+| 48 h    | 4.67e-6           | 12m 47s       |
+| 72 h    | 7.56e-6           | 16m 59s       |
+| 96 h    | 1.05e-5           | 19m 14s       |
+
+Two shapes to reproduce: the frequency grows with the horizon (more
+time to fail) and the analysis time grows only *roughly linearly* —
+uniformization's cost is linear in q·t — which is the paper's
+post-Fukushima "longer horizons are affordable" message.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, scaled_model_2
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.ft.mocus import mocus
+from repro.models.enrich import dynamize, plan_dynamization
+
+HORIZONS = (24.0, 48.0, 72.0, 96.0)
+PAPER = {24.0: "1.86e-6", 48.0: "4.67e-6", 72.0: "7.56e-6", 96.0: "1.05e-5"}
+
+_cache = {}
+
+
+def _enriched(horizon: float):
+    if "cutsets" not in _cache:
+        _cache["tree"] = scaled_model_2()
+        _cache["cutsets"] = mocus(_cache["tree"]).cutsets
+    plan = plan_dynamization(_cache["cutsets"], 0.4, 0.1)
+    # Rates are calibrated against the 24 h baseline so that only the
+    # evaluation horizon varies across rows, as in the paper.
+    return dynamize(_cache["tree"], plan, horizon=24.0)
+
+
+@pytest.mark.parametrize("horizon", HORIZONS)
+def bench_horizon(benchmark, horizon):
+    sdft = _enriched(horizon)
+    options = AnalysisOptions(horizon=horizon)
+    result = benchmark.pedantic(
+        lambda: analyze(sdft, options), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        f"E8/{int(horizon)}h",
+        failure_frequency=f"{result.failure_probability:.3e}",
+        quantification_seconds=f"{result.timings.quantification_seconds:.2f}",
+        paper_frequency=PAPER[horizon],
+    )
+
+
+def bench_horizon_shape_check(benchmark):
+    """Frequency grows with horizon; time grows sub-exponentially."""
+
+    def run():
+        rows = {}
+        sdft = _enriched(24.0)
+        for horizon in (24.0, 96.0):
+            result = analyze(sdft, AnalysisOptions(horizon=horizon))
+            rows[horizon] = (
+                result.failure_probability,
+                result.timings.quantification_seconds,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    p24, t24 = rows[24.0]
+    p96, t96 = rows[96.0]
+    assert p96 > p24
+    # "Roughly linear": a 4x horizon must not cost anywhere near
+    # exponentially more; allow up to ~6x.
+    assert t96 < 6.0 * max(t24, 0.05)
+    emit(
+        benchmark,
+        "E8/shape",
+        frequency_growth=f"{p96 / p24:.2f}x",
+        time_growth=f"{t96 / max(t24, 1e-9):.2f}x",
+    )

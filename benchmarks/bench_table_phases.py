@@ -1,0 +1,87 @@
+"""E7 — Section VI-B: analysis time vs phase count k on both models.
+
+The paper compares analysis times for k = 1, 2, 3 phases per dynamic
+basic event on both studies and concludes the time "grows exponentially
+when increasing the size of Markov models of MCSs" — larger k multiplies
+every per-cutset chain's state space.
+
+One benchmark per (model, k); the shape check asserts the monotone
+growth.  Dynamization is fixed at 40 % dynamic / 10 % triggered, k
+varied.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    emit,
+    scaled_model_1,
+    scaled_model_2,
+    static_cutsets_model_1,
+)
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.ft.mocus import mocus
+from repro.models.enrich import dynamize, plan_dynamization
+
+OPTIONS = AnalysisOptions(horizon=24.0)
+PHASE_COUNTS = (1, 2, 3)
+
+_cutsets_cache = {}
+
+
+def _enriched(model_name: str, phases: int):
+    """The dynamized model plus the paper's "static cutoff" options.
+
+    The MCS list must not depend on the phase count (the paper keeps
+    the static cutoff in all experiments), so the original static
+    probabilities of the dynamized events override the k-phase worst
+    case during MOCUS; only the quantification sees the Erlang chains.
+    """
+    if model_name == "model-1":
+        tree = scaled_model_1()
+        cutsets = static_cutsets_model_1()
+    else:
+        tree = scaled_model_2()
+        if "model-2" not in _cutsets_cache:
+            _cutsets_cache["model-2"] = mocus(tree).cutsets
+        cutsets = _cutsets_cache["model-2"]
+    plan = plan_dynamization(cutsets, 0.4, 0.1)
+    sdft = dynamize(tree, plan, horizon=OPTIONS.horizon, phases=phases)
+    overrides = {
+        name: tree.events[name].probability for name in plan.dynamic_events
+    }
+    options = AnalysisOptions(
+        horizon=OPTIONS.horizon, mocus_probability_overrides=overrides
+    )
+    return sdft, options
+
+
+@pytest.mark.parametrize("phases", PHASE_COUNTS)
+@pytest.mark.parametrize("model_name", ["model-1", "model-2"])
+def bench_phase_count(benchmark, model_name, phases):
+    sdft, options = _enriched(model_name, phases)
+    result = benchmark.pedantic(
+        lambda: analyze(sdft, options), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        f"E7/{model_name}-k{phases}",
+        failure_frequency=f"{result.failure_probability:.3e}",
+        quantification_seconds=f"{result.timings.quantification_seconds:.2f}",
+        chain_solves=result.cache_misses,
+    )
+
+
+def bench_phase_shape_check(benchmark):
+    """Quantification cost grows with k (chain sizes multiply)."""
+
+    def run():
+        times = []
+        for phases in (1, 3):
+            sdft, options = _enriched("model-1", phases)
+            result = analyze(sdft, options)
+            times.append(result.timings.quantification_seconds)
+        return times
+
+    t1, t3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t3 > t1, (t1, t3)
+    emit(benchmark, "E7/shape", k1_seconds=f"{t1:.2f}", k3_seconds=f"{t3:.2f}")

@@ -1,0 +1,71 @@
+"""Shared infrastructure of the experiment benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  The printed rows
+appear with ``pytest benchmarks/ --benchmark-only -s``; without ``-s``
+the same numbers are attached to each benchmark's ``extra_info`` and
+land in pytest-benchmark's report.
+
+Scaling: the synthetic industrial models accept a scale factor through
+the ``REPRO_BENCH_SCALE`` environment variable (default ``0.6``).  At
+``1.0`` the stand-in studies have ~40k/60k minimal cutsets and the
+sweeps take tens of minutes — closer to the paper's magnitudes; the
+default keeps a full benchmark run in the minutes range on one core.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+
+import pytest
+
+#: Default scale of the synthetic industrial models in benchmarks.
+DEFAULT_SCALE = 0.6
+
+
+def bench_scale() -> float:
+    """The synthetic-model scale factor (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_SCALE)))
+
+
+@lru_cache(maxsize=None)
+def scaled_model_1():
+    """The model-1 stand-in at the benchmark scale (cached per session)."""
+    from repro.models.synthetic import model_1
+
+    return model_1(bench_scale())
+
+
+@lru_cache(maxsize=None)
+def scaled_model_2():
+    """The model-2 stand-in at the benchmark scale (cached per session)."""
+    from repro.models.synthetic import model_2
+
+    return model_2(bench_scale())
+
+
+@lru_cache(maxsize=None)
+def static_cutsets_model_1():
+    """Minimal cutsets of the scaled model 1 (cached per session)."""
+    from repro.ft.mocus import mocus
+
+    return mocus(scaled_model_1()).cutsets
+
+
+def emit(benchmark, label: str, **fields) -> None:
+    """Print one table row and attach it to the benchmark report."""
+    parts = [f"{key}={value}" for key, value in fields.items()]
+    line = f"[{label}] " + "  ".join(parts)
+    print(line, file=sys.stderr)
+    if benchmark is not None:
+        benchmark.extra_info.update({"label": label, **fields})
+
+
+@pytest.fixture(scope="session")
+def bwr_full():
+    """The fully dynamic BWR study (all trigger stages)."""
+    from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+    return build_bwr(BwrConfig(repair_rate=0.05, triggers=TRIGGER_STAGES))

@@ -1,0 +1,76 @@
+"""Section VI-A walkthrough: the fictive BWR safety study.
+
+Rebuilds the paper's small-size experiment: a boiling-water-reactor
+core-damage model with five cooling-related systems (ECC, EFW, RHR and
+the support systems CCW and SWS), two redundant pump trains each, and a
+FEED&BLEED operator recovery.  The script prints the paper's table —
+the effect of adding repairs and then trigger stages one by one on the
+computed core-damage frequency and the analysis time.
+
+Expected shape (the paper's absolute numbers use proprietary failure
+data): the frequency *drops monotonically* as repairs get faster and as
+more sequencing knowledge (triggers) is added, because a purely static
+analysis over-counts scenarios in which equipment would not actually
+have been running or would have been repaired.
+
+Run:  python examples/bwr_case_study.py        (about 2-4 minutes)
+"""
+
+import time
+
+from repro import AnalysisOptions, analyze, analyze_static
+from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+
+def main() -> None:
+    horizon = 24.0
+    options = AnalysisOptions(horizon=horizon)
+
+    static_model = build_bwr(BwrConfig(dynamic=False))
+    n_events = len(static_model.all_event_names)
+    n_gates = len(static_model.gates)
+    print(f"model: {n_events} basic events, {n_gates} gates")
+    baseline = analyze_static(static_model, options)
+    print(f"{'setting':34s} {'failure freq.':>14s} {'analysis time':>14s}")
+    print(f"{'no timing (static analysis)':34s} {baseline:14.3e} {'-':>14s}")
+
+    # Part 1: dynamic events with varying repair rate, no triggers yet.
+    for label, repair_rate in (
+        ("no repair", None),
+        ("repair rate 1/1000 h", 1e-3),
+        ("repair rate 1/100 h", 1e-2),
+        ("repair rate 1/20 h", 5e-2),
+    ):
+        config = BwrConfig(repair_rate=repair_rate)
+        row = _run(config, options)
+        print(f"{label:34s} {row[0]:14.3e} {row[1]:13.1f}s")
+
+    # Part 2: add the trigger stages cumulatively (paper's second block).
+    for i in range(1, len(TRIGGER_STAGES) + 1):
+        stages = TRIGGER_STAGES[:i]
+        config = BwrConfig(repair_rate=5e-2, triggers=stages)
+        row = _run(config, options)
+        label = f"+{stages[-1]} trigger"
+        print(f"{label:34s} {row[0]:14.3e} {row[1]:13.1f}s")
+
+    # Diagnostics of the fully dynamic model (paper's closing paragraph
+    # of VI-A: how many cutsets are dynamic, how many dynamic events per
+    # cutset, and how many were added by trigger modelling).
+    result = analyze(build_bwr(BwrConfig(repair_rate=5e-2, triggers=TRIGGER_STAGES)), options)
+    mean_total, mean_added = result.mean_dynamic_events()
+    print()
+    print(f"fully dynamic model: {result.n_cutsets} minimal cutsets, "
+          f"{result.n_dynamic_cutsets} need dynamic analysis")
+    print(f"average dynamic events per dynamic cutset: {mean_total:.2f}, "
+          f"of which {mean_added:.2f} added because triggering gates lack "
+          f"static branching")
+
+
+def _run(config: BwrConfig, options: AnalysisOptions) -> tuple[float, float]:
+    started = time.perf_counter()
+    result = analyze(build_bwr(config), options)
+    return result.failure_probability, time.perf_counter() - started
+
+
+if __name__ == "__main__":
+    main()

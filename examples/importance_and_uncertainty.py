@@ -1,0 +1,82 @@
+"""Importance measures, CCF modelling and uncertainty propagation.
+
+The paper's concluding remark points out that importance and
+uncertainty analyses re-evaluate the minimal-cutset list many times —
+and that the SD method keeps that cheap because no new cutset
+generation is needed.  This script demonstrates the supporting static
+machinery on the BWR study:
+
+1. generate the cutsets of the static BWR model;
+2. rank events by the four standard importance measures (the FV ranking
+   is what drives the dynamization methodology of Section VI-B);
+3. expand the ECC pump pair into a proper alpha-factor CCF group and
+   show the effect on the top frequency;
+4. propagate lognormal parameter uncertainty through the cutset list.
+
+Run:  python examples/importance_and_uncertainty.py
+"""
+
+from repro.ft import mocus
+from repro.ft.ccf import alpha_factor_group, apply_ccf
+from repro.ft.importance import importance
+from repro.ft.uncertainty import LogNormal, propagate
+from repro.core.to_static import to_static
+from repro.models.bwr import BwrConfig, build_bwr
+
+
+def main() -> None:
+    sdft = build_bwr(BwrConfig(dynamic=False, include_ccf=False))
+    tree = to_static(sdft, horizon=24.0).tree
+    cutsets = mocus(tree).cutsets
+    print(
+        f"static BWR model: {len(tree.events)} events, "
+        f"{len(cutsets)} minimal cutsets, "
+        f"frequency {cutsets.rare_event():.3e}"
+    )
+    print()
+
+    print("top 10 events by Fussell-Vesely importance:")
+    measures = sorted(importance(cutsets).values(), key=lambda m: -m.fussell_vesely)
+    print(f"{'event':26s} {'FV':>10s} {'Birnbaum':>10s} {'RAW':>8s} {'RRW':>8s}")
+    for m in measures[:10]:
+        print(
+            f"{m.event:26s} {m.fussell_vesely:10.3e} {m.birnbaum:10.3e} "
+            f"{m.risk_achievement_worth:8.2f} {m.risk_reduction_worth:8.2f}"
+        )
+    print()
+
+    # --- CCF: replace the simple beta-style events by an alpha-factor
+    # group over the two ECC pumps (fail-to-start).
+    group = alpha_factor_group(
+        "ECC-PUMPS",
+        ["ECC-A-PUMP-FTS", "ECC-B-PUMP-FTS"],
+        probability=3e-3,
+        alphas=[0.95, 0.05],
+    )
+    with_ccf = apply_ccf(tree, [group])
+    ccf_cutsets = mocus(with_ccf).cutsets
+    print("alpha-factor CCF on the ECC pumps:")
+    print(f"  frequency without explicit CCF: {cutsets.rare_event():.3e}")
+    print(f"  frequency with alpha-factor CCF: {ccf_cutsets.rare_event():.3e}")
+    print("  (the common-cause term fails both redundant pumps at once and")
+    print("   typically dominates the double-random-failure term)")
+    print()
+
+    # --- Uncertainty propagation: lognormal error factors by event class.
+    distributions = {}
+    for name, event in tree.events.items():
+        if event.probability <= 0.0:
+            continue
+        error_factor = 10.0 if "OPERATOR" in name else 3.0
+        distributions[name] = LogNormal(event.probability, error_factor)
+    summary = propagate(cutsets, distributions, n_samples=20_000, seed=11)
+    print("lognormal uncertainty propagation (20,000 samples):")
+    print(f"  mean     {summary.mean:.3e}")
+    print(f"  median   {summary.median:.3e}")
+    print(f"  p05      {summary.p05:.3e}")
+    print(f"  p95      {summary.p95:.3e}")
+    print(f"  implied error factor {summary.error_factor:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Section VI-B walkthrough: industrial-size studies with static branching.
+
+The paper's large-scale experiments take real (proprietary) nuclear
+safety studies and dynamise them mechanically: the basic events with the
+highest Fussell–Vesely importance become dynamic, and trigger chains are
+formed between events of equal importance (symmetric redundant trains).
+This script runs the same methodology on the synthetic PSA stand-in
+``model_1``:
+
+1. generate the static model and its minimal cutsets;
+2. rank events by FV importance;
+3. sweep the dynamised fraction (10 % ... 100 %) and report failure
+   frequency, analysis time, and the histogram of dynamic events per
+   cutset (the paper's Figure 2 data).
+
+Expected shape: the first ~40 % of dynamised events produce most of the
+frequency change, and the analysis time flattens once the distribution
+of per-cutset chain sizes stops changing.
+
+Run:  python examples/industrial_scale.py       (a few minutes)
+"""
+
+import time
+
+from repro import AnalysisOptions, analyze
+from repro.ft import mocus
+from repro.models.enrich import dynamize, plan_dynamization
+from repro.models.synthetic import model_1
+
+
+def main() -> None:
+    horizon = 24.0
+    print("generating synthetic study (stand-in for the paper's model 1)...")
+    tree = model_1()
+    started = time.perf_counter()
+    static_cutsets = mocus(tree).cutsets
+    generation_time = time.perf_counter() - started
+    print(
+        f"{len(tree.events)} basic events, {len(tree.gates)} gates, "
+        f"{len(static_cutsets)} minimal cutsets above 1e-15 "
+        f"({generation_time:.1f}s)"
+    )
+    print(f"static failure frequency: {static_cutsets.rare_event():.3e}")
+    print()
+
+    print(
+        f"{'% dyn. BE':>10s} {'% trig. BE':>11s} {'failure freq.':>14s} "
+        f"{'analysis time':>14s} {'dyn MCS':>8s} {'mean dyn/MCS':>13s}"
+    )
+    print(f"{0:10d} {0:11d} {static_cutsets.rare_event():14.3e} {'-':>14s}"
+          f" {0:8d} {'-':>13s}")
+    for percent in (10, 20, 30, 40, 50, 100):
+        plan = plan_dynamization(
+            static_cutsets,
+            dynamic_fraction=percent / 100.0,
+            triggered_fraction=0.1,
+        )
+        sdft = dynamize(tree, plan, horizon=horizon)
+        started = time.perf_counter()
+        result = analyze(sdft, AnalysisOptions(horizon=horizon))
+        elapsed = time.perf_counter() - started
+        mean_total, _ = result.mean_dynamic_events()
+        trig_percent = round(100.0 * plan.n_triggered / max(1, len(tree.events)))
+        print(
+            f"{percent:10d} {trig_percent:11d} "
+            f"{result.failure_probability:14.3e} {elapsed:13.1f}s "
+            f"{result.n_dynamic_cutsets:8d} {mean_total:13.2f}"
+        )
+
+    # Figure 2 data: the histogram of dynamic events per cutset at the
+    # final dynamization level.
+    print()
+    print("histogram of dynamic events per minimal cutset (100% dynamised):")
+    for size, count in result.dynamic_event_histogram().items():
+        bar = "#" * max(1, round(40 * count / result.n_dynamic_cutsets))
+        print(f"  {size:2d} dynamic events: {count:6d}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: the paper's running example (Sections II–III).
+
+An emergency cooling system with a water tank and two redundant pumps:
+
+* pump 1 can fail to start (static ``a``) or fail in operation
+  (dynamic, repairable ``b``);
+* pump 2 is a spare: same failure modes (``c`` static, ``d`` dynamic),
+  but it only operates — and can only fail — after pump 1 has failed,
+  which is modelled by a *trigger* from the pump-1 gate;
+* the tank failure ``e`` is static and rare.
+
+The script builds the SD fault tree, runs the scalable per-cutset
+analysis, and cross-checks it against the exact product-chain
+probability and a Monte-Carlo simulation (both only feasible because
+this model is tiny).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisOptions, SdFaultTreeBuilder, analyze, analyze_exact
+from repro.ctmc import repairable, triggered_repairable
+from repro.ctmc.simulate import simulate_failure_probability
+
+
+def build_cooling_system():
+    """The SD fault tree of paper Example 3."""
+    b = SdFaultTreeBuilder("emergency-cooling")
+    b.static_event("a", 3e-3, "pump 1 fails to start")
+    b.static_event("c", 3e-3, "pump 2 fails to start")
+    b.static_event("e", 3e-6, "water tank fails")
+    # Failure rate 0.001/h (once per 1000 h), repair rate 0.05/h (Example 2).
+    b.dynamic_event("b", repairable(0.001, 0.05), "pump 1 fails in operation")
+    b.dynamic_event("d", triggered_repairable(0.001, 0.05), "pump 2 fails in operation")
+    b.or_("pump1", "a", "b")
+    b.or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("cooling", "pumps", "e")
+    b.trigger("pump1", "d")  # pump 2 starts when pump 1 fails
+    return b.build("cooling")
+
+
+def main() -> None:
+    sdft = build_cooling_system()
+    print(f"model: {sdft}")
+    print()
+
+    horizon = 24.0
+    result = analyze(sdft, AnalysisOptions(horizon=horizon))
+    print("=== scalable per-cutset analysis (the paper's method) ===")
+    print(result.summary())
+    print()
+    print("minimal cutsets and their quantified probabilities:")
+    for record in result.records:
+        kind = "dynamic" if record.is_dynamic else "static "
+        print(
+            f"  {{{', '.join(sorted(record.cutset))}}}: "
+            f"{record.probability:.3e}  [{kind}, "
+            f"{record.chain_states} chain states]"
+        )
+    print()
+
+    exact = analyze_exact(sdft, horizon)
+    print("=== cross-checks (exact methods that do NOT scale) ===")
+    print(f"exact product-chain probability: {exact:.3e}")
+    simulated = simulate_failure_probability(sdft, horizon, n_runs=100_000, seed=7)
+    low, high = simulated.confidence_interval
+    print(f"Monte-Carlo estimate:            {simulated.estimate:.3e} "
+          f"(95% CI [{low:.3e}, {high:.3e}])")
+    print()
+    over = result.failure_probability / exact
+    conservatism = result.static_bound / exact
+    print(f"per-cutset rare-event sum is {over:.3f}x the exact value "
+          f"(slight over-approximation, as designed);")
+    print(f"a purely static analysis would be {conservatism:.2f}x too "
+          f"conservative for this 24 h mission.")
+
+
+if __name__ == "__main__":
+    main()

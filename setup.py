@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` (which holds all metadata) so that
+``pip install -e .`` works in fully offline environments: without a
+``[build-system]`` table pip falls back to the legacy ``setup.py
+develop`` path, which needs no isolated build environment and therefore
+no network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — scalable analysis of fault trees with dynamic features.
+
+A from-scratch reproduction of the DSN 2015 paper by Jan Krčál and
+Pavel Krčál: SD fault trees combine *static* basic events (plain failure
+probabilities) with *dynamic* ones (triggered continuous-time Markov
+chains with repairs), and are analysed at static-tool scale by
+generating minimal cutsets on a static translation and quantifying each
+cutset with a small per-cutset Markov chain.
+
+Quickstart
+----------
+>>> from repro import SdFaultTreeBuilder, analyze, AnalysisOptions
+>>> from repro.ctmc import repairable, triggered_repairable
+>>> b = SdFaultTreeBuilder("cooling")
+>>> _ = b.static_event("a", 3e-3).static_event("c", 3e-3).static_event("e", 3e-6)
+>>> _ = b.dynamic_event("b", repairable(0.001, 0.05))
+>>> _ = b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+>>> _ = b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+>>> _ = b.and_("pumps", "pump1", "pump2").or_("cooling", "pumps", "e")
+>>> _ = b.trigger("pump1", "d")
+>>> result = analyze(b.build("cooling"), AnalysisOptions(horizon=24.0))
+>>> result.failure_probability < result.static_bound
+True
+
+Subpackages
+-----------
+* :mod:`repro.core` — SD fault trees and the analysis pipeline.
+* :mod:`repro.ft` — static fault trees, MOCUS, importance, CCF.
+* :mod:`repro.bdd` — exact analysis via binary decision diagrams.
+* :mod:`repro.ctmc` — Markov chains, transient solvers, simulation.
+* :mod:`repro.eventtree` — event-tree sequences on top of fault trees.
+* :mod:`repro.models` — the paper's experiment models and generators.
+"""
+
+from repro.core import (
+    AnalysisOptions,
+    AnalysisResult,
+    DynamicBasicEvent,
+    SdFaultTree,
+    SdFaultTreeBuilder,
+    TriggerClass,
+    analyze,
+    analyze_exact,
+    analyze_static,
+)
+from repro.ft import FaultTree, FaultTreeBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "DynamicBasicEvent",
+    "FaultTree",
+    "FaultTreeBuilder",
+    "SdFaultTree",
+    "SdFaultTreeBuilder",
+    "TriggerClass",
+    "analyze",
+    "analyze_exact",
+    "analyze_static",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Reduced ordered BDDs and exact fault-tree analysis built on them.
+
+The exact counterpart of the MOCUS pipeline: compile a coherent fault
+tree into a BDD, read off the exact top-event probability, extract the
+exact minimal cutsets.  Used as an oracle in the test suite and in the
+cutset-engine ablation benchmark.
+"""
+
+from repro.bdd.engine import FALSE, TRUE, BddManager
+from repro.bdd.ft_bdd import CompiledTree, compile_tree, exact_mcs, exact_probability
+from repro.bdd.ordering import alphabetical_order, dfs_order, probability_order
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "BddManager",
+    "CompiledTree",
+    "alphabetical_order",
+    "compile_tree",
+    "dfs_order",
+    "exact_mcs",
+    "exact_probability",
+    "probability_order",
+]

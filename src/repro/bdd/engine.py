@@ -1,0 +1,359 @@
+"""A reduced ordered binary decision diagram (ROBDD) engine.
+
+Built from scratch for this package: hash-consed nodes, memoized binary
+``apply`` for AND/OR, threshold (k-of-n) composition, model counting and
+probability evaluation by Shannon expansion.
+
+Nodes are integers indexing into the manager's node table; ``0`` and
+``1`` are the terminal FALSE and TRUE.  Variables are integers
+``0..n-1`` ordered by their index (smaller index closer to the root).
+The engine only needs monotone operations (fault trees are coherent),
+but ``negate`` is provided for completeness and testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = ["BddManager", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+#: Variable index attached to the terminals; larger than any real variable.
+_TERMINAL_VAR = 1 << 60
+
+
+class BddManager:
+    """Owns the node table and caches of one BDD universe.
+
+    All nodes returned by one manager are only meaningful within that
+    manager.  The manager never garbage-collects: fault-tree compilations
+    are one-shot and the node counts stay modest.
+    """
+
+    def __init__(self) -> None:
+        # node id -> (var, low, high); terminals get sentinel entries.
+        self._var: list[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: list[int] = [FALSE, TRUE]
+        self._high: list[int] = [FALSE, TRUE]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._minsol_cache: dict[int, int] = {}
+        self._without_cache: dict[tuple[int, int], int] = {}
+        self._negate_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total number of nodes ever created (including terminals)."""
+        return len(self._var)
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Return the (hash-consed) node ``ite(var, high, low)``.
+
+        Applies the reduction rules: identical branches collapse, and
+        structurally equal nodes are shared.
+        """
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD of the single variable ``index``."""
+        return self.mk(index, FALSE, TRUE)
+
+    def top_var(self, node: int) -> int:
+        """Variable index at the root of ``node`` (sentinel for terminals)."""
+        return self._var[node]
+
+    def cofactors(self, node: int, var: int) -> tuple[int, int]:
+        """``(low, high)`` cofactors of ``node`` with respect to ``var``.
+
+        If ``var`` is not the root variable of ``node`` (because the node
+        does not depend on it at this level), both cofactors are ``node``
+        itself.
+        """
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply_and(self, u: int, v: int) -> int:
+        """Conjunction of two BDDs."""
+        return self._apply("and", u, v)
+
+    def apply_or(self, u: int, v: int) -> int:
+        """Disjunction of two BDDs."""
+        return self._apply("or", u, v)
+
+    def conjoin(self, nodes: Sequence[int]) -> int:
+        """AND over a sequence of BDDs (TRUE for an empty sequence)."""
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def disjoin(self, nodes: Sequence[int]) -> int:
+        """OR over a sequence of BDDs (FALSE for an empty sequence)."""
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    def atleast(self, k: int, nodes: Sequence[int]) -> int:
+        """BDD of "at least ``k`` of ``nodes`` hold".
+
+        Dynamic programming over the sequence: ``T(k, rest)`` is
+        ``(first AND T(k-1, rest')) OR T(k, rest')``.  Memoised per call
+        on ``(k, position)``.
+        """
+        nodes = list(nodes)
+        cache: dict[tuple[int, int], int] = {}
+
+        def build(need: int, position: int) -> int:
+            if need <= 0:
+                return TRUE
+            if need > len(nodes) - position:
+                return FALSE
+            key = (need, position)
+            found = cache.get(key)
+            if found is not None:
+                return found
+            with_first = self.apply_and(
+                nodes[position], build(need - 1, position + 1)
+            )
+            without_first = build(need, position + 1)
+            result = self.apply_or(with_first, without_first)
+            cache[key] = result
+            return result
+
+        return build(k, 0)
+
+    def negate(self, u: int) -> int:
+        """Complement of a BDD (not needed for coherent trees; for tests)."""
+        found = self._negate_cache.get(u)
+        if found is not None:
+            return found
+        if u == FALSE:
+            result = TRUE
+        elif u == TRUE:
+            result = FALSE
+        else:
+            result = self.mk(
+                self._var[u], self.negate(self._low[u]), self.negate(self._high[u])
+            )
+        self._negate_cache[u] = result
+        return result
+
+    def _apply(self, op: str, u: int, v: int) -> int:
+        if op == "and":
+            if u == FALSE or v == FALSE:
+                return FALSE
+            if u == TRUE:
+                return v
+            if v == TRUE:
+                return u
+        else:  # or
+            if u == TRUE or v == TRUE:
+                return TRUE
+            if u == FALSE:
+                return v
+            if v == FALSE:
+                return u
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u  # operations are commutative; canonicalise the key
+        key = (op, u, v)
+        found = self._apply_cache.get(key)
+        if found is not None:
+            return found
+        var = min(self._var[u], self._var[v])
+        u_low, u_high = self.cofactors(u, var)
+        v_low, v_high = self.cofactors(v, var)
+        result = self.mk(
+            var, self._apply(op, u_low, v_low), self._apply(op, u_high, v_high)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Callable[[int], bool]) -> bool:
+        """Evaluate the function under a variable assignment."""
+        while node > TRUE:
+            if assignment(self._var[node]):
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node == TRUE
+
+    def probability(self, node: int, p: Mapping[int, float]) -> float:
+        """Probability that the function holds, given independent variables.
+
+        ``p[i]`` is the probability that variable ``i`` is true.  Linear
+        in the number of BDD nodes thanks to memoisation — this is the
+        exact computation a cutset-based method approximates.
+        """
+        cache: dict[int, float] = {FALSE: 0.0, TRUE: 1.0}
+        order = self._nodes_below(node)
+        for n in order:
+            p_var = p[self._var[n]]
+            cache[n] = (1.0 - p_var) * cache[self._low[n]] + p_var * cache[
+                self._high[n]
+            ]
+        return cache[node]
+
+    def count_nodes(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node`` (terminals included)."""
+        return len(self._nodes_below(node)) + (2 if node > TRUE else 1)
+
+    def support(self, node: int) -> frozenset[int]:
+        """Set of variable indices the function actually depends on."""
+        return frozenset(self._var[n] for n in self._nodes_below(node))
+
+    def _nodes_below(self, node: int) -> list[int]:
+        """Non-terminal nodes reachable from ``node``, children first."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(node, False)]
+        while stack:
+            n, expanded = stack.pop()
+            if n <= TRUE or (not expanded and n in seen):
+                continue
+            if expanded:
+                order.append(n)
+                continue
+            seen.add(n)
+            stack.append((n, True))
+            stack.append((self._low[n], False))
+            stack.append((self._high[n], False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Minimal solutions (monotone functions)
+    # ------------------------------------------------------------------
+
+    def minsol(self, node: int) -> int:
+        """The minimal-solutions BDD of a *monotone* function.
+
+        In the result, every path to TRUE encodes (through its positive
+        literals) exactly one inclusion-minimal solution of the input.
+        Classical recursion over the positive Shannon expansion
+        ``f = x·f1 + f0``: keep ``minsol(f0)``, and from ``minsol(f1)``
+        keep only the solutions not already above one of ``minsol(f0)``
+        (the :meth:`without` subtraction).  Memoised per node.
+        """
+        cache = self._minsol_cache
+        found = cache.get(node)
+        if found is not None:
+            return found
+        if node <= TRUE:
+            result = node
+        else:
+            var = self._var[node]
+            low = self.minsol(self._low[node])
+            high = self.minsol(self._high[node])
+            result = self.mk(var, low, self.without(high, low))
+        cache[node] = result
+        return result
+
+    def without(self, u: int, v: int) -> int:
+        """Solutions of ``u`` that are not supersets of a solution of ``v``.
+
+        Both operands are minimal-solutions BDDs (positive-literal paths
+        encode sets).  A set ``S`` is discarded iff some ``T`` encoded in
+        ``v`` satisfies ``T ⊆ S``.
+        """
+        if u == FALSE or v == TRUE:
+            # v encodes the empty set: it subsumes everything.
+            return FALSE
+        if v == FALSE or u == TRUE:
+            # Nothing to subtract, or u's only solution is the empty set
+            # (which only TRUE in v could subsume — handled above).
+            return u
+        key = (u, v)
+        found = self._without_cache.get(key)
+        if found is not None:
+            return found
+        u_var = self._var[u]
+        v_var = self._var[v]
+        if u_var < v_var:
+            # v never mentions u_var: subtract v from both cofactors.
+            result = self.mk(
+                u_var,
+                self.without(self._low[u], v),
+                self.without(self._high[u], v),
+            )
+        elif u_var > v_var:
+            # u's sets never contain v_var, so v's sets that require it
+            # can never be subsets; only v's var-free part matters.
+            result = self.without(u, self._low[v])
+        else:
+            # S ∋ x is above T when (x ∈ T and S\{x} ⊇ T\{x}) or
+            # (x ∉ T and S\{x} ⊇ T): subtract both v-cofactors from u1.
+            v_both = self.apply_or(self._low[v], self._high[v])
+            result = self.mk(
+                u_var,
+                self.without(self._low[u], self._low[v]),
+                self.without(self._high[u], v_both),
+            )
+        self._without_cache[key] = result
+        return result
+
+    def minimal_solution_sets(self, node: int) -> list[frozenset[int]]:
+        """Minimal solutions of a monotone function, as variable sets.
+
+        Runs :meth:`minsol` and reads the positive literals of each path
+        to TRUE.
+        """
+        solutions = []
+        for path in self.satisfying_paths(self.minsol(node)):
+            solutions.append(
+                frozenset(var for var, value in path.items() if value)
+            )
+        return solutions
+
+    # ------------------------------------------------------------------
+    # Solution extraction
+    # ------------------------------------------------------------------
+
+    def satisfying_paths(self, node: int) -> Iterator[dict[int, bool]]:
+        """Yield partial assignments (one per BDD path) that satisfy the function.
+
+        Variables absent from a yielded dict are "don't care".  Used by
+        tests; minimal-cutset extraction lives in
+        :func:`repro.bdd.ft_bdd.minimal_cutsets_from_bdd`.
+        """
+
+        def walk(n: int, partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
+            if n == FALSE:
+                return
+            if n == TRUE:
+                yield dict(partial)
+                return
+            var = self._var[n]
+            partial[var] = False
+            yield from walk(self._low[n], partial)
+            partial[var] = True
+            yield from walk(self._high[n], partial)
+            del partial[var]
+
+        yield from walk(node, {})

@@ -1,0 +1,305 @@
+"""Command-line interface: ``sdft <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``analyze``     Full SD analysis of a model file (static or SD).
+``mcs``         Generate and list minimal cutsets.
+``importance``  Fussell–Vesely / Birnbaum / RAW / RRW table.
+``classify``    Trigger-gate classes (predicts quantification cost).
+``curve``       Failure probability over multiple horizons.
+``simulate``    Monte-Carlo cross-check of an SD model.
+``demo-bwr``    Build the fictive BWR study, save or analyse it.
+
+Models are JSON files in the format of :mod:`repro.models.formats`;
+files ending in ``.xml``/``.mef`` are read as Open-PSA fault trees
+(:mod:`repro.models.openpsa`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.core.sdft import SdFaultTree
+from repro.ft.importance import importance
+from repro.ft.mocus import MocusOptions, mocus
+from repro.models.formats import load_model, save_model
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except Exception as error:  # surfaced as a message, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sdft",
+        description="Scalable analysis of fault trees with dynamic features",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    analyze_cmd = sub.add_parser("analyze", help="full SD analysis of a model")
+    analyze_cmd.add_argument("model", help="model JSON file")
+    _add_analysis_arguments(analyze_cmd)
+    analyze_cmd.add_argument(
+        "--top", type=int, default=10, help="number of top cutsets to print"
+    )
+    analyze_cmd.add_argument(
+        "--lump",
+        action="store_true",
+        help="reduce per-cutset chains by exact lumping before solving",
+    )
+    analyze_cmd.add_argument(
+        "--bounds",
+        action="store_true",
+        help="bound oversized cutset chains instead of failing",
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    mcs_cmd = sub.add_parser("mcs", help="generate minimal cutsets")
+    mcs_cmd.add_argument("model", help="model JSON file")
+    _add_analysis_arguments(mcs_cmd)
+    mcs_cmd.add_argument(
+        "--limit", type=int, default=25, help="number of cutsets to print"
+    )
+    mcs_cmd.set_defaults(handler=_cmd_mcs)
+
+    importance_cmd = sub.add_parser("importance", help="importance measures")
+    importance_cmd.add_argument("model", help="model JSON file")
+    _add_analysis_arguments(importance_cmd)
+    importance_cmd.add_argument(
+        "--limit", type=int, default=20, help="number of events to print"
+    )
+    importance_cmd.set_defaults(handler=_cmd_importance)
+
+    classify_cmd = sub.add_parser(
+        "classify", help="classify the triggering gates (predicts cost)"
+    )
+    classify_cmd.add_argument("model", help="SD model JSON file")
+    classify_cmd.set_defaults(handler=_cmd_classify)
+
+    curve_cmd = sub.add_parser(
+        "curve", help="failure probability over multiple horizons"
+    )
+    curve_cmd.add_argument("model", help="model JSON file")
+    curve_cmd.add_argument(
+        "--horizons",
+        default="24,48,72,96",
+        help="comma-separated horizons in hours",
+    )
+    curve_cmd.add_argument("--cutoff", type=float, default=1e-15)
+    curve_cmd.set_defaults(handler=_cmd_curve)
+
+    simulate_cmd = sub.add_parser("simulate", help="Monte-Carlo estimate")
+    simulate_cmd.add_argument("model", help="SD model JSON file")
+    simulate_cmd.add_argument("--horizon", type=float, default=24.0)
+    simulate_cmd.add_argument("--runs", type=int, default=20_000)
+    simulate_cmd.add_argument("--seed", type=int, default=None)
+    simulate_cmd.set_defaults(handler=_cmd_simulate)
+
+    demo_cmd = sub.add_parser("demo-bwr", help="build the fictive BWR study")
+    demo_cmd.add_argument("--save", help="write the model to this JSON file")
+    demo_cmd.add_argument("--horizon", type=float, default=24.0)
+    demo_cmd.add_argument("--cutoff", type=float, default=1e-15)
+    demo_cmd.add_argument(
+        "--triggers",
+        default="all",
+        help="comma-separated trigger stages, 'all' or 'none'",
+    )
+    demo_cmd.add_argument("--repair-rate", type=float, default=0.05)
+    demo_cmd.add_argument("--phases", type=int, default=1)
+    demo_cmd.set_defaults(handler=_cmd_demo_bwr)
+    return parser
+
+
+def _add_analysis_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--horizon", type=float, default=24.0, help="mission time (h)")
+    command.add_argument("--cutoff", type=float, default=1e-15, help="MCS cutoff c*")
+
+
+def _load_any(path: str):
+    """Load a model file: Open-PSA XML by extension, otherwise JSON."""
+    if str(path).endswith((".xml", ".mef")):
+        from repro.models.openpsa import load_openpsa
+
+        return load_openpsa(path)
+    return load_model(path)
+
+
+def _load_sdft(path: str) -> SdFaultTree:
+    model = _load_any(path)
+    if isinstance(model, SdFaultTree):
+        return model
+    # Promote a static tree: an SD tree with no dynamic events.
+    return SdFaultTree(
+        model.top,
+        model.events.values(),
+        [],
+        model.gates.values(),
+        {},
+        name=model.name,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    sdft = _load_sdft(args.model)
+    options = AnalysisOptions(
+        horizon=args.horizon,
+        cutoff=args.cutoff,
+        lump_chains=getattr(args, "lump", False),
+        on_oversize="bounds" if getattr(args, "bounds", False) else "raise",
+    )
+    result = analyze(sdft, options)
+    print(result.summary())
+    if result.n_bounded_cutsets:
+        lower, upper = result.failure_probability_interval()
+        print(
+            f"{result.n_bounded_cutsets} cutsets bounded (oversized chains): "
+            f"true value in [{lower:.3e}, {upper:.3e}]"
+        )
+    print()
+    print(f"top {args.top} cutsets by quantified probability:")
+    for record in result.top_contributors(args.top):
+        events = " ".join(sorted(record.cutset))
+        tag = "dynamic" if record.is_dynamic else "static"
+        print(f"  {record.probability:.3e}  [{tag}]  {events}")
+    return 0
+
+
+def _cmd_mcs(args: argparse.Namespace) -> int:
+    model = _load_any(args.model)
+    if isinstance(model, SdFaultTree):
+        from repro.core.to_static import to_static
+
+        tree = to_static(model, args.horizon).tree
+    else:
+        tree = model
+    result = mocus(tree, MocusOptions(cutoff=args.cutoff))
+    cutsets = result.cutsets
+    print(f"{len(cutsets)} minimal cutsets above {args.cutoff:g}")
+    print(f"rare-event sum: {cutsets.rare_event():.3e}")
+    print(f"size histogram: {cutsets.size_histogram()}")
+    for i in range(min(args.limit, len(cutsets))):
+        print(f"  {cutsets.probability_of(i):.3e}  {' '.join(sorted(cutsets[i]))}")
+    return 0
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    model = _load_any(args.model)
+    if isinstance(model, SdFaultTree):
+        from repro.core.to_static import to_static
+
+        tree = to_static(model, args.horizon).tree
+    else:
+        tree = model
+    cutsets = mocus(tree, MocusOptions(cutoff=args.cutoff)).cutsets
+    measures = importance(cutsets)
+    ranked = sorted(measures.values(), key=lambda m: -m.fussell_vesely)
+    header = f"{'event':40s} {'FV':>10s} {'Birnbaum':>10s} {'RAW':>10s} {'RRW':>10s}"
+    print(header)
+    for m in ranked[: args.limit]:
+        print(
+            f"{m.event:40s} {m.fussell_vesely:10.3e} {m.birnbaum:10.3e} "
+            f"{m.risk_achievement_worth:10.3f} {m.risk_reduction_worth:10.3f}"
+        )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.classify import classification_report
+
+    sdft = _load_sdft(args.model)
+    report = classification_report(sdft)
+    if not report.by_gate:
+        print("no triggering gates in this model")
+        return 0
+    print(f"{'triggering gate':40s} class")
+    for gate, trigger_class in sorted(report.by_gate.items()):
+        print(f"{gate:40s} {trigger_class.value}")
+    print()
+    if report.all_efficient:
+        print(
+            "all triggers are static-branching or uniform static-joins: "
+            "per-cutset chains stay small"
+        )
+    elif report.any_general:
+        print(
+            "warning: general-case triggers present — the per-cutset "
+            "models pull in static guards and may grow; consider "
+            "AnalysisOptions(on_oversize='bounds')"
+        )
+    else:
+        print(
+            "static joins without uniform triggering present: added "
+            "trigger gates fall back to the general case"
+        )
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from repro.core.analyzer import analyze_curve
+
+    sdft = _load_sdft(args.model)
+    horizons = [float(h) for h in args.horizons.split(",") if h.strip()]
+    curve = analyze_curve(
+        sdft, horizons, AnalysisOptions(cutoff=args.cutoff)
+    )
+    print(f"{'horizon (h)':>12s} {'P(failure <= t)':>16s}")
+    for horizon in sorted(curve):
+        print(f"{horizon:12g} {curve[horizon]:16.3e}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.ctmc.simulate import simulate_failure_probability
+
+    sdft = _load_sdft(args.model)
+    result = simulate_failure_probability(
+        sdft, args.horizon, n_runs=args.runs, seed=args.seed
+    )
+    low, high = result.confidence_interval
+    print(
+        f"P(failure <= {args.horizon} h) ~= {result.estimate:.3e} "
+        f"(95% CI [{low:.3e}, {high:.3e}], {result.n_failures}/{result.n_runs} runs)"
+    )
+    return 0
+
+
+def _cmd_demo_bwr(args: argparse.Namespace) -> int:
+    from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+    if args.triggers == "all":
+        triggers: tuple[str, ...] = TRIGGER_STAGES
+    elif args.triggers == "none":
+        triggers = ()
+    else:
+        triggers = tuple(s.strip() for s in args.triggers.split(",") if s.strip())
+    sdft = build_bwr(
+        BwrConfig(
+            triggers=triggers,
+            repair_rate=args.repair_rate,
+            phases=args.phases,
+        )
+    )
+    if args.save:
+        save_model(sdft, args.save)
+        print(f"saved {sdft!r} to {args.save}")
+        return 0
+    result = analyze(
+        sdft, AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff)
+    )
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's contribution: SD fault trees and their scalable analysis.
+
+Model construction (:class:`SdFaultTreeBuilder`), trigger-gate
+classification, the static translation, per-cutset quantification and
+the end-to-end :func:`analyze` pipeline.
+"""
+
+from repro.core.analyzer import (
+    AnalysisOptions,
+    analyze,
+    analyze_curve,
+    analyze_exact,
+    analyze_static,
+)
+from repro.core.bounds import ProbabilityInterval, bound_cutset
+from repro.core.classify import (
+    ClassificationReport,
+    TriggerClass,
+    classification_report,
+    classify_trigger_gate,
+)
+from repro.core.cut_sequences import CutCompletion, completion_distribution
+from repro.core.cutset_model import CutsetModel, build_cutset_model
+from repro.core.downtime import (
+    DowntimeResult,
+    analyze_expected_downtime,
+    exact_expected_downtime,
+)
+from repro.core.quantify import (
+    McsQuantification,
+    QuantificationCache,
+    quantify_cutset,
+)
+from repro.core.results import AnalysisResult, Timings
+from repro.core.sdft import DynamicBasicEvent, SdFaultTree, SdFaultTreeBuilder
+from repro.core.sensitivity import RateSensitivity, rate_sensitivity
+from repro.core.to_static import StaticTranslation, to_static
+from repro.core.worst_case import worst_case_probabilities, worst_case_probability
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "ClassificationReport",
+    "CutCompletion",
+    "CutsetModel",
+    "DowntimeResult",
+    "DynamicBasicEvent",
+    "McsQuantification",
+    "ProbabilityInterval",
+    "QuantificationCache",
+    "RateSensitivity",
+    "bound_cutset",
+    "SdFaultTree",
+    "SdFaultTreeBuilder",
+    "StaticTranslation",
+    "Timings",
+    "TriggerClass",
+    "analyze",
+    "analyze_curve",
+    "analyze_exact",
+    "analyze_expected_downtime",
+    "analyze_static",
+    "build_cutset_model",
+    "classification_report",
+    "classify_trigger_gate",
+    "completion_distribution",
+    "exact_expected_downtime",
+    "quantify_cutset",
+    "rate_sensitivity",
+    "to_static",
+    "worst_case_probabilities",
+    "worst_case_probability",
+]

@@ -1,0 +1,160 @@
+"""Classification of triggering gates (paper, Section V-A).
+
+The efficiency of the per-cutset quantification hinges on two syntactic
+conditions on the subtree of each triggering gate:
+
+* **static branching** — every OR gate in the subtree has at most one
+  dynamic child.  Then only the cutset's own dynamic events matter for
+  trigger timing (``Rel_a = Dyn_a ∩ C``).
+* **static joins** — no AND gate in the subtree has a dynamic child
+  (dynamic events combine disjunctively only).  Then all dynamic events
+  of the subtree matter (``Rel_a = Dyn_a``).  With the additional
+  **uniform triggering** property — all dynamic events under the gate
+  are triggered by one common gate — chains of such triggers stay cheap.
+
+Everything else is the **general case**: trigger timing may depend on
+static events of the subtree too (``Rel_a = Dyn_a ∪ (Sta_a \\ C)``).
+
+ATLEAST gates degenerate to OR (k=1) or AND (k=n); proper voting gates
+are treated conservatively as violating both conditions, which routes
+the affected triggers to the general case — correct, merely slower.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.sdft import SdFaultTree
+from repro.ft.tree import GateType
+
+__all__ = [
+    "TriggerClass",
+    "classify_trigger_gate",
+    "has_static_branching",
+    "has_static_joins",
+    "has_uniform_triggering",
+    "classification_report",
+    "ClassificationReport",
+]
+
+
+class TriggerClass(enum.Enum):
+    """Which quantification strategy a triggering gate admits.
+
+    Ordered from cheapest to most expensive: ``STATIC_BRANCHING``
+    restricts trigger modelling to cutset events; ``STATIC_JOINS``
+    (ideally with uniform triggering) pulls in the sibling dynamic
+    events; ``GENERAL`` pulls in static guards as well.
+    """
+
+    STATIC_BRANCHING = "static-branching"
+    STATIC_JOINS_UNIFORM = "static-joins-uniform"
+    STATIC_JOINS = "static-joins"
+    GENERAL = "general"
+
+
+def _effective_type(gate) -> GateType:
+    """Treat degenerate ATLEAST gates as the AND/OR they equal."""
+    if gate.gate_type is not GateType.ATLEAST:
+        return gate.gate_type
+    assert gate.k is not None
+    if gate.k == 1:
+        return GateType.OR
+    if gate.k == len(gate.children):
+        return GateType.AND
+    return GateType.ATLEAST
+
+
+def has_static_branching(sdft: SdFaultTree, gate_name: str) -> bool:
+    """Whether every OR gate under ``gate_name`` has <= 1 dynamic child.
+
+    Proper voting gates with a dynamic child fail the check (they branch
+    like an OR).
+    """
+    for name in sdft.structure.gates_under(gate_name):
+        gate = sdft.structure.gates[name]
+        effective = _effective_type(gate)
+        dynamic_children = sum(1 for c in gate.children if sdft.dynamic_under_node(c))
+        if effective is GateType.OR and dynamic_children > 1:
+            return False
+        if effective is GateType.ATLEAST and dynamic_children > 0:
+            return False
+    return True
+
+
+def has_static_joins(sdft: SdFaultTree, gate_name: str) -> bool:
+    """Whether no AND gate under ``gate_name`` has a dynamic child.
+
+    Proper voting gates with a dynamic child fail the check (they join
+    like an AND).
+    """
+    for name in sdft.structure.gates_under(gate_name):
+        gate = sdft.structure.gates[name]
+        effective = _effective_type(gate)
+        dynamic_children = sum(1 for c in gate.children if sdft.dynamic_under_node(c))
+        if effective is GateType.AND and dynamic_children > 0:
+            return False
+        if effective is GateType.ATLEAST and dynamic_children > 0:
+            return False
+    return True
+
+
+def has_uniform_triggering(sdft: SdFaultTree, gate_name: str) -> bool:
+    """Whether all dynamic events under the gate share one triggering gate.
+
+    Requires every dynamic event in the subtree to be triggered, and all
+    by the same gate (Section V-A).
+    """
+    dynamic = sdft.dynamic_under(gate_name)
+    if not dynamic:
+        return True
+    gates = {sdft.trigger_of.get(name) for name in dynamic}
+    return None not in gates and len(gates) == 1
+
+
+def classify_trigger_gate(sdft: SdFaultTree, gate_name: str) -> TriggerClass:
+    """The strongest condition the triggering gate satisfies."""
+    if has_static_branching(sdft, gate_name):
+        return TriggerClass.STATIC_BRANCHING
+    if has_static_joins(sdft, gate_name):
+        if has_uniform_triggering(sdft, gate_name):
+            return TriggerClass.STATIC_JOINS_UNIFORM
+        return TriggerClass.STATIC_JOINS
+    return TriggerClass.GENERAL
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-trigger classification of a whole SD fault tree.
+
+    ``by_gate`` maps each triggering gate to its class; the boolean
+    flags summarise what the user should expect of quantification cost
+    (the prediction the paper says can be "indicated to the user").
+    """
+
+    by_gate: dict[str, TriggerClass]
+
+    @property
+    def all_efficient(self) -> bool:
+        """True when every trigger is static-branching or uniform static-joins."""
+        return all(
+            c in (TriggerClass.STATIC_BRANCHING, TriggerClass.STATIC_JOINS_UNIFORM)
+            for c in self.by_gate.values()
+        )
+
+    @property
+    def any_general(self) -> bool:
+        """True when some trigger needs the general (most expensive) case."""
+        return any(c is TriggerClass.GENERAL for c in self.by_gate.values())
+
+    def count(self, trigger_class: TriggerClass) -> int:
+        """Number of triggering gates with the given class."""
+        return sum(1 for c in self.by_gate.values() if c is trigger_class)
+
+
+def classification_report(sdft: SdFaultTree) -> ClassificationReport:
+    """Classify every triggering gate of ``sdft``."""
+    return ClassificationReport(
+        {gate: classify_trigger_gate(sdft, gate) for gate in sdft.triggers}
+    )

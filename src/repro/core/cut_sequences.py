@@ -1,0 +1,110 @@
+"""Quantified minimal cut sequences: who completes the cut, and when.
+
+A minimal cutset says *which* events must fail together; dynamic models
+also know the *order*.  The BDMP line of related work ([12] in the
+paper) extracts minimal cut sequences qualitatively; here the per-cutset
+chain gives the quantitative version directly: for every dynamic event
+of the cutset, the probability that it is the one whose failure
+*completes* the simultaneous cut (within the horizon).
+
+Computation — flux attribution on the cutset's product chain with the
+failed set made absorbing:
+
+* the expected time spent in each transient state is the occupancy
+  integral ``∫_0^t pi_s(u) du`` (:func:`repro.ctmc.transient.occupancy_integrals`);
+* the probability of absorbing through a particular transition is its
+  rate times the source occupancy;
+* summing over the transitions whose *moving event* is ``a`` (the
+  product construction records the split) gives the completion
+  probability of ``a``; initial mass already inside the failed set is
+  reported as completion "at time zero" (static events did it).
+
+The attributions sum to the cutset's ``p̃(C)`` (up to the truncation
+error of the integrals), which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import TriggerClass
+from repro.core.cutset_model import build_cutset_model
+from repro.core.sdft import SdFaultTree
+from repro.ctmc.product import build_product
+from repro.ctmc.transient import occupancy_integrals
+
+
+__all__ = ["CutCompletion", "completion_distribution"]
+
+#: Pseudo-event name for mass that starts inside the failed set.
+AT_TIME_ZERO = "<initial>"
+
+
+@dataclass(frozen=True)
+class CutCompletion:
+    """Completion attribution of one minimal cutset.
+
+    ``by_event`` maps each dynamic event (plus :data:`AT_TIME_ZERO`) to
+    the probability that the cut is completed by that event's failure
+    before the horizon, already scaled by the cutset's static factor.
+    """
+
+    cutset: frozenset[str]
+    horizon: float
+    by_event: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """Sum of attributions — the cutset's quantified probability."""
+        return sum(self.by_event.values())
+
+    def most_likely_completer(self) -> str | None:
+        """The event most likely to strike last (None for empty cuts)."""
+        if not self.by_event:
+            return None
+        return max(self.by_event, key=self.by_event.get)
+
+
+def completion_distribution(
+    sdft: SdFaultTree,
+    cutset: frozenset[str],
+    horizon: float,
+    classes: dict[str, TriggerClass] | None = None,
+    max_chain_states: int = 200_000,
+    epsilon: float = 1e-10,
+) -> CutCompletion:
+    """Attribute ``p̃(C)`` to the events that complete the cut.
+
+    Static cutsets complete at time zero with probability
+    ``prod p(a)``; dynamic cutsets are attributed by flux analysis on
+    the absorbing per-cutset chain.
+    """
+    model = build_cutset_model(sdft, cutset, classes)
+    if model.trivially_zero:
+        return CutCompletion(cutset, horizon, {})
+    if model.model is None:
+        return CutCompletion(
+            cutset, horizon, {AT_TIME_ZERO: model.static_factor}
+        )
+
+    product = build_product(model.model, max_states=max_chain_states)
+    chain = product.chain
+    failed = chain.failed
+    absorbed = chain.with_absorbing(failed)
+    occupancy = occupancy_integrals(absorbed, horizon, epsilon)
+
+    attributions: dict[str, float] = {}
+    initial_inside = sum(p for s, p in chain.initial.items() if s in failed)
+    if initial_inside > 0.0:
+        attributions[AT_TIME_ZERO] = initial_inside * model.static_factor
+
+    for (source, target), split in product.transition_events.items():
+        if source in failed or target not in failed:
+            continue
+        source_occupancy = occupancy[chain.index[source]]
+        for event_name, rate in split.items():
+            flux = rate * source_occupancy * model.static_factor
+            if flux <= 0.0:
+                continue
+            attributions[event_name] = attributions.get(event_name, 0.0) + flux
+    return CutCompletion(cutset, horizon, attributions)

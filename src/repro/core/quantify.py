@@ -1,0 +1,227 @@
+"""Quantification of minimal cutsets (Section V-C, quantification step).
+
+For a cutset model built by :mod:`repro.core.cutset_model`:
+
+* a purely static cutset has ``p̃(C) = prod p(a)``;
+* a dynamic cutset needs the product chain of its small ``FT_C`` and a
+  transient first-passage analysis up to the horizon, multiplied by the
+  probabilities of the static events of ``C``.
+
+Identical ``FT_C`` shapes recur massively across a cutset list (the same
+redundant trains appear in thousands of cutsets), so the expensive
+chain solve is cached on a structural signature of the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.cutset_model import CutsetModel, build_cutset_model
+from repro.core.sdft import SdFaultTree
+from repro.ctmc.lumping import lump
+from repro.ctmc.product import build_product
+from repro.ctmc.transient import reach_probability
+from repro.errors import AnalysisError
+
+__all__ = ["McsQuantification", "QuantificationCache", "quantify_cutset"]
+
+
+@dataclass(frozen=True)
+class McsQuantification:
+    """Result of quantifying one minimal cutset.
+
+    ``chain_states`` and ``solve_seconds`` are zero for static cutsets
+    and for cache hits; ``n_dynamic_in_model``/``n_added_dynamic`` are
+    the statistics reported in the paper's Figure 2 and Section VI-A.
+
+    When a cutset's chain exceeded the size budget and interval mode was
+    enabled, ``bounded`` is set, ``probability`` holds the conservative
+    *upper* bound and ``lower_bound`` the matching lower bound (the
+    approximation of the paper's Section VIII).
+    """
+
+    cutset: frozenset[str]
+    probability: float
+    is_dynamic: bool
+    n_dynamic_in_cutset: int
+    n_dynamic_in_model: int
+    n_added_dynamic: int
+    chain_states: int
+    solve_seconds: float
+    cache_hit: bool = False
+    trivially_zero: bool = False
+    bounded: bool = False
+    lower_bound: float | None = None
+
+
+class QuantificationCache:
+    """Memoises chain solves by structural model signature.
+
+    The signature covers everything the reachability probability depends
+    on: the dynamic events with their chain identities, the static
+    guards with probabilities, the gate structure, the trigger edges and
+    the horizon.  Chains are compared by object identity — events built
+    from shared chain objects (the normal usage) hit the cache.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, tuple[float, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def signature(self, model: SdFaultTree, horizon: float) -> tuple:
+        """A hashable key identifying the quantification problem."""
+        gates = tuple(
+            (g.name, g.gate_type.value, g.children, g.k)
+            for g in sorted(model.gates.values(), key=lambda g: g.name)
+        )
+        dynamic = tuple(
+            (name, id(event.chain))
+            for name, event in sorted(model.dynamic_events.items())
+        )
+        static = tuple(
+            (name, event.probability)
+            for name, event in sorted(model.static_events.items())
+        )
+        triggers = tuple(sorted((g, tuple(e)) for g, e in model.triggers.items()))
+        return (gates, dynamic, static, triggers, horizon)
+
+    def get(self, key: tuple) -> tuple[float, int] | None:
+        """Cached ``(probability, chain size)`` or ``None``."""
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+        return found
+
+    def put(self, key: tuple, probability: float, chain_states: int) -> None:
+        """Record a solve."""
+        self.misses += 1
+        self._store[key] = (probability, chain_states)
+
+
+def quantify_cutset(
+    sdft: SdFaultTree,
+    cutset: frozenset[str],
+    horizon: float,
+    classes=None,
+    cache: QuantificationCache | None = None,
+    epsilon: float = 1e-12,
+    max_chain_states: int = 200_000,
+    on_oversize: str = "raise",
+    lump_chains: bool = False,
+) -> McsQuantification:
+    """Compute ``p̃(C)`` for one minimal cutset.
+
+    ``classes`` and ``cache`` are optional shared state for bulk runs
+    (see :mod:`repro.core.analyzer`).  ``on_oversize`` decides what
+    happens when the cutset's chain would exceed ``max_chain_states``:
+    ``"raise"`` propagates the error, ``"bounds"`` falls back to the
+    interval approximation of :mod:`repro.core.bounds`.
+    """
+    model = build_cutset_model(sdft, cutset, classes)
+    return quantify_model(
+        model, horizon, cache, epsilon, max_chain_states, on_oversize, lump_chains
+    )
+
+
+def quantify_model(
+    model: CutsetModel,
+    horizon: float,
+    cache: QuantificationCache | None = None,
+    epsilon: float = 1e-12,
+    max_chain_states: int = 200_000,
+    on_oversize: str = "raise",
+    lump_chains: bool = False,
+) -> McsQuantification:
+    """Quantify an already-built cutset model.
+
+    With ``lump_chains`` the product chain is reduced by exact ordinary
+    lumping (:mod:`repro.ctmc.lumping`) before the transient solve —
+    symmetric redundant components then collapse into counters.  The
+    reported ``chain_states`` is the size actually solved.
+    """
+    if on_oversize not in ("raise", "bounds"):
+        raise ValueError(f"unknown on_oversize mode {on_oversize!r}")
+    if model.trivially_zero:
+        return McsQuantification(
+            model.cutset,
+            0.0,
+            True,
+            model.n_dynamic_in_cutset,
+            model.n_dynamic_in_model,
+            model.n_added_dynamic,
+            0,
+            0.0,
+            trivially_zero=True,
+        )
+    if model.model is None:
+        return McsQuantification(
+            model.cutset,
+            model.static_factor,
+            False,
+            0,
+            0,
+            0,
+            0,
+            0.0,
+        )
+
+    key = cache.signature(model.model, horizon) if cache is not None else None
+    if cache is not None and key is not None:
+        found = cache.get(key)
+        if found is not None:
+            probability, chain_states = found
+            return McsQuantification(
+                model.cutset,
+                probability * model.static_factor,
+                True,
+                model.n_dynamic_in_cutset,
+                model.n_dynamic_in_model,
+                model.n_added_dynamic,
+                chain_states,
+                0.0,
+                cache_hit=True,
+            )
+
+    started = time.perf_counter()
+    try:
+        product = build_product(model.model, max_states=max_chain_states)
+    except AnalysisError:
+        if on_oversize != "bounds":
+            raise
+        from repro.core.bounds import bound_cutset
+
+        interval = bound_cutset(model, horizon, epsilon)
+        return McsQuantification(
+            model.cutset,
+            interval.upper,
+            True,
+            model.n_dynamic_in_cutset,
+            model.n_dynamic_in_model,
+            model.n_added_dynamic,
+            0,
+            time.perf_counter() - started,
+            bounded=True,
+            lower_bound=interval.lower,
+        )
+    chain = product.chain
+    solved_states = product.n_states
+    if lump_chains:
+        lumped = lump(chain.with_absorbing(chain.failed))
+        chain = lumped.chain
+        solved_states = chain.n_states
+    dynamic_probability = reach_probability(chain, horizon, epsilon=epsilon)
+    elapsed = time.perf_counter() - started
+    if cache is not None and key is not None:
+        cache.put(key, dynamic_probability, solved_states)
+    return McsQuantification(
+        model.cutset,
+        dynamic_probability * model.static_factor,
+        True,
+        model.n_dynamic_in_cutset,
+        model.n_dynamic_in_model,
+        model.n_added_dynamic,
+        solved_states,
+        elapsed,
+    )

@@ -1,0 +1,188 @@
+"""Builders for the standard failure models used throughout the paper.
+
+Every dynamic basic event in the experiments is one of a small family of
+chains; these constructors build them with consistent state labels:
+
+* phase states are ``("on", i)`` / ``("off", i)`` with ``i = 0..k``
+  (phase ``k`` is the failed phase);
+* simple two-state chains use phases ``0`` (ok) and ``1`` (failed).
+
+The Erlang family follows Section VI-A exactly: a ``k``-phase failure
+with per-phase rate ``k·λ`` (preserving the mean time to failure ``1/λ``),
+repair jumping from the failed phase back to phase 0, passive (off)
+failure rates reduced by ``passive_factor`` and no repair while off
+("nobody knows it is failed").
+"""
+
+from __future__ import annotations
+
+from repro.ctmc.chain import Ctmc
+from repro.ctmc.triggered import TriggeredCtmc
+from repro.errors import InvalidRateError, ModelError
+
+__all__ = [
+    "exponential_failure",
+    "repairable",
+    "erlang_failure",
+    "static_chain",
+    "triggered_repairable",
+    "triggered_erlang",
+]
+
+#: Paper Section VI-A: "failure rates in passive states ... 100 times lower".
+PAPER_PASSIVE_FACTOR = 0.01
+
+
+def _check_rate(name: str, value: float, allow_zero: bool = False) -> None:
+    if value < 0.0 or (value == 0.0 and not allow_zero):
+        raise InvalidRateError(f"{name} must be positive, got {value}")
+
+
+def exponential_failure(failure_rate: float) -> Ctmc:
+    """Non-repairable exponential failure: ``ok --λ--> fail``."""
+    _check_rate("failure_rate", failure_rate)
+    return Ctmc(
+        states=[("on", 0), ("on", 1)],
+        initial={("on", 0): 1.0},
+        rates={(("on", 0), ("on", 1)): failure_rate},
+        failed=[("on", 1)],
+    )
+
+
+def repairable(failure_rate: float, repair_rate: float) -> Ctmc:
+    """Repairable exponential failure: ``ok --λ--> fail --μ--> ok``.
+
+    This is the first pump of the paper's Example 2 (λ = 0.001, μ = 0.05).
+    """
+    _check_rate("failure_rate", failure_rate)
+    _check_rate("repair_rate", repair_rate)
+    return Ctmc(
+        states=[("on", 0), ("on", 1)],
+        initial={("on", 0): 1.0},
+        rates={
+            (("on", 0), ("on", 1)): failure_rate,
+            (("on", 1), ("on", 0)): repair_rate,
+        },
+        failed=[("on", 1)],
+    )
+
+
+def erlang_failure(
+    phases: int, failure_rate: float, repair_rate: float | None = None
+) -> Ctmc:
+    """Erlang-``k`` failure with mean time to failure ``1/failure_rate``.
+
+    The chain moves through phases ``0 .. k`` with per-phase rate
+    ``k·failure_rate`` and is failed in phase ``k`` (Section VI-A).  With
+    a ``repair_rate``, the failed phase jumps straight back to phase 0
+    ("repair brings the equipment into the same state as being new").
+    ``phases=1`` degenerates to the exponential models above.
+    """
+    if phases < 1:
+        raise ModelError(f"need at least one phase, got {phases}")
+    _check_rate("failure_rate", failure_rate)
+    states = [("on", i) for i in range(phases + 1)]
+    rates: dict[tuple, float] = {}
+    per_phase = phases * failure_rate
+    for i in range(phases):
+        rates[(("on", i), ("on", i + 1))] = per_phase
+    if repair_rate is not None:
+        _check_rate("repair_rate", repair_rate)
+        rates[(("on", phases), ("on", 0))] = repair_rate
+    return Ctmc(states, {("on", 0): 1.0}, rates, [("on", phases)])
+
+
+def static_chain(probability: float) -> Ctmc:
+    """A static basic event as a frozen CTMC (paper, Section III-C).
+
+    Two states, no transitions; failure is decided by the initial coin
+    flip with probability ``probability``.
+    """
+    return Ctmc(
+        states=["ok", "fail"],
+        initial={"ok": 1.0 - probability, "fail": probability},
+        rates={},
+        failed=["fail"],
+    )
+
+
+def triggered_repairable(
+    failure_rate: float,
+    repair_rate: float,
+    passive_failure_rate: float = 0.0,
+    repair_while_off: bool = True,
+) -> TriggeredCtmc:
+    """The spare pump of the paper's Example 2.
+
+    Off states ``("off", 0)``/``("off", 1)``, on states ``("on", 0)``/
+    ``("on", 1)``; failure rate applies while on (and optionally a
+    reduced ``passive_failure_rate`` while off), repair applies while on
+    and — matching Example 2's "a failed pump is being repaired even if
+    it is not required at the moment" — also while off unless
+    ``repair_while_off`` is disabled.
+    """
+    _check_rate("failure_rate", failure_rate)
+    _check_rate("repair_rate", repair_rate)
+    _check_rate("passive_failure_rate", passive_failure_rate, allow_zero=True)
+    states = [("off", 0), ("off", 1), ("on", 0), ("on", 1)]
+    rates: dict[tuple, float] = {
+        (("on", 0), ("on", 1)): failure_rate,
+        (("on", 1), ("on", 0)): repair_rate,
+    }
+    if passive_failure_rate > 0.0:
+        rates[(("off", 0), ("off", 1))] = passive_failure_rate
+    if repair_while_off:
+        rates[(("off", 1), ("off", 0))] = repair_rate
+    return TriggeredCtmc(
+        states=states,
+        initial={("off", 0): 1.0},
+        rates=rates,
+        failed=[("on", 1)],
+        on_states=[("on", 0), ("on", 1)],
+        switch_on={("off", 0): ("on", 0), ("off", 1): ("on", 1)},
+        switch_off={("on", 0): ("off", 0), ("on", 1): ("off", 1)},
+    )
+
+
+def triggered_erlang(
+    phases: int,
+    failure_rate: float,
+    repair_rate: float,
+    passive_factor: float = PAPER_PASSIVE_FACTOR,
+) -> TriggeredCtmc:
+    """The ``k``-phase triggered model of Section VI-A.
+
+    * active phases ``("on", 0..k)`` advance with rate ``k·λ``;
+    * passive phases ``("off", 0..k)`` advance with rate
+      ``k·λ·passive_factor`` (the paper uses factor ``1/100``);
+    * repair only from the *active* failed phase back to active phase 0
+      ("the equipment cannot be repaired before it gets triggered");
+      a ``repair_rate`` of zero models a non-repairable component;
+    * switching maps phase ``i`` across on/off without losing progress.
+    """
+    if phases < 1:
+        raise ModelError(f"need at least one phase, got {phases}")
+    _check_rate("failure_rate", failure_rate)
+    _check_rate("repair_rate", repair_rate, allow_zero=True)
+    if passive_factor < 0.0:
+        raise InvalidRateError(f"passive_factor must be >= 0, got {passive_factor}")
+    states = [("off", i) for i in range(phases + 1)]
+    states += [("on", i) for i in range(phases + 1)]
+    rates: dict[tuple, float] = {}
+    active_rate = phases * failure_rate
+    passive_rate = active_rate * passive_factor
+    for i in range(phases):
+        rates[(("on", i), ("on", i + 1))] = active_rate
+        if passive_rate > 0.0:
+            rates[(("off", i), ("off", i + 1))] = passive_rate
+    if repair_rate > 0.0:
+        rates[(("on", phases), ("on", 0))] = repair_rate
+    return TriggeredCtmc(
+        states=states,
+        initial={("off", 0): 1.0},
+        rates=rates,
+        failed=[("on", phases)],
+        on_states=[("on", i) for i in range(phases + 1)],
+        switch_on={("off", i): ("on", i) for i in range(phases + 1)},
+        switch_off={("on", i): ("off", i) for i in range(phases + 1)},
+    )

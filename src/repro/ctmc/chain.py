@@ -1,0 +1,205 @@
+"""Continuous-time Markov chains over finite, labelled state spaces.
+
+A CTMC is specified by an initial distribution, a rate matrix and a set
+of failed states (paper, Section III-A).  States are arbitrary hashable
+labels — tuples like ``("on", 2)`` for phase models, or product tuples
+for the semantics of whole SD fault trees — and are mapped to dense
+indices internally.
+
+The class is immutable after construction; analyses live in
+:mod:`repro.ctmc.transient`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidProbabilityError, InvalidRateError, ModelError
+
+__all__ = ["Ctmc"]
+
+State = Hashable
+
+
+class Ctmc:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    states:
+        All states, in a fixed order (determines internal indices).
+    initial:
+        Mapping from state to initial probability; omitted states get
+        probability zero.  Must sum to one (within ``1e-9``).
+    rates:
+        Mapping ``(source, destination) -> rate`` with positive rates;
+        self-loops are meaningless in a CTMC and rejected.
+    failed:
+        The failed states ``F``.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial: Mapping[State, float],
+        rates: Mapping[tuple[State, State], float],
+        failed: Iterable[State],
+    ) -> None:
+        self.states: tuple[State, ...] = tuple(states)
+        if len(set(self.states)) != len(self.states):
+            raise ModelError("duplicate states in CTMC")
+        self.index: dict[State, int] = {s: i for i, s in enumerate(self.states)}
+        if not self.states:
+            raise ModelError("CTMC needs at least one state")
+
+        for state, probability in initial.items():
+            if state not in self.index:
+                raise ModelError(f"initial distribution mentions unknown state {state!r}")
+            if probability < 0.0:
+                raise InvalidProbabilityError(
+                    f"negative initial probability for state {state!r}"
+                )
+        total = float(sum(initial.values()))
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidProbabilityError(
+                f"initial distribution sums to {total}, expected 1"
+            )
+        self.initial: dict[State, float] = {
+            s: float(p) for s, p in initial.items() if p > 0.0
+        }
+
+        self.rates: dict[tuple[State, State], float] = {}
+        for (source, destination), rate in rates.items():
+            if source not in self.index or destination not in self.index:
+                raise ModelError(
+                    f"rate references unknown state: {source!r} -> {destination!r}"
+                )
+            if source == destination:
+                raise InvalidRateError(f"self-loop rate on state {source!r}")
+            if rate < 0.0:
+                raise InvalidRateError(
+                    f"negative rate {rate} on {source!r} -> {destination!r}"
+                )
+            if rate > 0.0:
+                self.rates[(source, destination)] = float(rate)
+
+        self.failed: frozenset[State] = frozenset(failed)
+        for state in self.failed:
+            if state not in self.index:
+                raise ModelError(f"failed set mentions unknown state {state!r}")
+
+    # ------------------------------------------------------------------
+    # Size and views
+    # ------------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of positive-rate transitions."""
+        return len(self.rates)
+
+    def exit_rate(self, state: State) -> float:
+        """Total outgoing rate of ``state``."""
+        return sum(r for (s, _), r in self.rates.items() if s == state)
+
+    def successors(self, state: State) -> list[tuple[State, float]]:
+        """Outgoing transitions of ``state`` as ``(destination, rate)``."""
+        return [
+            (destination, rate)
+            for (source, destination), rate in self.rates.items()
+            if source == state
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Ctmc({self.n_states} states, {self.n_transitions} transitions, "
+            f"{len(self.failed)} failed)"
+        )
+
+    # ------------------------------------------------------------------
+    # Matrix forms
+    # ------------------------------------------------------------------
+
+    def initial_vector(self) -> np.ndarray:
+        """Initial distribution as a dense row vector."""
+        nu = np.zeros(self.n_states)
+        for state, probability in self.initial.items():
+            nu[self.index[state]] = probability
+        return nu
+
+    def failed_mask(self) -> np.ndarray:
+        """Boolean vector marking the failed states."""
+        mask = np.zeros(self.n_states, dtype=bool)
+        for state in self.failed:
+            mask[self.index[state]] = True
+        return mask
+
+    def rate_matrix(self) -> sparse.csr_matrix:
+        """The rate matrix ``R`` (no diagonal) as a sparse CSR matrix."""
+        if not self.rates:
+            return sparse.csr_matrix((self.n_states, self.n_states))
+        rows, cols, values = [], [], []
+        for (source, destination), rate in self.rates.items():
+            rows.append(self.index[source])
+            cols.append(self.index[destination])
+            values.append(rate)
+        return sparse.csr_matrix(
+            (values, (rows, cols)), shape=(self.n_states, self.n_states)
+        )
+
+    def generator_matrix(self) -> sparse.csr_matrix:
+        """The infinitesimal generator ``Q = R - diag(exit rates)``."""
+        rate_matrix = self.rate_matrix().tolil()
+        exit_rates = np.asarray(rate_matrix.sum(axis=1)).ravel()
+        for i, rate in enumerate(exit_rates):
+            rate_matrix[i, i] = -rate
+        return rate_matrix.tocsr()
+
+    # ------------------------------------------------------------------
+    # Derived chains
+    # ------------------------------------------------------------------
+
+    def with_absorbing(self, absorbing: Iterable[State]) -> "Ctmc":
+        """Copy of this chain with all transitions out of ``absorbing`` removed.
+
+        The standard reduction of time-bounded reachability to transient
+        analysis: make the targets absorbing, then the probability mass
+        sitting on them at time ``t`` equals ``Pr[Reach^{<=t}]``.
+        """
+        absorbing_set = frozenset(absorbing)
+        for state in absorbing_set:
+            if state not in self.index:
+                raise ModelError(f"unknown state {state!r}")
+        rates = {
+            (source, destination): rate
+            for (source, destination), rate in self.rates.items()
+            if source not in absorbing_set
+        }
+        return Ctmc(self.states, self.initial, rates, self.failed)
+
+    def with_initial(self, initial: Mapping[State, float]) -> "Ctmc":
+        """Copy of this chain with a different initial distribution."""
+        return Ctmc(self.states, initial, self.rates, self.failed)
+
+    def relabel(self, mapping: Mapping[State, State]) -> "Ctmc":
+        """Copy with states renamed through ``mapping`` (must be injective)."""
+        new_names = [mapping.get(s, s) for s in self.states]
+        if len(set(new_names)) != len(new_names):
+            raise ModelError("relabelling is not injective")
+        translate = dict(zip(self.states, new_names))
+        return Ctmc(
+            new_names,
+            {translate[s]: p for s, p in self.initial.items()},
+            {
+                (translate[s], translate[d]): r
+                for (s, d), r in self.rates.items()
+            },
+            [translate[s] for s in self.failed],
+        )

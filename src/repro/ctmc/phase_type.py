@@ -1,0 +1,97 @@
+"""Phase-type fitting: build failure chains from observed moments.
+
+Modellers rarely have a Markov chain — they have a mean time to failure
+and a spread.  This module fits the two standard acyclic phase-type
+shapes by moment matching on ``(mean, cv)`` (coefficient of variation =
+standard deviation / mean):
+
+* ``cv = 1`` — exponential (one phase);
+* ``cv < 1`` — Erlang-k: ``k = round(1 / cv²)`` phases gives the
+  closest Erlang coefficient of variation ``1/sqrt(k)``;
+* ``cv > 1`` — a two-branch hyper-exponential ``H2`` with balanced
+  means, the textbook closed form matching mean and cv exactly.
+
+The fitted chains slot directly into dynamic basic events; a triggered
+variant wraps them with on/off structure like
+:func:`repro.ctmc.builders.triggered_erlang` does for Erlangs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ctmc.chain import Ctmc
+from repro.errors import ModelError
+
+__all__ = ["PhaseFit", "fit_failure_distribution"]
+
+
+@dataclass(frozen=True)
+class PhaseFit:
+    """Result of a phase-type fit.
+
+    ``chain`` is ready to use as a dynamic event's model; ``shape``
+    names the family (``"exponential"``, ``"erlang"``,
+    ``"hyperexponential"``); ``fitted_cv`` is the coefficient of
+    variation the chain actually realises (Erlang fits are the nearest
+    lattice point, the others are exact).
+    """
+
+    chain: Ctmc
+    shape: str
+    mean: float
+    fitted_cv: float
+
+
+def fit_failure_distribution(
+    mean: float, cv: float = 1.0, max_phases: int = 50
+) -> PhaseFit:
+    """Fit a failure-time distribution to a mean and coefficient of variation.
+
+    The returned chain starts in its initial phase and is failed in its
+    absorbing phase; add a repair transition afterwards if needed (the
+    chain's ``rates`` dict is the usual plain mapping).
+    """
+    if mean <= 0.0:
+        raise ModelError(f"mean must be positive, got {mean}")
+    if cv <= 0.0:
+        raise ModelError(f"cv must be positive, got {cv}")
+
+    if abs(cv - 1.0) < 1e-9:
+        rate = 1.0 / mean
+        chain = Ctmc(
+            [("on", 0), ("on", 1)],
+            {("on", 0): 1.0},
+            {(("on", 0), ("on", 1)): rate},
+            [("on", 1)],
+        )
+        return PhaseFit(chain, "exponential", mean, 1.0)
+
+    if cv < 1.0:
+        phases = max(2, min(max_phases, round(1.0 / (cv * cv))))
+        per_phase = phases / mean
+        states = [("on", i) for i in range(phases + 1)]
+        rates = {
+            (("on", i), ("on", i + 1)): per_phase for i in range(phases)
+        }
+        chain = Ctmc(states, {("on", 0): 1.0}, rates, [("on", phases)])
+        return PhaseFit(chain, "erlang", mean, 1.0 / math.sqrt(phases))
+
+    # cv > 1: balanced-means H2.  With branch probabilities p/(1-p) and
+    # rates 2p/mean, 2(1-p)/mean, the squared cv is matched by
+    # p = (1 + sqrt((c2-1)/(c2+1))) / 2 with c2 = cv^2.
+    c2 = cv * cv
+    p = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
+    rate_fast = 2.0 * p / mean
+    rate_slow = 2.0 * (1.0 - p) / mean
+    chain = Ctmc(
+        [("branch", "fast"), ("branch", "slow"), ("on", "failed")],
+        {("branch", "fast"): p, ("branch", "slow"): 1.0 - p},
+        {
+            (("branch", "fast"), ("on", "failed")): rate_fast,
+            (("branch", "slow"), ("on", "failed")): rate_slow,
+        },
+        [("on", "failed")],
+    )
+    return PhaseFit(chain, "hyperexponential", mean, cv)

@@ -1,0 +1,231 @@
+"""The product Markov chain ``C_FT`` of an SD fault tree (Section III-C).
+
+Each product state records the local state of every basic event.  The
+chain evolves by single-event transitions (parallel interleaving of the
+per-event chains); after every evolution the state is *updated* — every
+triggered event whose triggering-gate status disagrees with its on/off
+mode is switched — until a consistent state is reached.  Acyclicity of
+the triggering structure guarantees the update loop terminates.
+
+This is the exact semantics of SD fault trees.  It is exponential in the
+number of basic events (the paper's motivation: ``2^2500`` states for a
+real PSA model), so it serves as the ground truth for small models and
+as the baseline in the decomposition-crossover ablation; the scalable
+per-cutset analysis lives in :mod:`repro.core.quantify`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.ctmc.chain import Ctmc
+from repro.errors import AnalysisError
+from repro.ft.tree import GateType
+
+__all__ = ["SdSemantics", "ProductChain", "build_product"]
+
+LocalState = Hashable
+ProductState = tuple  # tuple of LocalState, ordered like SdSemantics.order
+
+
+class SdSemantics:
+    """Shared machinery of the exact SD semantics.
+
+    Precomputes, for an SD fault tree, everything needed to evaluate
+    gate status and run the trigger-update loop on product states; both
+    the explicit product construction and the Monte-Carlo simulator are
+    built on it.
+    """
+
+    def __init__(self, sdft) -> None:
+        self.sdft = sdft
+        #: Fixed order of basic events defining product-state tuples.
+        self.order: tuple[str, ...] = tuple(sorted(sdft.all_event_names))
+        self.position: dict[str, int] = {n: i for i, n in enumerate(self.order)}
+        #: Per-event failed local states.
+        self.failed_local: dict[str, frozenset] = {}
+        for name in self.order:
+            if sdft.is_static(name):
+                self.failed_local[name] = frozenset(["fail"])
+            else:
+                self.failed_local[name] = sdft.chain_of(name).failed
+        # Gates in bottom-up order with resolved child references.
+        structure = sdft.structure
+        self._gate_order = [g for g in structure.gates_bottom_up()]
+        self._triggered = [
+            (name, sdft.trigger_of[name], sdft.chain_of(name))
+            for name in sorted(sdft.trigger_of)
+        ]
+
+    # ------------------------------------------------------------------
+    # Gate evaluation
+    # ------------------------------------------------------------------
+
+    def gate_status(self, state: ProductState) -> dict[str, bool]:
+        """Failure status of every node under the product state.
+
+        Evaluates the boolean structure over the scenario induced by the
+        failed local states, triggers disregarded (Section III-C1).
+        """
+        status: dict[str, bool] = {}
+        for i, name in enumerate(self.order):
+            status[name] = state[i] in self.failed_local[name]
+        for gate in self._gate_order:
+            failed_inputs = sum(status[c] for c in gate.children)
+            if gate.gate_type is GateType.AND:
+                status[gate.name] = failed_inputs == len(gate.children)
+            elif gate.gate_type is GateType.OR:
+                status[gate.name] = failed_inputs > 0
+            else:
+                assert gate.k is not None
+                status[gate.name] = failed_inputs >= gate.k
+        return status
+
+    def fails_top(self, state: ProductState) -> bool:
+        """Whether the product state fails the top gate."""
+        return self.gate_status(state)[self.sdft.top]
+
+    # ------------------------------------------------------------------
+    # Trigger updates
+    # ------------------------------------------------------------------
+
+    def make_consistent(self, state: ProductState) -> ProductState:
+        """Apply trigger updates until the state is consistent.
+
+        A state is consistent when every triggered event is on iff its
+        triggering gate is failed.  Acyclic triggering bounds the number
+        of passes by the number of triggered events.
+        """
+        current = list(state)
+        for _ in range(len(self._triggered) + 1):
+            status = self.gate_status(tuple(current))
+            changed = False
+            for event_name, gate_name, chain in self._triggered:
+                i = self.position[event_name]
+                updated = chain.apply_trigger(current[i], status[gate_name])
+                if updated != current[i]:
+                    current[i] = updated
+                    changed = True
+            if not changed:
+                return tuple(current)
+        raise AnalysisError(
+            "trigger updates did not converge; the triggering structure "
+            "should have been rejected as cyclic"
+        )
+
+    def is_consistent(self, state: ProductState) -> bool:
+        """Whether no trigger update applies to ``state``."""
+        return self.make_consistent(state) == state
+
+    # ------------------------------------------------------------------
+    # Local moves
+    # ------------------------------------------------------------------
+
+    def local_transitions(
+        self, state: ProductState
+    ) -> list[tuple[str, LocalState, float]]:
+        """Enabled evolutions: ``(event name, new local state, rate)``."""
+        moves: list[tuple[str, LocalState, float]] = []
+        for name in self.sdft.dynamic_events:
+            i = self.position[name]
+            for destination, rate in self.sdft.chain_of(name).successors(state[i]):
+                moves.append((name, destination, rate))
+        return moves
+
+    def initial_states(self) -> list[tuple[ProductState, float]]:
+        """All consistent initial product states with their probabilities.
+
+        Enumerates the product of the per-event initial supports (static
+        events contribute ``ok``/``fail``), pushes each through the
+        update loop, and accumulates probability on the resulting
+        consistent states (Section III-C1, initial distribution).
+        """
+        supports: list[list[tuple[LocalState, float]]] = []
+        for name in self.order:
+            if self.sdft.is_static(name):
+                p = self.sdft.static_events[name].probability
+                entries = []
+                if p < 1.0:
+                    entries.append(("ok", 1.0 - p))
+                if p > 0.0:
+                    entries.append(("fail", p))
+                supports.append(entries)
+            else:
+                chain = self.sdft.chain_of(name)
+                supports.append(sorted(chain.initial.items(), key=lambda x: str(x[0])))
+        accumulated: dict[ProductState, float] = {}
+        for combo in itertools.product(*supports):
+            state = tuple(local for local, _ in combo)
+            probability = 1.0
+            for _, p in combo:
+                probability *= p
+            consistent = self.make_consistent(state)
+            accumulated[consistent] = accumulated.get(consistent, 0.0) + probability
+        return sorted(accumulated.items(), key=lambda kv: str(kv[0]))
+
+
+@dataclass
+class ProductChain:
+    """The explicit product CTMC plus its bookkeeping.
+
+    ``transition_events`` attributes each aggregated transition rate to
+    the basic event whose local move produced it — two different events'
+    evolutions can collapse onto the same consistent target state, and
+    flux-attribution analyses (which event completed a cut) need the
+    split back.
+    """
+
+    semantics: SdSemantics
+    chain: Ctmc
+    transition_events: dict[tuple[ProductState, ProductState], dict[str, float]]
+
+    @property
+    def n_states(self) -> int:
+        """Number of (reachable, consistent) product states."""
+        return self.chain.n_states
+
+
+def build_product(sdft, max_states: int = 200_000) -> ProductChain:
+    """Construct the reachable part of the product chain ``C_FT``.
+
+    Explores consistent states from the initial distribution; every
+    evolution is followed by the update loop, and parallel evolutions
+    that collapse onto the same consistent target accumulate their
+    rates.  Raises :class:`~repro.errors.AnalysisError` when more than
+    ``max_states`` states are reached — the exponential wall this
+    package exists to avoid.
+    """
+    semantics = SdSemantics(sdft)
+    initial = semantics.initial_states()
+    rates: dict[tuple[ProductState, ProductState], float] = {}
+    by_event: dict[tuple[ProductState, ProductState], dict[str, float]] = {}
+    states: list[ProductState] = []
+    seen: set[ProductState] = set()
+    frontier = [state for state, _ in initial]
+    seen.update(frontier)
+    while frontier:
+        state = frontier.pop()
+        states.append(state)
+        if len(states) > max_states:
+            raise AnalysisError(
+                f"product chain exceeds max_states={max_states}; use the "
+                f"per-cutset analysis (repro.core.analyzer) instead"
+            )
+        for event_name, destination, rate in semantics.local_transitions(state):
+            moved = list(state)
+            moved[semantics.position[event_name]] = destination
+            target = semantics.make_consistent(tuple(moved))
+            if target == state:
+                continue
+            key = (state, target)
+            rates[key] = rates.get(key, 0.0) + rate
+            split = by_event.setdefault(key, {})
+            split[event_name] = split.get(event_name, 0.0) + rate
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    failed = [s for s in states if semantics.fails_top(s)]
+    chain = Ctmc(states, dict(initial), rates, failed)
+    return ProductChain(semantics, chain, by_event)

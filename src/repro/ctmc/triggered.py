@@ -1,0 +1,134 @@
+"""Triggered continuous-time Markov chains (paper, Section III-A).
+
+A triggered CTMC partitions its states into *off* states (the equipment
+is switched off) and *on* states, with two total switching functions
+``on: S_off -> S_on`` and ``off: S_on -> S_off``.  The invariants:
+
+* the initial distribution supports only off states (triggered equipment
+  starts switched off);
+* failed states are on states (``F ⊆ S_on``) — switched-off equipment is
+  never counted as failed.
+
+Switching transitions are *not* rates: they fire instantaneously when
+the triggering gate of the event changes status (the update semantics of
+Section III-C lives in :mod:`repro.ctmc.product`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.ctmc.chain import Ctmc
+from repro.errors import ModelError, TriggerError
+
+__all__ = ["TriggeredCtmc"]
+
+State = Hashable
+
+
+class TriggeredCtmc(Ctmc):
+    """A CTMC with on/off structure for trigger semantics.
+
+    Parameters
+    ----------
+    states, initial, rates, failed:
+        As for :class:`~repro.ctmc.chain.Ctmc`.
+    on_states:
+        The subset ``S_on``; the rest is ``S_off``.
+    switch_on:
+        Total map ``S_off -> S_on`` applied when the triggering gate fails.
+    switch_off:
+        Total map ``S_on -> S_off`` applied when the triggering gate recovers.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial: Mapping[State, float],
+        rates: Mapping[tuple[State, State], float],
+        failed: Iterable[State],
+        on_states: Iterable[State],
+        switch_on: Mapping[State, State],
+        switch_off: Mapping[State, State],
+    ) -> None:
+        super().__init__(states, initial, rates, failed)
+        self.on_states: frozenset[State] = frozenset(on_states)
+        for state in self.on_states:
+            if state not in self.index:
+                raise ModelError(f"on_states mentions unknown state {state!r}")
+        self.off_states: frozenset[State] = frozenset(self.states) - self.on_states
+        self.switch_on: dict[State, State] = dict(switch_on)
+        self.switch_off: dict[State, State] = dict(switch_off)
+        self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        if not self.failed <= self.on_states:
+            raise TriggerError(
+                "failed states must be on-states (F ⊆ S_on): switched-off "
+                "equipment cannot be failed"
+            )
+        for state in self.initial:
+            if state in self.on_states:
+                raise TriggerError(
+                    f"initial state {state!r} is an on-state; triggered "
+                    f"equipment must start switched off"
+                )
+        if set(self.switch_on) != set(self.off_states):
+            raise TriggerError("switch_on must be total on the off-states")
+        if set(self.switch_off) != set(self.on_states):
+            raise TriggerError("switch_off must be total on the on-states")
+        for source, destination in self.switch_on.items():
+            if destination not in self.on_states:
+                raise TriggerError(
+                    f"switch_on({source!r}) = {destination!r} is not an on-state"
+                )
+        for source, destination in self.switch_off.items():
+            if destination not in self.off_states:
+                raise TriggerError(
+                    f"switch_off({source!r}) = {destination!r} is not an off-state"
+                )
+
+    def is_on(self, state: State) -> bool:
+        """Whether ``state`` belongs to ``S_on``."""
+        return state in self.on_states
+
+    def apply_trigger(self, state: State, active: bool) -> State:
+        """The state after forcing the trigger status ``active``.
+
+        An on-state with ``active=True`` (or an off-state with
+        ``active=False``) is already consistent and returned unchanged.
+        """
+        if active and state in self.off_states:
+            return self.switch_on[state]
+        if not active and state in self.on_states:
+            return self.switch_off[state]
+        return state
+
+    def untriggered_view(self) -> Ctmc:
+        """The chain "as if triggered at time 0 and never untriggered".
+
+        The initial distribution is pushed through ``switch_on`` and the
+        on/off structure is dropped.  This is exactly the worst-case
+        shape used for ``p(a)`` of dynamic basic events in the static
+        translation (paper, Section V-B2).
+
+        The view is cached: repeated calls return the same object, so
+        quantification caches keyed on chain identity keep working.
+        """
+        cached = getattr(self, "_untriggered_cache", None)
+        if cached is not None:
+            return cached
+        shifted: dict[State, float] = {}
+        for state, probability in self.initial.items():
+            target = self.switch_on[state]
+            shifted[target] = shifted.get(target, 0.0) + probability
+        view = Ctmc(self.states, shifted, self.rates, self.failed)
+        self._untriggered_cache = view
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggeredCtmc({self.n_states} states, "
+            f"{len(self.on_states)} on, {len(self.off_states)} off, "
+            f"{len(self.failed)} failed)"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The subclasses
+distinguish the three broad phases in which things can go wrong:
+
+* building a model (:class:`ModelError` and its children),
+* running an algorithm on a structurally valid model
+  (:class:`AnalysisError`), and
+* numerical trouble inside a solver (:class:`NumericalError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ModelError(ReproError):
+    """A model is structurally invalid or being built inconsistently."""
+
+
+class DuplicateNameError(ModelError):
+    """Two nodes in one model were given the same name."""
+
+
+class UnknownNodeError(ModelError):
+    """A node name was referenced but never defined."""
+
+
+class CyclicModelError(ModelError):
+    """The fault-tree DAG (or its trigger-extended graph) contains a cycle."""
+
+
+class InvalidProbabilityError(ModelError):
+    """A probability parameter is outside ``[0, 1]``."""
+
+
+class InvalidRateError(ModelError):
+    """A transition rate is negative or otherwise meaningless."""
+
+
+class TriggerError(ModelError):
+    """The triggering structure of an SD fault tree violates an invariant.
+
+    Raised for untriggerable chains (a triggered event whose CTMC has no
+    on/off structure), multiply-triggered events, or cyclic triggering.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis algorithm cannot proceed on this (valid) model."""
+
+
+class CutoffError(AnalysisError):
+    """The cutset search exceeded its configured work limits."""
+
+
+class NumericalError(ReproError):
+    """A numerical routine failed to reach the requested accuracy."""

@@ -1,0 +1,42 @@
+"""Event trees: accident-sequence modelling on top of fault trees.
+
+Probabilistic safety assessments organise fault trees under event trees:
+an *initiating event* (e.g. loss of offsite power) is followed by a row
+of *functional events* (safety functions), and each path of
+success/failure branches is a *sequence* ending in a consequence (OK or
+a damage state).  The paper points to event trees as the natural source
+of trigger chains: the sequence order says which safety function is
+demanded after which (Section V-A).
+
+This subpackage compiles sequences and damage states into fault-tree
+top gates so the rest of the package can quantify them.
+"""
+
+from repro.eventtree.quantify import (
+    EventTreeResult,
+    SequenceResult,
+    quantify_event_tree,
+)
+from repro.eventtree.study import Study, StudyResult
+from repro.eventtree.tree import (
+    EventTree,
+    EventTreeBuilder,
+    FunctionalEvent,
+    Sequence,
+    compile_damage_state,
+    compile_sequence,
+)
+
+__all__ = [
+    "EventTree",
+    "EventTreeBuilder",
+    "EventTreeResult",
+    "FunctionalEvent",
+    "Sequence",
+    "SequenceResult",
+    "Study",
+    "StudyResult",
+    "compile_damage_state",
+    "compile_sequence",
+    "quantify_event_tree",
+]

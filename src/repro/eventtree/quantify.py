@@ -1,0 +1,130 @@
+"""Quantification of event trees on top of fault-tree analyses.
+
+Closes the PSA loop: an event tree's sequences compile to fault-tree
+gates (:mod:`repro.eventtree.tree`), and this module evaluates every
+sequence and every consequence against a model — static trees via MOCUS
+and the rare-event sum, SD trees via the full dynamic pipeline.
+
+Sequence *frequencies* are the initiating-event frequency times the
+conditional failure probability of the sequence logic; consequence
+frequencies sum their sequences (delete-term-conservative, like the
+compilation itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.core.sdft import SdFaultTree, SdFaultTreeBuilder
+from repro.errors import ModelError
+from repro.eventtree.tree import EventTree, compile_sequence
+from repro.ft.mocus import MocusOptions, mocus
+from repro.ft.tree import FaultTree
+
+__all__ = ["SequenceResult", "EventTreeResult", "quantify_event_tree"]
+
+
+@dataclass(frozen=True)
+class SequenceResult:
+    """One quantified sequence: probability and resulting frequency."""
+
+    name: str
+    consequence: str
+    probability: float
+    frequency: float
+    n_cutsets: int
+
+
+@dataclass(frozen=True)
+class EventTreeResult:
+    """All sequences of one event tree plus per-consequence totals."""
+
+    tree_name: str
+    initiating_frequency: float
+    sequences: tuple[SequenceResult, ...]
+
+    def consequence_frequency(self, consequence: str) -> float:
+        """Total frequency of a consequence (sum over its sequences)."""
+        return sum(
+            s.frequency for s in self.sequences if s.consequence == consequence
+        )
+
+    def by_consequence(self) -> dict[str, float]:
+        """Frequencies of all consequences, sorted by label."""
+        labels = sorted({s.consequence for s in self.sequences})
+        return {label: self.consequence_frequency(label) for label in labels}
+
+
+def quantify_event_tree(
+    event_tree: EventTree,
+    model: FaultTree | SdFaultTree,
+    options: AnalysisOptions | None = None,
+) -> EventTreeResult:
+    """Quantify every failure sequence of ``event_tree`` against ``model``.
+
+    ``model`` must define every functional event's top gate.  Sequences
+    that fail no safety function (pure success paths) carry no coherent
+    failure logic and are skipped — their frequency is the complement
+    the delete-term approximation gives away.
+    """
+    opts = options or AnalysisOptions()
+    for functional in event_tree.functional_events:
+        if functional.top_gate not in model.gates:
+            raise ModelError(
+                f"model has no gate {functional.top_gate!r} for functional "
+                f"event {functional.name!r}"
+            )
+    results = []
+    for sequence in event_tree.sequences:
+        if not sequence.failed_events:
+            continue
+        probability, n_cutsets = _sequence_probability(
+            event_tree, sequence, model, opts
+        )
+        results.append(
+            SequenceResult(
+                sequence.name,
+                sequence.consequence,
+                probability,
+                probability * event_tree.initiating_frequency,
+                n_cutsets,
+            )
+        )
+    return EventTreeResult(
+        event_tree.name, event_tree.initiating_frequency, tuple(results)
+    )
+
+
+def _sequence_probability(event_tree, sequence, model, opts):
+    if isinstance(model, SdFaultTree):
+        rebuilt = _with_sequence_top(event_tree, sequence, model)
+        result = analyze(rebuilt, opts)
+        return result.failure_probability, result.n_cutsets
+    headers = {f.name: f for f in event_tree.functional_events}
+    import repro.ft.builder as ft_builder
+
+    b = ft_builder.FaultTreeBuilder(f"{model.name}+{sequence.name}")
+    for event in model.events.values():
+        b.event(event.name, event.probability, event.description)
+    for gate in model.gates.values():
+        b.gate(gate.name, gate.gate_type, gate.children, gate.k, gate.description)
+    top = compile_sequence(event_tree, sequence, b)
+    tree = b.build(top)
+    result = mocus(tree, MocusOptions(cutoff=opts.cutoff))
+    return result.cutsets.rare_event(), len(result.cutsets)
+
+
+def _with_sequence_top(event_tree, sequence, sdft: SdFaultTree) -> SdFaultTree:
+    """Rebuild the SD model with the sequence gate as the top."""
+    b = SdFaultTreeBuilder(f"{sdft.name}+{sequence.name}")
+    for event in sdft.static_events.values():
+        b.static_event(event.name, event.probability, event.description)
+    for event in sdft.dynamic_events.values():
+        b.dynamic_event(event.name, event.chain, event.description)
+    for gate in sdft.gates.values():
+        b.gate(gate.name, gate.gate_type, gate.children, gate.k, gate.description)
+    for gate_name, events in sdft.triggers.items():
+        b.trigger(gate_name, *events)
+    top = compile_sequence(event_tree, sequence, b)
+    return b.build(top)

@@ -1,0 +1,90 @@
+"""A level-1 PSA study: many initiators, one plant model.
+
+Real safety studies aggregate over many initiating events — each with
+its own event tree — against one plant fault-tree model.  A
+:class:`Study` bundles them and quantifies the total damage-state
+frequencies plus the per-initiator breakdown the review meetings want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import AnalysisOptions
+from repro.core.sdft import SdFaultTree
+from repro.errors import ModelError
+from repro.eventtree.quantify import EventTreeResult, quantify_event_tree
+from repro.eventtree.tree import EventTree
+from repro.ft.tree import FaultTree
+
+__all__ = ["Study", "StudyResult"]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Quantification of a whole study.
+
+    ``by_initiator`` holds the individual event-tree results;
+    ``totals`` maps every consequence label to its aggregated frequency
+    across initiators.
+    """
+
+    by_initiator: dict[str, EventTreeResult]
+    totals: dict[str, float]
+
+    def dominant_initiator(self, consequence: str) -> str | None:
+        """The initiating event contributing most to a consequence."""
+        best_name = None
+        best_value = 0.0
+        for name, result in self.by_initiator.items():
+            value = result.consequence_frequency(consequence)
+            if value > best_value:
+                best_value = value
+                best_name = name
+        return best_name
+
+    def contribution(self, initiator: str, consequence: str) -> float:
+        """Fraction of a consequence's total carried by one initiator."""
+        total = self.totals.get(consequence, 0.0)
+        if total <= 0.0:
+            return 0.0
+        return (
+            self.by_initiator[initiator].consequence_frequency(consequence)
+            / total
+        )
+
+
+class Study:
+    """One plant model, many initiating-event trees."""
+
+    def __init__(self, model: FaultTree | SdFaultTree, name: str = "study") -> None:
+        self.name = name
+        self.model = model
+        self._event_trees: dict[str, EventTree] = {}
+
+    def add_initiator(self, event_tree: EventTree) -> "Study":
+        """Register one initiating event's tree (names must be unique)."""
+        if event_tree.name in self._event_trees:
+            raise ModelError(
+                f"study already has an event tree named {event_tree.name!r}"
+            )
+        self._event_trees[event_tree.name] = event_tree
+        return self
+
+    @property
+    def initiators(self) -> tuple[str, ...]:
+        """Names of all registered event trees."""
+        return tuple(self._event_trees)
+
+    def quantify(self, options: AnalysisOptions | None = None) -> StudyResult:
+        """Quantify every initiator's sequences and aggregate."""
+        if not self._event_trees:
+            raise ModelError(f"study {self.name!r} has no initiators")
+        by_initiator: dict[str, EventTreeResult] = {}
+        totals: dict[str, float] = {}
+        for name, event_tree in self._event_trees.items():
+            result = quantify_event_tree(event_tree, self.model, options)
+            by_initiator[name] = result
+            for consequence, frequency in result.by_consequence().items():
+                totals[consequence] = totals.get(consequence, 0.0) + frequency
+        return StudyResult(by_initiator, dict(sorted(totals.items())))

@@ -1,0 +1,191 @@
+"""Event-tree model and compilation into fault-tree gates.
+
+An :class:`EventTree` is an initiating event plus an ordered row of
+:class:`FunctionalEvent` headers; a :class:`Sequence` assigns each
+functional event a branch (``True`` = the safety function *fails*) and
+ends in a consequence label.  Compilation follows standard PSA practice:
+
+* a sequence's failure logic is the AND over the fault-tree top gates of
+  its failed functional events;
+* success branches are *dropped* (the "delete-term" approximation):
+  coherent fault trees cannot express negation, and keeping only the
+  failed branches is conservative;
+* a damage state compiles to the OR over its sequences.
+
+Compilation works against any builder exposing the gate-declaration
+interface of :class:`repro.ft.builder.FaultTreeBuilder` /
+:class:`repro.core.sdft.SdFaultTreeBuilder`, so event trees can sit on
+static or SD fault trees alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = [
+    "FunctionalEvent",
+    "Sequence",
+    "EventTree",
+    "EventTreeBuilder",
+    "compile_sequence",
+    "compile_damage_state",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalEvent:
+    """A column header of the event tree: one safety function.
+
+    ``top_gate`` names the fault-tree gate whose failure is the failure
+    of this safety function.
+    """
+
+    name: str
+    top_gate: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """One path through the event tree.
+
+    ``branches`` maps functional-event names to ``True`` (failed) or
+    ``False`` (succeeded); functional events missing from the map are
+    "not asked" on this path (e.g. because an earlier failure made them
+    irrelevant).  ``consequence`` is a free label such as ``"OK"`` or
+    ``"CD"`` (core damage).
+    """
+
+    name: str
+    branches: dict[str, bool]
+    consequence: str
+
+    @property
+    def failed_events(self) -> tuple[str, ...]:
+        """Functional events failed on this path, in declaration order."""
+        return tuple(n for n, failed in self.branches.items() if failed)
+
+
+@dataclass(frozen=True)
+class EventTree:
+    """An initiating event, its functional events, and all sequences."""
+
+    name: str
+    initiating_event: str
+    initiating_frequency: float
+    functional_events: tuple[FunctionalEvent, ...]
+    sequences: tuple[Sequence, ...]
+
+    def by_consequence(self, consequence: str) -> tuple[Sequence, ...]:
+        """All sequences ending in the given consequence."""
+        return tuple(s for s in self.sequences if s.consequence == consequence)
+
+    def consequences(self) -> frozenset[str]:
+        """All consequence labels that occur."""
+        return frozenset(s.consequence for s in self.sequences)
+
+
+class EventTreeBuilder:
+    """Incremental construction of an :class:`EventTree`."""
+
+    def __init__(
+        self, name: str, initiating_event: str, initiating_frequency: float
+    ) -> None:
+        if initiating_frequency < 0.0:
+            raise ModelError(
+                f"initiating frequency must be non-negative, got "
+                f"{initiating_frequency}"
+            )
+        self.name = name
+        self.initiating_event = initiating_event
+        self.initiating_frequency = initiating_frequency
+        self._functional: dict[str, FunctionalEvent] = {}
+        self._sequences: list[Sequence] = []
+
+    def functional_event(
+        self, name: str, top_gate: str, description: str = ""
+    ) -> "EventTreeBuilder":
+        """Declare a safety-function column (order of declaration matters)."""
+        if name in self._functional:
+            raise ModelError(f"functional event {name!r} declared twice")
+        self._functional[name] = FunctionalEvent(name, top_gate, description)
+        return self
+
+    def sequence(
+        self, name: str, consequence: str, **branches: bool
+    ) -> "EventTreeBuilder":
+        """Declare a sequence; keyword arguments set the branch per function."""
+        for functional_name in branches:
+            if functional_name not in self._functional:
+                raise ModelError(
+                    f"sequence {name!r} references unknown functional event "
+                    f"{functional_name!r}"
+                )
+        self._sequences.append(Sequence(name, dict(branches), consequence))
+        return self
+
+    def build(self) -> EventTree:
+        """Assemble the event tree."""
+        if not self._sequences:
+            raise ModelError(f"event tree {self.name!r} has no sequences")
+        names = [s.name for s in self._sequences]
+        if len(set(names)) != len(names):
+            raise ModelError(f"event tree {self.name!r} has duplicate sequence names")
+        return EventTree(
+            self.name,
+            self.initiating_event,
+            self.initiating_frequency,
+            tuple(self._functional.values()),
+            tuple(self._sequences),
+        )
+
+
+def compile_sequence(event_tree: EventTree, sequence: Sequence, builder) -> str:
+    """Add the failure logic of one sequence to a fault-tree builder.
+
+    Returns the name of the created gate (``<tree>::<sequence>``): an
+    AND over the top gates of the failed functional events.  Success
+    branches are dropped (delete-term approximation).  A sequence with
+    no failed functional event cannot be expressed coherently and is
+    rejected.
+    """
+    headers = {f.name: f for f in event_tree.functional_events}
+    failed_gates = [headers[n].top_gate for n in sequence.failed_events]
+    if not failed_gates:
+        raise ModelError(
+            f"sequence {sequence.name!r} fails no safety function; it has "
+            f"no coherent failure logic to compile"
+        )
+    gate_name = f"{event_tree.name}::{sequence.name}"
+    builder.and_(
+        gate_name,
+        *failed_gates,
+        description=f"sequence {sequence.name} of {event_tree.name}",
+    )
+    return gate_name
+
+
+def compile_damage_state(
+    event_tree: EventTree, consequence: str, builder
+) -> str:
+    """Add the failure logic of a whole damage state to a builder.
+
+    Returns the name of the created OR gate over all sequences ending in
+    ``consequence`` (``<tree>::<consequence>``).
+    """
+    sequences = event_tree.by_consequence(consequence)
+    if not sequences:
+        raise ModelError(
+            f"event tree {event_tree.name!r} has no sequence with "
+            f"consequence {consequence!r}"
+        )
+    gate_names = [compile_sequence(event_tree, s, builder) for s in sequences]
+    top_name = f"{event_tree.name}::{consequence}"
+    builder.or_(
+        top_name,
+        *gate_names,
+        description=f"damage state {consequence} of {event_tree.name}",
+    )
+    return top_name

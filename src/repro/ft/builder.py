@@ -1,0 +1,111 @@
+"""Fluent construction of static fault trees.
+
+:class:`FaultTree` objects are immutable, which makes incremental model
+construction awkward.  :class:`FaultTreeBuilder` collects nodes in any
+order (children may be declared after the gates that use them), then
+:meth:`FaultTreeBuilder.build` assembles and validates the tree.
+
+Example
+-------
+>>> from repro.ft import FaultTreeBuilder
+>>> b = FaultTreeBuilder("cooling")
+>>> _ = b.event("a", 3e-3).event("b", 1e-3)
+>>> _ = b.event("c", 3e-3).event("d", 1e-3)
+>>> _ = b.event("e", 3e-6)
+>>> _ = b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+>>> _ = b.and_("pumps", "pump1", "pump2")
+>>> ft = b.or_("cooling", "pumps", "e").build("cooling")
+>>> sorted(ft.events)
+['a', 'b', 'c', 'd', 'e']
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import DuplicateNameError, ModelError
+from repro.ft.tree import BasicEvent, FaultTree, Gate, GateType
+
+__all__ = ["FaultTreeBuilder"]
+
+
+class FaultTreeBuilder:
+    """Accumulates basic events and gates, then builds a :class:`FaultTree`.
+
+    All ``event``/gate methods return ``self`` so calls can be chained.
+    Node names must be unique across events and gates.
+    """
+
+    def __init__(self, name: str = "fault-tree") -> None:
+        self.name = name
+        self._events: dict[str, BasicEvent] = {}
+        self._gates: dict[str, Gate] = {}
+
+    # ------------------------------------------------------------------
+    # Node declaration
+    # ------------------------------------------------------------------
+
+    def event(
+        self, name: str, probability: float, description: str = ""
+    ) -> "FaultTreeBuilder":
+        """Declare a basic event with the given failure probability."""
+        self._check_fresh(name)
+        self._events[name] = BasicEvent(name, probability, description)
+        return self
+
+    def events(self, pairs: Iterable[tuple[str, float]]) -> "FaultTreeBuilder":
+        """Declare several basic events from ``(name, probability)`` pairs."""
+        for name, probability in pairs:
+            self.event(name, probability)
+        return self
+
+    def gate(
+        self,
+        name: str,
+        gate_type: GateType,
+        children: Iterable[str],
+        k: int | None = None,
+        description: str = "",
+    ) -> "FaultTreeBuilder":
+        """Declare a gate of an explicit type."""
+        self._check_fresh(name)
+        self._gates[name] = Gate(name, gate_type, tuple(children), k, description)
+        return self
+
+    def and_(self, name: str, *children: str, description: str = "") -> "FaultTreeBuilder":
+        """Declare an AND gate over ``children``."""
+        return self.gate(name, GateType.AND, children, description=description)
+
+    def or_(self, name: str, *children: str, description: str = "") -> "FaultTreeBuilder":
+        """Declare an OR gate over ``children``."""
+        return self.gate(name, GateType.OR, children, description=description)
+
+    def atleast(
+        self, name: str, k: int, *children: str, description: str = ""
+    ) -> "FaultTreeBuilder":
+        """Declare a k-of-n voting gate over ``children``."""
+        return self.gate(name, GateType.ATLEAST, children, k=k, description=description)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def has_node(self, name: str) -> bool:
+        """Return whether a node of this name has been declared."""
+        return name in self._events or name in self._gates
+
+    def build(self, top: str) -> FaultTree:
+        """Assemble the declared nodes into a validated :class:`FaultTree`."""
+        if top not in self._gates:
+            raise ModelError(f"top node {top!r} was not declared as a gate")
+        return FaultTree(
+            top, self._events.values(), self._gates.values(), name=self.name
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._events or name in self._gates:
+            raise DuplicateNameError(f"node {name!r} declared twice")

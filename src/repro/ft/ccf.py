@@ -1,0 +1,169 @@
+"""Common-cause-failure (CCF) modelling.
+
+The paper observes (Section VI-A) that common-cause failures "usually
+dominate the result" of nuclear safety studies and are "less influenced
+by timing dependencies".  To let models carry realistic CCF structure,
+this module implements the two parametric CCF models standard in PSA:
+
+* the **beta-factor model** — one common-cause event fails the whole
+  redundancy group with probability ``beta * p``; independent failures
+  keep ``(1 - beta) * p``;
+* the **alpha-factor model** — one common-cause event per failure
+  multiplicity ``k`` (2-of-n, 3-of-n, ...), with probabilities derived
+  from the alpha factors ``alpha_1..alpha_n``.
+
+:func:`apply_ccf` expands CCF groups into an existing tree: each member
+event ``m`` is replaced by an OR gate over its reduced independent event
+and the common-cause events covering ``m``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidProbabilityError, ModelError, UnknownNodeError
+from repro.ft.tree import BasicEvent, FaultTree, Gate, GateType
+
+__all__ = ["CcfGroup", "beta_factor_group", "alpha_factor_group", "apply_ccf"]
+
+
+@dataclass(frozen=True)
+class CcfGroup:
+    """A resolved common-cause group, ready to be expanded into a tree.
+
+    ``independent`` maps each member to the probability of its
+    independent (reduced) failure; ``common`` lists common-cause basic
+    events, each covering a subset of members with a probability.
+    """
+
+    name: str
+    members: tuple[str, ...]
+    independent: dict[str, float]
+    common: tuple[tuple[frozenset[str], float], ...]
+
+
+def beta_factor_group(
+    name: str, members: Sequence[str], probability: float, beta: float
+) -> CcfGroup:
+    """Build a beta-factor CCF group.
+
+    Every member keeps an independent failure of probability
+    ``(1 - beta) * probability``; a single common-cause event of
+    probability ``beta * probability`` fails all members at once.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise InvalidProbabilityError(f"CCF group {name!r}: beta={beta} not in [0,1]")
+    if len(members) < 2:
+        raise ModelError(f"CCF group {name!r} needs at least two members")
+    independent = {m: (1.0 - beta) * probability for m in members}
+    common = ((frozenset(members), beta * probability),)
+    return CcfGroup(name, tuple(members), independent, common)
+
+
+def alpha_factor_group(
+    name: str,
+    members: Sequence[str],
+    probability: float,
+    alphas: Sequence[float],
+) -> CcfGroup:
+    """Build an alpha-factor CCF group.
+
+    ``alphas[k-1]`` is the fraction of failure events that involve
+    exactly ``k`` members (so ``len(alphas) == len(members)`` and the
+    alphas sum to one).  The per-multiplicity event probability follows
+    the standard staggered-testing formula
+
+    ``Q_k = alpha_k / C(n-1, k-1) * Q_total / alpha_t``
+
+    with ``alpha_t = sum(k * alpha_k)``.  One common-cause basic event is
+    generated for every subset of each multiplicity ``k >= 2``.
+    """
+    n = len(members)
+    if len(alphas) != n:
+        raise ModelError(
+            f"CCF group {name!r}: need {n} alpha factors, got {len(alphas)}"
+        )
+    if any(a < 0.0 for a in alphas) or not math.isclose(sum(alphas), 1.0, abs_tol=1e-9):
+        raise InvalidProbabilityError(
+            f"CCF group {name!r}: alpha factors must be non-negative and sum to 1"
+        )
+    if n < 2:
+        raise ModelError(f"CCF group {name!r} needs at least two members")
+    alpha_t = sum((k + 1) * a for k, a in enumerate(alphas))
+    q_by_multiplicity = [
+        alphas[k - 1] / math.comb(n - 1, k - 1) * probability / alpha_t
+        for k in range(1, n + 1)
+    ]
+    independent = {m: q_by_multiplicity[0] for m in members}
+    common: list[tuple[frozenset[str], float]] = []
+    for k in range(2, n + 1):
+        q = q_by_multiplicity[k - 1]
+        if q <= 0.0:
+            continue
+        for subset in itertools.combinations(members, k):
+            common.append((frozenset(subset), q))
+    return CcfGroup(name, tuple(members), independent, tuple(common))
+
+
+def apply_ccf(tree: FaultTree, groups: Iterable[CcfGroup]) -> FaultTree:
+    """Expand CCF groups into ``tree``.
+
+    Every member event ``m`` of a group becomes an OR gate named ``m``
+    (keeping all original gate references valid) over:
+
+    * a new independent event ``m#ind`` with the reduced probability, and
+    * one shared common-cause event ``<group>#cc<i>`` per common-cause
+      term covering ``m``.
+
+    Members must be existing basic events and may belong to one group
+    only.
+    """
+    groups = list(groups)
+    claimed: set[str] = set()
+    for group in groups:
+        for member in group.members:
+            if not tree.is_event(member):
+                raise UnknownNodeError(
+                    f"CCF group {group.name!r}: member {member!r} is not a "
+                    f"basic event of the tree"
+                )
+            if member in claimed:
+                raise ModelError(
+                    f"event {member!r} appears in more than one CCF group"
+                )
+            claimed.add(member)
+
+    events: dict[str, BasicEvent] = {
+        n: e for n, e in tree.events.items() if n not in claimed
+    }
+    gates: dict[str, Gate] = dict(tree.gates)
+    for group in groups:
+        cc_names: list[str] = []
+        member_cc: dict[str, list[str]] = {m: [] for m in group.members}
+        for i, (covered, probability) in enumerate(group.common):
+            cc_name = f"{group.name}#cc{i}"
+            events[cc_name] = BasicEvent(
+                cc_name,
+                probability,
+                description=f"CCF of {', '.join(sorted(covered))}",
+            )
+            cc_names.append(cc_name)
+            for member in covered:
+                member_cc[member].append(cc_name)
+        for member in group.members:
+            independent_name = f"{member}#ind"
+            events[independent_name] = BasicEvent(
+                independent_name,
+                group.independent[member],
+                description=f"independent failure of {member}",
+            )
+            gates[member] = Gate(
+                member,
+                GateType.OR,
+                tuple([independent_name, *member_cc[member]]),
+                description=f"{member} with CCF group {group.name}",
+            )
+    return FaultTree(tree.top, events.values(), gates.values(), name=tree.name)

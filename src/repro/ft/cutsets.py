@@ -1,0 +1,247 @@
+"""Cutset algebra: minimisation, probabilities and aggregation.
+
+A *cutset* is a set of basic events whose joint failure fails the top
+gate; a *minimal cutset* (MCS) contains no smaller cutset (paper,
+Section IV-A).  This module represents cutsets as ``frozenset[str]`` and
+provides
+
+* inclusion-minimisation of cutset families (:func:`minimize`),
+* per-cutset probability ``p(C) = prod p(a)`` (:func:`cutset_probability`),
+* the three standard aggregations of an MCS list: rare-event
+  approximation, min-cut upper bound, and exact inclusion–exclusion
+  (:class:`CutSetList`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "CutSet",
+    "minimize",
+    "cutset_probability",
+    "CutSetList",
+]
+
+CutSet = frozenset  # type alias: a cutset is a frozen set of event names
+
+
+#: Candidates up to this size use exhaustive subset enumeration (2^k
+#: hash lookups); larger ones fall back to a per-element bucket scan.
+_SUBSET_ENUM_LIMIT = 12
+
+
+def minimize(cutsets: Iterable[frozenset[str]]) -> list[frozenset[str]]:
+    """Keep only the inclusion-minimal members of a family of sets.
+
+    Candidates are processed in order of size, so any set that could
+    dominate a candidate is already kept.  For the small cutsets typical
+    of fault trees the dominance test enumerates every proper subset of
+    the candidate (at most ``2^k`` hash lookups into the kept-set table)
+    — constant work per candidate, unlike pairwise scans, which degrade
+    quadratically when one frequent event appears in most cutsets.
+    Oversized candidates fall back to scanning the kept sets bucketed by
+    element.
+    """
+    by_size = sorted(set(cutsets), key=len)
+    kept: list[frozenset[str]] = []
+    kept_lookup: set[frozenset[str]] = set()
+    buckets: dict[str, list[frozenset[str]]] = {}
+    for candidate in by_size:
+        if not candidate:
+            return [candidate]  # the empty set subsumes everything
+        if is_subsumed(candidate, kept_lookup, buckets):
+            continue
+        kept.append(candidate)
+        kept_lookup.add(candidate)
+        for element in candidate:
+            buckets.setdefault(element, []).append(candidate)
+    return kept
+
+
+def is_subsumed(
+    candidate: frozenset[str],
+    kept_lookup: set[frozenset[str]],
+    buckets: dict[str, list[frozenset[str]]],
+) -> bool:
+    """Whether some kept set is a (non-strict) subset of ``candidate``.
+
+    ``kept_lookup`` and ``buckets`` must describe the same family (a
+    hash set of all kept sets, and the kept sets indexed under each of
+    their elements).  Exposed for the MOCUS search, which uses the same
+    test to prune partial cutsets against already-completed ones.
+    """
+    if len(candidate) <= _SUBSET_ENUM_LIMIT:
+        elements = sorted(candidate)
+        # Enumerate subsets via bit masks, smallest first; include the
+        # full set itself (an exact duplicate is subsumed too).
+        for mask in range(1, 1 << len(elements)):
+            subset = frozenset(
+                elements[i] for i in range(len(elements)) if mask & (1 << i)
+            )
+            if subset in kept_lookup:
+                return True
+        return False
+    checked: set[frozenset[str]] = set()
+    for element in candidate:
+        for small in buckets.get(element, ()):
+            if small in checked:
+                continue
+            checked.add(small)
+            if small <= candidate:
+                return True
+    return False
+
+
+def cutset_probability(
+    cutset: frozenset[str], probabilities: Mapping[str, float]
+) -> float:
+    """Probability that all events of ``cutset`` fail, ``prod p(a)``.
+
+    This equals the total probability of all scenarios the cutset
+    represents (paper, Section IV-A property ii), thanks to event
+    independence.
+    """
+    result = 1.0
+    for name in cutset:
+        result *= probabilities[name]
+    return result
+
+
+@dataclass(frozen=True)
+class CutSetList:
+    """An ordered list of (minimal) cutsets with aggregation helpers.
+
+    Construction does not re-minimise; use :meth:`from_cutsets` to
+    minimise and sort by descending probability in one step.
+    """
+
+    cutsets: tuple[frozenset[str], ...]
+    probabilities: Mapping[str, float]
+
+    @classmethod
+    def from_cutsets(
+        cls,
+        cutsets: Iterable[frozenset[str]],
+        probabilities: Mapping[str, float],
+        minimal: bool = False,
+    ) -> "CutSetList":
+        """Build a list, minimising (unless already minimal) and sorting.
+
+        Cutsets are ordered by descending probability and then
+        lexicographically for determinism.
+        """
+        family = list(cutsets) if minimal else minimize(cutsets)
+        family.sort(key=lambda c: (-cutset_probability(c, probabilities), sorted(c)))
+        return cls(tuple(family), probabilities)
+
+    def __len__(self) -> int:
+        return len(self.cutsets)
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        return iter(self.cutsets)
+
+    def __getitem__(self, index: int) -> frozenset[str]:
+        return self.cutsets[index]
+
+    def probability_of(self, index: int) -> float:
+        """Probability of the ``index``-th cutset."""
+        return cutset_probability(self.cutsets[index], self.probabilities)
+
+    def rare_event(self) -> float:
+        """Rare-event approximation: the sum of cutset probabilities.
+
+        An over-approximation of the true failure probability because
+        scenarios represented by several MCSs are counted once per MCS
+        (paper, Section IV-A property iii).
+        """
+        return sum(cutset_probability(c, self.probabilities) for c in self.cutsets)
+
+    def min_cut_upper_bound(self) -> float:
+        """The MCUB aggregation ``1 - prod (1 - p(C))``.
+
+        Tighter than the rare-event sum and still an upper bound for
+        coherent trees; exact when cutsets are disjoint.
+        """
+        log_complement = 0.0
+        for cutset in self.cutsets:
+            p = cutset_probability(cutset, self.probabilities)
+            if p >= 1.0:
+                return 1.0
+            log_complement += math.log1p(-p)
+        return -math.expm1(log_complement)
+
+    def inclusion_exclusion(self, max_terms: int | None = None) -> float:
+        """Exact probability of the union by inclusion–exclusion.
+
+        Exponential in the number of cutsets (``2^n - 1`` terms); the
+        paper notes this is infeasible for large models, so callers must
+        keep lists short.  ``max_terms`` truncates the expansion at a
+        given intersection order, alternating between upper (odd orders)
+        and lower (even orders) Bonferroni bounds.
+        """
+        n = len(self.cutsets)
+        if max_terms is None:
+            max_terms = n
+        if n > 24 and max_terms >= n:
+            raise ValueError(
+                f"inclusion-exclusion over {n} cutsets is infeasible; "
+                f"pass max_terms to truncate"
+            )
+        total = 0.0
+        sign = 1.0
+        for order in range(1, max_terms + 1):
+            layer = 0.0
+            for combo in itertools.combinations(self.cutsets, order):
+                union: frozenset[str] = frozenset().union(*combo)
+                layer += cutset_probability(union, self.probabilities)
+            total += sign * layer
+            sign = -sign
+        return total
+
+    def truncate(self, cutoff: float) -> "CutSetList":
+        """Drop cutsets whose probability is at or below ``cutoff``."""
+        kept = tuple(
+            c
+            for c in self.cutsets
+            if cutset_probability(c, self.probabilities) > cutoff
+        )
+        return CutSetList(kept, self.probabilities)
+
+    def filtered(
+        self, predicate: Callable[[frozenset[str]], bool]
+    ) -> "CutSetList":
+        """Keep only cutsets satisfying ``predicate``, preserving order."""
+        return CutSetList(
+            tuple(c for c in self.cutsets if predicate(c)), self.probabilities
+        )
+
+    def size_histogram(self) -> dict[int, int]:
+        """Map cutset size to the number of cutsets of that size."""
+        histogram: dict[int, int] = {}
+        for cutset in self.cutsets:
+            histogram[len(cutset)] = histogram.get(len(cutset), 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def events_involved(self) -> frozenset[str]:
+        """All basic events that appear in at least one cutset."""
+        involved: set[str] = set()
+        for cutset in self.cutsets:
+            involved |= cutset
+        return frozenset(involved)
+
+
+def verify_minimal(
+    cutsets: Sequence[frozenset[str]],
+) -> bool:
+    """Return whether no cutset in the family contains another.
+
+    Quadratic; intended for tests and assertions, not hot paths.
+    """
+    for a, b in itertools.permutations(cutsets, 2):
+        if a < b:
+            return False
+    return True

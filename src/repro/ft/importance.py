@@ -1,0 +1,107 @@
+"""Importance measures over minimal-cutset lists.
+
+The paper's industrial experiments (Section VI-B) pick which basic
+events to dynamise by *Fussell–Vesely importance* and build trigger
+chains between events of equal importance.  This module implements the
+four standard measures used in probabilistic safety assessment, all
+computed on a minimal-cutset list with the rare-event aggregation:
+
+* **Fussell–Vesely (FV)** — fraction of the top probability flowing
+  through cutsets containing the event.
+* **Birnbaum (B)** — partial derivative of the top probability with
+  respect to the event probability.
+* **Risk Achievement Worth (RAW)** — factor by which the top probability
+  grows when the event is certain to fail.
+* **Risk Reduction Worth (RRW)** — factor by which the top probability
+  shrinks when the event can never fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ft.cutsets import CutSetList, cutset_probability
+
+__all__ = ["EventImportance", "importance", "rank_by_fussell_vesely"]
+
+
+@dataclass(frozen=True)
+class EventImportance:
+    """All four importance measures for one basic event."""
+
+    event: str
+    fussell_vesely: float
+    birnbaum: float
+    risk_achievement_worth: float
+    risk_reduction_worth: float
+
+
+def importance(cutsets: CutSetList) -> dict[str, EventImportance]:
+    """Compute importance measures for every event occurring in ``cutsets``.
+
+    All measures use the rare-event aggregation, which makes them exact
+    derivatives/ratios *of the rare-event approximation* — the standard
+    industrial convention.  Events absent from every cutset have FV and
+    Birnbaum zero and are not included in the result.
+    """
+    probabilities = cutsets.probabilities
+    total = cutsets.rare_event()
+    # For each event, the sum of p(C) over cutsets containing it and the
+    # "derivative mass" sum of p(C)/p(a) (probability of the rest of C).
+    containing_mass: dict[str, float] = {}
+    derivative_mass: dict[str, float] = {}
+    for cutset in cutsets:
+        p = cutset_probability(cutset, probabilities)
+        for name in cutset:
+            containing_mass[name] = containing_mass.get(name, 0.0) + p
+            p_event = probabilities[name]
+            if p_event > 0.0:
+                rest = p / p_event
+            else:
+                rest = cutset_probability(cutset - {name}, probabilities)
+            derivative_mass[name] = derivative_mass.get(name, 0.0) + rest
+
+    results: dict[str, EventImportance] = {}
+    for name, mass in containing_mass.items():
+        p_event = probabilities[name]
+        birnbaum = derivative_mass[name]
+        fv = mass / total if total > 0.0 else 0.0
+        # p(top | p(a)=1) = total - mass + birnbaum; p(top | p(a)=0) = total - mass.
+        achieved = total - mass + birnbaum
+        reduced = total - mass
+        raw = achieved / total if total > 0.0 else math.inf
+        if reduced > 0.0:
+            rrw = total / reduced
+        else:
+            rrw = math.inf
+        results[name] = EventImportance(name, fv, birnbaum, raw, rrw)
+    return results
+
+
+def rank_by_fussell_vesely(cutsets: CutSetList) -> list[tuple[str, float]]:
+    """Events sorted by descending FV importance (ties: by name).
+
+    This is the ranking used in Section VI-B to choose which basic
+    events become dynamic and how trigger chains are formed.
+    """
+    measures = importance(cutsets)
+    return sorted(
+        ((name, m.fussell_vesely) for name, m in measures.items()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+
+
+def top_probability_with(
+    cutsets: CutSetList, overrides: Mapping[str, float]
+) -> float:
+    """Rare-event top probability with some event probabilities replaced.
+
+    Re-aggregates the existing cutset list under modified probabilities —
+    the cheap re-evaluation the paper's concluding remark relies on for
+    importance and uncertainty analyses (no new MOCUS run needed).
+    """
+    merged = dict(cutsets.probabilities)
+    merged.update(overrides)
+    return sum(cutset_probability(c, merged) for c in cutsets)

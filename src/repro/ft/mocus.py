@@ -1,0 +1,344 @@
+"""MOCUS-style generation of minimal cutsets with a probabilistic cutoff.
+
+This is the algorithm behind commercial static solvers such as
+RiskSpectrum and Saphire (paper, Section IV-B).  It systematically
+refines *partial cutsets* — a set of basic events already chosen to fail
+plus a set of gates that still must be failed — starting from
+``{g_top}``:
+
+* an AND gate is replaced by all of its children (no branching),
+* an OR gate branches the partial cutset, one branch per child,
+* an ATLEAST gate branches once per k-subset of its children.
+
+Efficiency comes from three prunings:
+
+* the probabilistic **cutoff**: a partial cutset whose event-probability
+  product is at or below ``c*`` (the paper uses ``1e-15``) is discarded —
+  gates can only shrink the product further.  Cutsets whose probability
+  lands *exactly on* the cutoff may be kept or dropped depending on
+  floating-point multiplication order; don't park model probabilities on
+  the boundary;
+* **deduplication** of identical partial cutsets (shared subtrees in the
+  DAG regenerate the same states);
+* **subsumption**: a partial whose events already contain a completed
+  cutset can only yield non-minimal cutsets.
+
+Internally both event sets and gate sets are integer bitmasks, so the
+hot loop is C-speed integer arithmetic; names reappear only in the final
+cutset list.
+
+The module also exposes :func:`constrained_mcs`, the variant needed by
+the SD cutset-model construction of Section V-C: minimal failure sets of
+an arbitrary gate over a restricted universe of events, under hard
+true/false assumptions for other events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CutoffError, UnknownNodeError
+from repro.ft.cutsets import CutSetList
+from repro.ft.normalize import restrict
+from repro.ft.tree import FaultTree, GateType
+
+__all__ = ["MocusOptions", "MocusResult", "MocusStats", "mocus", "constrained_mcs"]
+
+#: Default probabilistic cutoff, matching the paper's experiments.
+DEFAULT_CUTOFF = 1e-15
+
+#: Masks with at most this many set bits use submask enumeration for the
+#: subsumption test; larger ones scan the completed list.
+_SUBMASK_ENUM_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class MocusOptions:
+    """Tuning knobs for the MOCUS search.
+
+    Parameters
+    ----------
+    cutoff:
+        Partial cutsets with event-probability product at or below this
+        value are discarded (``0.0`` disables the cutoff and makes the
+        search exact but potentially exponential).
+    max_partials:
+        Hard limit on the number of partial cutsets ever enqueued;
+        exceeding it raises :class:`~repro.errors.CutoffError` rather than
+        looping for hours.
+    max_cutsets:
+        Hard limit on the number of completed (pre-minimisation) cutsets.
+    """
+
+    cutoff: float = DEFAULT_CUTOFF
+    max_partials: int = 20_000_000
+    max_cutsets: int = 5_000_000
+
+
+@dataclass
+class MocusStats:
+    """Counters describing one MOCUS run (attached to the result)."""
+
+    partials_expanded: int = 0
+    partials_cut_off: int = 0
+    partials_deduplicated: int = 0
+    partials_subsumed: int = 0
+    completed: int = 0
+    minimal: int = 0
+
+
+@dataclass(frozen=True)
+class MocusResult:
+    """Minimal cutsets plus the search statistics that produced them."""
+
+    cutsets: CutSetList
+    stats: MocusStats = field(default_factory=MocusStats)
+
+
+def mocus(
+    tree: FaultTree,
+    options: MocusOptions | None = None,
+    top: str | None = None,
+) -> MocusResult:
+    """Generate minimal cutsets of ``tree`` (or of the gate ``top``).
+
+    Returns a :class:`MocusResult` whose cutset list is sorted by
+    descending probability.  With a nonzero cutoff the list contains the
+    minimal cutsets with probability above the cutoff (dropping
+    below-cutoff ones is the standard, deliberately conservative
+    under-approximation of Section IV-A).
+    """
+    opts = options or MocusOptions()
+    root = top if top is not None else tree.top
+    if not tree.is_gate(root):
+        raise UnknownNodeError(f"top node {root!r} is not a gate")
+    compiled = _compile(tree, root)
+    stats = MocusStats()
+
+    # A partial cutset is (probability, event mask, gate mask).
+    stack: list[tuple[float, int, int]] = [(1.0, 0, 1 << compiled.root_bit)]
+    seen: set[tuple[int, int]] = {(0, stack[0][2])}
+    completed: list[int] = []
+    completed_lookup: set[int] = set()
+    enqueued = 1
+    use_cutoff = opts.cutoff > 0.0
+
+    while stack:
+        probability, events, gates = stack.pop()
+        if completed_lookup and _is_subsumed_mask(
+            events, completed_lookup, completed
+        ):
+            stats.partials_subsumed += 1
+            continue
+        if not gates:
+            completed.append(events)
+            completed_lookup.add(events)
+            stats.completed += 1
+            if stats.completed > opts.max_cutsets:
+                raise CutoffError(
+                    f"MOCUS exceeded max_cutsets={opts.max_cutsets}; "
+                    f"raise the cutoff or the limit"
+                )
+            continue
+        stats.partials_expanded += 1
+        gate_bit = _pick_gate_bit(compiled, gates)
+        remaining = gates & ~(1 << gate_bit)
+        for add_events, add_gates in compiled.branches[gate_bit]:
+            new_bits = add_events & ~events
+            new_probability = probability
+            if new_bits:
+                bits = new_bits
+                while bits:
+                    low = bits & -bits
+                    new_probability *= compiled.probability[low.bit_length() - 1]
+                    bits ^= low
+            if use_cutoff and new_probability <= opts.cutoff:
+                stats.partials_cut_off += 1
+                continue
+            new_events = events | add_events
+            new_gates = remaining | add_gates
+            state = (new_events, new_gates)
+            if state in seen:
+                stats.partials_deduplicated += 1
+                continue
+            seen.add(state)
+            stack.append((new_probability, new_events, new_gates))
+            enqueued += 1
+            if enqueued > opts.max_partials:
+                raise CutoffError(
+                    f"MOCUS exceeded max_partials={opts.max_partials}; "
+                    f"raise the cutoff or the limit"
+                )
+
+    minimal_masks = _minimize_masks(completed)
+    stats.minimal = len(minimal_masks)
+    named = [_mask_to_names(compiled, mask) for mask in minimal_masks]
+    probabilities = {name: e.probability for name, e in tree.events.items()}
+    cutsets = CutSetList.from_cutsets(named, probabilities, minimal=True)
+    if use_cutoff:
+        cutsets = cutsets.truncate(opts.cutoff)
+    return MocusResult(cutsets, stats)
+
+
+def constrained_mcs(
+    tree: FaultTree,
+    gate_name: str,
+    universe: frozenset[str],
+    assumed_failed: frozenset[str] = frozenset(),
+    options: MocusOptions | None = None,
+) -> list[frozenset[str]] | bool:
+    """Minimal subsets of ``universe`` that fail ``gate_name``.
+
+    Every event in ``assumed_failed`` is fixed to *failed* and every
+    event outside ``universe | assumed_failed`` is fixed to *functional*;
+    the result lists the inclusion-minimal subsets of ``universe`` whose
+    failure (on top of the assumptions) fails the gate.
+
+    Returns ``True`` if the assumptions alone already fail the gate,
+    ``False`` if the gate cannot fail under them, and the list of minimal
+    sets otherwise.  This is exactly the computation of the sets
+    ``A_1..A_k`` in step 2 of the ``FT_C`` construction (Section V-C).
+    """
+    assignment: dict[str, bool] = {}
+    subtree_events = tree.events_under(gate_name)
+    for name in subtree_events:
+        if name in assumed_failed:
+            assignment[name] = True
+        elif name not in universe:
+            assignment[name] = False
+    restriction = restrict(tree, gate_name, assignment)
+    if restriction.is_constant:
+        return bool(restriction.constant)
+    residual = restriction.tree
+    assert residual is not None
+    # The restricted tree contains only universe events; run MOCUS on it
+    # without a cutoff (these trees are small by construction).
+    opts = options or MocusOptions(cutoff=0.0)
+    result = mocus(residual, options=opts)
+    return [frozenset(c) for c in result.cutsets]
+
+
+# ----------------------------------------------------------------------
+# Compiled tree representation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Compiled:
+    """Bitmask view of the tree under the chosen root."""
+
+    event_names: list[str]
+    probability: list[float]
+    gate_names: list[str]
+    root_bit: int
+    #: Per gate bit: list of (event mask, gate mask) expansion branches.
+    branches: list[list[tuple[int, int]]]
+    #: Per gate bit: number of branches (for the expansion heuristic).
+    branch_counts: list[int]
+
+
+def _compile(tree: FaultTree, root: str) -> _Compiled:
+    reachable_gates = sorted(tree.gates_under(root))
+    reachable_events = sorted(tree.events_under(root))
+    event_bit = {name: i for i, name in enumerate(reachable_events)}
+    gate_bit = {name: i for i, name in enumerate(reachable_gates)}
+    probability = [tree.events[name].probability for name in reachable_events]
+
+    branches: list[list[tuple[int, int]]] = []
+    branch_counts: list[int] = []
+    for name in reachable_gates:
+        gate = tree.gates[name]
+        raw: list[tuple[str, ...]]
+        if gate.gate_type is GateType.AND:
+            raw = [gate.children]
+        elif gate.gate_type is GateType.OR:
+            raw = [(child,) for child in gate.children]
+        else:
+            assert gate.k is not None
+            raw = list(itertools.combinations(gate.children, gate.k))
+        masks: list[tuple[int, int]] = []
+        for branch in raw:
+            events_mask = 0
+            gates_mask = 0
+            for child in branch:
+                if child in event_bit:
+                    events_mask |= 1 << event_bit[child]
+                else:
+                    gates_mask |= 1 << gate_bit[child]
+            masks.append((events_mask, gates_mask))
+        branches.append(masks)
+        branch_counts.append(len(masks))
+    return _Compiled(
+        reachable_events,
+        probability,
+        reachable_gates,
+        gate_bit[root],
+        branches,
+        branch_counts,
+    )
+
+
+def _pick_gate_bit(compiled: _Compiled, gates: int) -> int:
+    """The pending gate with the fewest branches (AND gates first)."""
+    best_bit = -1
+    best_count = -1
+    bits = gates
+    while bits:
+        low = bits & -bits
+        bit = low.bit_length() - 1
+        count = compiled.branch_counts[bit]
+        if count == 1:
+            return bit
+        if best_count < 0 or count < best_count:
+            best_count = count
+            best_bit = bit
+        bits ^= low
+    return best_bit
+
+
+def _mask_to_names(compiled: _Compiled, mask: int) -> frozenset[str]:
+    names = []
+    while mask:
+        low = mask & -mask
+        names.append(compiled.event_names[low.bit_length() - 1])
+        mask ^= low
+    return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# Mask-level subsumption and minimisation
+# ----------------------------------------------------------------------
+
+
+def _is_subsumed_mask(
+    candidate: int, lookup: set[int], completed: list[int]
+) -> bool:
+    """Whether some completed mask is a submask of ``candidate``."""
+    population = candidate.bit_count()
+    if population <= _SUBMASK_ENUM_LIMIT:
+        # Standard submask walk: sub = (sub - 1) & candidate visits every
+        # non-empty submask exactly once.
+        sub = candidate
+        while sub:
+            if sub in lookup:
+                return True
+            sub = (sub - 1) & candidate
+        return False
+    for mask in completed:
+        if mask & ~candidate == 0:
+            return True
+    return False
+
+
+def _minimize_masks(masks: list[int]) -> list[int]:
+    """Inclusion-minimal members of a family of bitmasks."""
+    by_size = sorted(set(masks), key=int.bit_count)
+    kept: list[int] = []
+    kept_lookup: set[int] = set()
+    for candidate in by_size:
+        if kept_lookup and _is_subsumed_mask(candidate, kept_lookup, kept):
+            continue
+        kept.append(candidate)
+        kept_lookup.add(candidate)
+    return kept

@@ -1,0 +1,100 @@
+"""Detection of independent modules in a fault tree.
+
+A gate is a *module* when no node of its subtree is referenced from
+outside the subtree.  Modules can be analysed in isolation and replaced
+by a single super-event — the decomposition used by classical
+static/dynamic hybrid approaches ([16] in the paper) and a useful
+diagnostic for model structure.
+
+The implementation is the linear-time visit-timestamp algorithm of
+Dutuit & Rauzy: one DFS stamps each node with the times of its first and
+last encounter (re-encounters through other parents re-stamp the node);
+a gate is a module iff every descendant's stamps fall strictly inside
+the gate's own first/last window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ft.tree import FaultTree
+
+__all__ = ["find_modules", "ModuleReport"]
+
+
+@dataclass(frozen=True)
+class ModuleReport:
+    """Modules of a fault tree.
+
+    ``modules`` lists the names of all gates that are modules (the top
+    gate always is); ``maximal`` lists modules that are not contained in
+    another module other than the top gate.
+    """
+
+    modules: tuple[str, ...]
+    maximal: tuple[str, ...]
+
+
+def find_modules(tree: FaultTree) -> ModuleReport:
+    """Return all module gates of ``tree`` (restricted to nodes under top)."""
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    clock = 0
+
+    # Iterative DFS with explicit re-visit stamping.
+    stack: list[tuple[str, bool]] = [(tree.top, False)]
+    while stack:
+        name, expanded = stack.pop()
+        if expanded:
+            clock += 1
+            last[name] = clock
+            continue
+        clock += 1
+        if name in first:
+            # Re-encounter through another parent: only refresh last.
+            last[name] = clock
+            continue
+        first[name] = clock
+        stack.append((name, True))
+        for child in reversed(tree.children(name)):
+            stack.append((child, False))
+
+    # Bottom-up aggregation of descendant stamp windows.
+    min_first: dict[str, int] = {}
+    max_last: dict[str, int] = {}
+    reachable = tree.reachable_from_top()
+    for name in tree.topological_order():
+        if name not in reachable:
+            continue
+        children = tree.children(name)
+        if not children:
+            continue
+        lo = min(
+            min(first[c], min_first.get(c, first[c])) for c in children
+        )
+        hi = max(max(last[c], max_last.get(c, last[c])) for c in children)
+        min_first[name] = lo
+        max_last[name] = hi
+
+    modules = [
+        name
+        for name in tree.gates
+        if name in reachable
+        and min_first[name] > first[name]
+        and max_last[name] < last[name]
+    ]
+    modules.sort(key=lambda n: first[n])
+
+    module_set = set(modules)
+    maximal: list[str] = []
+    # A module is maximal when no proper ancestor module other than the
+    # top gate contains it; walk top-down and mark covered subtrees.
+    covered: set[str] = set()
+    for name in modules:
+        if name == tree.top:
+            continue
+        if name in covered:
+            continue
+        maximal.append(name)
+        covered |= tree.gates_under(name) - {name}
+    return ModuleReport(tuple(modules), tuple(maximal))

@@ -1,0 +1,89 @@
+"""Top-event probability of static fault trees.
+
+Three evaluation routes with different cost/accuracy trade-offs:
+
+* :func:`rare_event_probability` — generate minimal cutsets with MOCUS
+  and sum their probabilities (the paper's ``p_rea``, Section IV-A).
+  Over-approximates but scales to industrial trees.
+* :func:`min_cut_upper_bound_probability` — same cutsets aggregated with
+  the MCUB formula, a tighter upper bound.
+* :func:`exact_probability` — exact value via BDD compilation (Shannon
+  expansion), feasible for small and medium trees.
+
+All three accept pre-computed cutsets to avoid repeated MOCUS runs when
+several aggregations of the same tree are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ft.cutsets import CutSetList
+from repro.ft.mocus import MocusOptions, mocus
+from repro.ft.tree import FaultTree
+
+__all__ = [
+    "ProbabilityResult",
+    "rare_event_probability",
+    "min_cut_upper_bound_probability",
+    "exact_probability",
+    "evaluate_cutsets",
+]
+
+
+@dataclass(frozen=True)
+class ProbabilityResult:
+    """Outcome of a static probability evaluation.
+
+    ``method`` records how the value was obtained (``"rare-event"``,
+    ``"mcub"``, ``"exact-bdd"``); ``n_cutsets`` is zero for BDD-exact
+    evaluations, which never materialise a cutset list.
+    """
+
+    value: float
+    method: str
+    n_cutsets: int = 0
+
+
+def evaluate_cutsets(
+    tree: FaultTree, options: MocusOptions | None = None
+) -> CutSetList:
+    """Minimal cutsets of ``tree`` as a :class:`CutSetList` (via MOCUS)."""
+    return mocus(tree, options=options).cutsets
+
+
+def rare_event_probability(
+    tree: FaultTree,
+    options: MocusOptions | None = None,
+    cutsets: CutSetList | None = None,
+) -> ProbabilityResult:
+    """Rare-event approximation of ``p(FT)``: the sum over relevant MCSs."""
+    if cutsets is None:
+        cutsets = evaluate_cutsets(tree, options)
+    return ProbabilityResult(cutsets.rare_event(), "rare-event", len(cutsets))
+
+
+def min_cut_upper_bound_probability(
+    tree: FaultTree,
+    options: MocusOptions | None = None,
+    cutsets: CutSetList | None = None,
+) -> ProbabilityResult:
+    """MCUB aggregation ``1 - prod(1 - p(C))`` over relevant MCSs."""
+    if cutsets is None:
+        cutsets = evaluate_cutsets(tree, options)
+    return ProbabilityResult(cutsets.min_cut_upper_bound(), "mcub", len(cutsets))
+
+
+def exact_probability(tree: FaultTree) -> ProbabilityResult:
+    """Exact ``p(FT)`` by BDD compilation of the whole tree.
+
+    Exponential in the worst case but typically fast for trees up to a
+    few hundred events with a good variable order; used in tests as the
+    oracle for the approximate aggregations.
+    """
+    # Imported here: repro.bdd depends on repro.ft.tree, so a module-level
+    # import would be circular.
+    from repro.bdd.ft_bdd import compile_tree
+
+    compiled = compile_tree(tree)
+    return ProbabilityResult(compiled.probability(), "exact-bdd", 0)

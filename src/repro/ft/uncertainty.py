@@ -1,0 +1,131 @@
+"""Parametric uncertainty analysis over minimal-cutset lists.
+
+The paper's concluding remark: "for importance and uncertainty analyses,
+one needs to evaluate the list of minimal cutsets many times".  This
+module implements the standard PSA uncertainty propagation: basic-event
+probabilities carry lognormal uncertainty (the industry convention,
+parameterised by a median and an *error factor* ``EF``, the ratio of the
+95th percentile to the median), samples are drawn per event, and the
+cutset list is re-aggregated per sample — no new cutset generation
+needed, which is what makes the analysis cheap.
+
+The re-aggregation is vectorised with numpy: all samples of a cutset's
+probability are computed at once, so ten thousand Monte-Carlo samples of
+a ten-thousand-cutset list take seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ft.cutsets import CutSetList
+
+__all__ = ["LogNormal", "UncertaintyResult", "propagate"]
+
+#: z-score of the 95th percentile, the reference quantile of error factors.
+_Z95 = 1.6448536269514722
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal uncertainty on one probability.
+
+    ``median`` is the 50th percentile; ``error_factor`` is
+    ``p95 / median`` (must be at least 1).  ``sigma`` of the underlying
+    normal is ``ln(EF) / z95``.
+    """
+
+    median: float
+    error_factor: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0.0:
+            raise ModelError(f"median must be positive, got {self.median}")
+        if self.error_factor < 1.0:
+            raise ModelError(
+                f"error factor must be >= 1, got {self.error_factor}"
+            )
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of the underlying normal distribution."""
+        return math.log(self.error_factor) / _Z95
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` samples, clipped into ``[0, 1]``.
+
+        Clipping at 1 is the standard pragmatic treatment of lognormal
+        probabilities (mass above 1 is physically meaningless).
+        """
+        draws = rng.lognormal(math.log(self.median), self.sigma, size)
+        return np.clip(draws, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Distribution summary of the propagated top-event probability."""
+
+    mean: float
+    median: float
+    p05: float
+    p95: float
+    standard_deviation: float
+    n_samples: int
+
+    @property
+    def error_factor(self) -> float:
+        """Empirical ``p95 / median`` of the result distribution."""
+        if self.median <= 0.0:
+            return math.inf
+        return self.p95 / self.median
+
+
+def propagate(
+    cutsets: CutSetList,
+    distributions: Mapping[str, LogNormal],
+    n_samples: int = 10_000,
+    seed: int | None = None,
+    default_error_factor: float = 3.0,
+) -> UncertaintyResult:
+    """Monte-Carlo propagation through the rare-event aggregation.
+
+    ``distributions`` assigns a :class:`LogNormal` per event; events
+    without an entry get a lognormal with their point probability as
+    median and ``default_error_factor``.  Returns summary statistics of
+    the sampled rare-event top probability.
+    """
+    if n_samples <= 1:
+        raise ModelError(f"need at least 2 samples, got {n_samples}")
+    rng = np.random.default_rng(seed)
+    involved = sorted(cutsets.events_involved())
+    index = {name: i for i, name in enumerate(involved)}
+
+    samples = np.empty((len(involved), n_samples))
+    for name in involved:
+        distribution = distributions.get(name)
+        if distribution is None:
+            median = cutsets.probabilities[name]
+            if median <= 0.0:
+                samples[index[name]] = 0.0
+                continue
+            distribution = LogNormal(median, default_error_factor)
+        samples[index[name]] = distribution.sample(rng, n_samples)
+
+    total = np.zeros(n_samples)
+    for cutset in cutsets:
+        rows = [index[name] for name in cutset]
+        total += np.prod(samples[rows], axis=0)
+
+    return UncertaintyResult(
+        mean=float(total.mean()),
+        median=float(np.median(total)),
+        p05=float(np.percentile(total, 5)),
+        p95=float(np.percentile(total, 95)),
+        standard_deviation=float(total.std(ddof=1)),
+        n_samples=n_samples,
+    )

@@ -1,0 +1,40 @@
+"""Experiment models: the BWR study, synthetic PSA trees, dynamization.
+
+* :mod:`repro.models.bwr` — the fictive boiling-water-reactor study of
+  Section VI-A, with its six incremental trigger stages.
+* :mod:`repro.models.synthetic` — seeded generators of industrial-size
+  PSA fault trees standing in for the two proprietary studies of
+  Section VI-B.
+* :mod:`repro.models.enrich` — Fussell–Vesely-driven dynamization and
+  trigger chaining (the Section VI-B methodology).
+* :mod:`repro.models.sbo` — a station-blackout study with battery
+  depletion triggered by the blackout (sequence-dependent behaviour).
+* :mod:`repro.models.formats` — JSON serialisation of all model types.
+* :mod:`repro.models.openpsa` — Open-PSA MEF XML import/export.
+"""
+
+from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+from repro.models.enrich import DynamizationPlan, dynamize, plan_dynamization
+from repro.models.formats import load_model, save_model
+from repro.models.openpsa import load_openpsa, save_openpsa
+from repro.models.sbo import SboConfig, build_sbo
+from repro.models.synthetic import SyntheticConfig, build_synthetic, model_1, model_2
+
+__all__ = [
+    "BwrConfig",
+    "DynamizationPlan",
+    "SboConfig",
+    "SyntheticConfig",
+    "TRIGGER_STAGES",
+    "build_bwr",
+    "build_synthetic",
+    "build_sbo",
+    "dynamize",
+    "load_model",
+    "load_openpsa",
+    "model_1",
+    "model_2",
+    "plan_dynamization",
+    "save_model",
+    "save_openpsa",
+]

@@ -1,0 +1,188 @@
+"""Importance-driven dynamization of static fault trees (Section VI-B).
+
+The paper's industrial experiments start from real *static* studies and
+enrich them mechanically:
+
+* "the given percentage of events with the highest Fussell–Vesely
+  importance factor is replaced" by dynamic basic events — dynamic
+  behaviour goes first where it matters most;
+* "we create triggering chains from dynamic basic events with the same
+  Fussell–Vesely importance factor (chains with highest importance
+  first)" — symmetric redundant components have identical importance,
+  so equal-importance groups are exactly the redundancy groups, and
+  chaining them models sequential demand (the top-left, static-branching
+  pattern of Figure 1: one dynamic event directly triggering the next).
+
+:func:`dynamize` implements both steps.  Replaced events keep their
+static probability calibrated: the Erlang chain's worst-case failure
+probability over the horizon equals the original static probability, so
+the purely static re-analysis of the enriched model reproduces the
+original result and every change in the dynamic analysis comes from
+timing, repairs and triggers — not from re-parameterisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.sdft import SdFaultTree, SdFaultTreeBuilder
+from repro.ctmc.builders import erlang_failure, triggered_erlang
+from repro.errors import ModelError
+from repro.ft.cutsets import CutSetList
+from repro.ft.importance import rank_by_fussell_vesely
+from repro.ft.tree import FaultTree, GateType
+
+__all__ = ["DynamizationPlan", "plan_dynamization", "dynamize"]
+
+#: Gate-name suffix of the pass-through OR gates inserted as trigger sources.
+TRIGGER_SOURCE_SUFFIX = "#chain-src"
+
+
+@dataclass(frozen=True)
+class DynamizationPlan:
+    """Which events become dynamic and how they chain.
+
+    ``dynamic_events`` is ordered by descending importance;
+    ``chains`` lists the trigger chains, each an importance-equal group
+    ordered so that element ``i`` triggers element ``i+1``.
+    """
+
+    dynamic_events: tuple[str, ...]
+    chains: tuple[tuple[str, ...], ...]
+
+    @property
+    def n_triggered(self) -> int:
+        """Number of events that receive a trigger (chain tails)."""
+        return sum(len(chain) - 1 for chain in self.chains)
+
+
+def plan_dynamization(
+    cutsets: CutSetList,
+    dynamic_fraction: float,
+    triggered_fraction: float,
+    importance_digits: int = 12,
+) -> DynamizationPlan:
+    """Choose events to dynamise and chain, by Fussell–Vesely ranking.
+
+    ``dynamic_fraction`` of the ranked events (rounded down, at least
+    one if the fraction is positive) become dynamic.  Chains are formed
+    inside groups of equal FV importance (rounded to
+    ``importance_digits`` significant digits), highest-importance groups
+    first, until ``triggered_fraction`` of the *dynamic* events carry a
+    trigger.
+    """
+    if not 0.0 <= dynamic_fraction <= 1.0:
+        raise ModelError(f"dynamic_fraction {dynamic_fraction} not in [0, 1]")
+    if not 0.0 <= triggered_fraction <= 1.0:
+        raise ModelError(f"triggered_fraction {triggered_fraction} not in [0, 1]")
+    ranked = rank_by_fussell_vesely(cutsets)
+    n_dynamic = int(len(ranked) * dynamic_fraction)
+    if dynamic_fraction > 0.0 and n_dynamic == 0 and ranked:
+        n_dynamic = 1
+    chosen = ranked[:n_dynamic]
+    dynamic_events = tuple(name for name, _ in chosen)
+
+    # Group the chosen events by (rounded) importance, preserving order.
+    groups: list[list[str]] = []
+    last_key: float | None = None
+    for name, fv in chosen:
+        key = _round_significant(fv, importance_digits)
+        if last_key is None or key != last_key:
+            groups.append([])
+            last_key = key
+        groups[-1].append(name)
+
+    target_triggered = int(n_dynamic * triggered_fraction)
+    chains: list[tuple[str, ...]] = []
+    triggered = 0
+    for group in groups:
+        if triggered >= target_triggered:
+            break
+        if len(group) < 2:
+            continue
+        # Cut the group if it would overshoot the trigger budget.
+        room = target_triggered - triggered
+        chain = tuple(group[: room + 1])
+        if len(chain) < 2:
+            continue
+        chains.append(chain)
+        triggered += len(chain) - 1
+    return DynamizationPlan(dynamic_events, tuple(chains))
+
+
+def dynamize(
+    tree: FaultTree,
+    plan: DynamizationPlan,
+    horizon: float,
+    phases: int = 1,
+    repair_rate: float = 0.05,
+    passive_factor: float = 0.01,
+    name: str | None = None,
+) -> SdFaultTree:
+    """Apply a :class:`DynamizationPlan` to a static fault tree.
+
+    Every planned event's static probability ``p`` is converted to a
+    failure rate ``λ = -ln(1-p)/horizon`` so the Erlang-1 worst case
+    over ``horizon`` reproduces ``p`` exactly (higher phase counts keep
+    the mean time to failure).  Chain heads stay untriggered; each chain
+    successor is triggered by a pass-through OR gate over its
+    predecessor (the paper's "dynamic basic event directly triggers
+    another one" pattern).
+    """
+    dynamic_set = set(plan.dynamic_events)
+    for event_name in dynamic_set:
+        if event_name not in tree.events:
+            raise ModelError(f"plan names unknown event {event_name!r}")
+    triggered: dict[str, str] = {}  # event -> predecessor event
+    for chain in plan.chains:
+        for predecessor, successor in zip(chain, chain[1:]):
+            triggered[successor] = predecessor
+
+    b = SdFaultTreeBuilder(name or f"{tree.name}#dynamized")
+    for event_name, event in tree.events.items():
+        if event_name not in dynamic_set:
+            b.static_event(event_name, event.probability, event.description)
+            continue
+        rate = _rate_for_probability(event.probability, horizon)
+        if event_name in triggered:
+            chain = triggered_erlang(phases, rate, repair_rate, passive_factor)
+        else:
+            chain = erlang_failure(phases, rate, repair_rate)
+        b.dynamic_event(event_name, chain, event.description)
+
+    for gate in tree.gates.values():
+        b.gate(gate.name, gate.gate_type, gate.children, gate.k, gate.description)
+
+    # Pass-through trigger-source gates (one per chain predecessor).
+    for successor, predecessor in sorted(triggered.items()):
+        source = f"{predecessor}{TRIGGER_SOURCE_SUFFIX}"
+        if not b.has_node(source):
+            b.gate(
+                source,
+                GateType.OR,
+                (predecessor,),
+                description=f"trigger source over {predecessor}",
+            )
+        b.trigger(source, successor)
+
+    return b.build(tree.top)
+
+
+def _rate_for_probability(probability: float, horizon: float) -> float:
+    """The rate whose first passage over ``horizon`` equals ``probability``."""
+    if not 0.0 < probability < 1.0:
+        raise ModelError(
+            f"cannot derive a failure rate from probability {probability}"
+        )
+    if horizon <= 0.0:
+        raise ModelError(f"horizon must be positive, got {horizon}")
+    return -math.log(1.0 - probability) / horizon
+
+
+def _round_significant(value: float, digits: int) -> float:
+    if value <= 0.0:
+        return 0.0
+    magnitude = math.floor(math.log10(value))
+    factor = 10.0 ** (digits - 1 - magnitude)
+    return round(value * factor) / factor

@@ -1,0 +1,240 @@
+"""JSON serialisation of fault trees and SD fault trees.
+
+A small, explicit interchange format so models survive between runs and
+the command-line interface can operate on files:
+
+* a static tree is ``{"kind": "fault-tree", "top": ..., "events": [...],
+  "gates": [...]}``;
+* an SD tree adds ``"dynamic_events"`` (each with an inlined CTMC) and
+  ``"triggers"``.
+
+CTMC states are arbitrary hashables in memory; on disk they are encoded
+as JSON values with tuples converted to lists and restored as tuples on
+load (the convention all builders in :mod:`repro.ctmc.builders` follow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.sdft import DynamicBasicEvent, SdFaultTree
+from repro.ctmc.chain import Ctmc
+from repro.ctmc.triggered import TriggeredCtmc
+from repro.errors import ModelError
+from repro.ft.tree import BasicEvent, FaultTree, Gate, GateType
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "sdft_to_dict",
+    "sdft_from_dict",
+    "save_model",
+    "load_model",
+]
+
+
+# ----------------------------------------------------------------------
+# State encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_state(state: Any) -> Any:
+    if isinstance(state, tuple):
+        return [_encode_state(part) for part in state]
+    if isinstance(state, (str, int, float, bool)) or state is None:
+        return state
+    raise ModelError(f"cannot serialise CTMC state {state!r}")
+
+
+def _decode_state(raw: Any) -> Any:
+    if isinstance(raw, list):
+        return tuple(_decode_state(part) for part in raw)
+    return raw
+
+
+# ----------------------------------------------------------------------
+# Static trees
+# ----------------------------------------------------------------------
+
+
+def tree_to_dict(tree: FaultTree) -> dict:
+    """Serialise a static fault tree to plain JSON-compatible data."""
+    return {
+        "kind": "fault-tree",
+        "name": tree.name,
+        "top": tree.top,
+        "events": [
+            {"name": e.name, "probability": e.probability, "description": e.description}
+            for e in tree.events.values()
+        ],
+        "gates": [_gate_to_dict(g) for g in tree.gates.values()],
+    }
+
+
+def tree_from_dict(data: dict) -> FaultTree:
+    """Rebuild a static fault tree from :func:`tree_to_dict` output."""
+    if data.get("kind") != "fault-tree":
+        raise ModelError(f"not a fault-tree document: kind={data.get('kind')!r}")
+    events = [
+        BasicEvent(e["name"], e["probability"], e.get("description", ""))
+        for e in data["events"]
+    ]
+    gates = [_gate_from_dict(g) for g in data["gates"]]
+    return FaultTree(data["top"], events, gates, name=data.get("name", "fault-tree"))
+
+
+def _gate_to_dict(gate: Gate) -> dict:
+    entry = {
+        "name": gate.name,
+        "type": gate.gate_type.value,
+        "children": list(gate.children),
+    }
+    if gate.k is not None:
+        entry["k"] = gate.k
+    if gate.description:
+        entry["description"] = gate.description
+    return entry
+
+
+def _gate_from_dict(data: dict) -> Gate:
+    return Gate(
+        data["name"],
+        GateType(data["type"]),
+        tuple(data["children"]),
+        data.get("k"),
+        data.get("description", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# CTMCs
+# ----------------------------------------------------------------------
+
+
+def _chain_to_dict(chain: Ctmc) -> dict:
+    entry: dict[str, Any] = {
+        "states": [_encode_state(s) for s in chain.states],
+        "initial": [
+            [_encode_state(s), p] for s, p in sorted(chain.initial.items(), key=str)
+        ],
+        "rates": [
+            [_encode_state(s), _encode_state(d), r]
+            for (s, d), r in sorted(chain.rates.items(), key=str)
+        ],
+        "failed": sorted((_encode_state(s) for s in chain.failed), key=str),
+    }
+    if isinstance(chain, TriggeredCtmc):
+        entry["on_states"] = sorted(
+            (_encode_state(s) for s in chain.on_states), key=str
+        )
+        entry["switch_on"] = [
+            [_encode_state(s), _encode_state(d)]
+            for s, d in sorted(chain.switch_on.items(), key=str)
+        ]
+        entry["switch_off"] = [
+            [_encode_state(s), _encode_state(d)]
+            for s, d in sorted(chain.switch_off.items(), key=str)
+        ]
+    return entry
+
+
+def _chain_from_dict(data: dict) -> Ctmc:
+    states = [_decode_state(s) for s in data["states"]]
+    initial = {_decode_state(s): p for s, p in data["initial"]}
+    rates = {
+        (_decode_state(s), _decode_state(d)): r for s, d, r in data["rates"]
+    }
+    failed = [_decode_state(s) for s in data["failed"]]
+    if "on_states" in data:
+        return TriggeredCtmc(
+            states,
+            initial,
+            rates,
+            failed,
+            [_decode_state(s) for s in data["on_states"]],
+            {_decode_state(s): _decode_state(d) for s, d in data["switch_on"]},
+            {_decode_state(s): _decode_state(d) for s, d in data["switch_off"]},
+        )
+    return Ctmc(states, initial, rates, failed)
+
+
+# ----------------------------------------------------------------------
+# SD trees
+# ----------------------------------------------------------------------
+
+
+def sdft_to_dict(sdft: SdFaultTree) -> dict:
+    """Serialise an SD fault tree (chains inlined)."""
+    return {
+        "kind": "sd-fault-tree",
+        "name": sdft.name,
+        "top": sdft.top,
+        "static_events": [
+            {"name": e.name, "probability": e.probability, "description": e.description}
+            for e in sdft.static_events.values()
+        ],
+        "dynamic_events": [
+            {
+                "name": e.name,
+                "description": e.description,
+                "chain": _chain_to_dict(e.chain),
+            }
+            for e in sdft.dynamic_events.values()
+        ],
+        "gates": [_gate_to_dict(g) for g in sdft.gates.values()],
+        "triggers": {g: list(events) for g, events in sdft.triggers.items()},
+    }
+
+
+def sdft_from_dict(data: dict) -> SdFaultTree:
+    """Rebuild an SD fault tree from :func:`sdft_to_dict` output."""
+    if data.get("kind") != "sd-fault-tree":
+        raise ModelError(f"not an sd-fault-tree document: kind={data.get('kind')!r}")
+    static_events = [
+        BasicEvent(e["name"], e["probability"], e.get("description", ""))
+        for e in data["static_events"]
+    ]
+    dynamic_events = [
+        DynamicBasicEvent(
+            e["name"], _chain_from_dict(e["chain"]), e.get("description", "")
+        )
+        for e in data["dynamic_events"]
+    ]
+    gates = [_gate_from_dict(g) for g in data["gates"]]
+    return SdFaultTree(
+        data["top"],
+        static_events,
+        dynamic_events,
+        gates,
+        data.get("triggers", {}),
+        name=data.get("name", "sd-fault-tree"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+
+
+def save_model(model: FaultTree | SdFaultTree, path: str | Path) -> None:
+    """Write a model to a JSON file (kind is chosen by the model type)."""
+    if isinstance(model, SdFaultTree):
+        data = sdft_to_dict(model)
+    elif isinstance(model, FaultTree):
+        data = tree_to_dict(model)
+    else:
+        raise ModelError(f"cannot serialise object of type {type(model).__name__}")
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def load_model(path: str | Path) -> FaultTree | SdFaultTree:
+    """Load a model file written by :func:`save_model`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind == "fault-tree":
+        return tree_from_dict(data)
+    if kind == "sd-fault-tree":
+        return sdft_from_dict(data)
+    raise ModelError(f"unknown model kind {kind!r} in {path}")

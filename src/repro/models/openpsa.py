@@ -1,0 +1,198 @@
+"""Open-PSA Model Exchange Format import/export (static fault trees).
+
+The Open-PSA MEF is the vendor-neutral XML format nuclear PSA tools
+(including RiskSpectrum, the tool of the paper's prototype) exchange
+models in.  Supporting it makes this package interoperable with
+existing study files.  Implemented subset — the fault-tree layer:
+
+* ``<define-fault-tree>`` with ``<define-gate>`` definitions,
+* gate formulas ``<and>``, ``<or>``, ``<atleast min="k">``,
+  with ``<gate name=.../>`` and ``<basic-event name=.../>`` operands,
+* ``<define-basic-event>`` with a constant ``<float value=.../>``
+  probability (the static-tree subset; CTMC parameters are not part of
+  the MEF and stay in this package's JSON format).
+
+Documents are produced with :mod:`xml.etree.ElementTree` and parse back
+through the same subset; anything outside the subset raises a
+:class:`~repro.errors.ModelError` naming the unsupported construct, so
+silently-dropped semantics cannot happen.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.etree import ElementTree
+
+from repro.errors import ModelError
+from repro.ft.tree import BasicEvent, FaultTree, Gate, GateType
+
+__all__ = ["to_openpsa_xml", "from_openpsa_xml", "save_openpsa", "load_openpsa"]
+
+_FORMULA_TAGS = {"and": GateType.AND, "or": GateType.OR, "atleast": GateType.ATLEAST}
+
+
+def to_openpsa_xml(tree: FaultTree) -> str:
+    """Serialise a static fault tree to an Open-PSA MEF document."""
+    root = ElementTree.Element("opsa-mef")
+    ft_element = ElementTree.SubElement(
+        root, "define-fault-tree", {"name": _xml_name(tree.name)}
+    )
+    for gate in tree.gates.values():
+        gate_element = ElementTree.SubElement(
+            ft_element, "define-gate", {"name": gate.name}
+        )
+        if gate.description:
+            ElementTree.SubElement(gate_element, "label").text = gate.description
+        attributes = {}
+        if gate.gate_type is GateType.ATLEAST:
+            assert gate.k is not None
+            attributes["min"] = str(gate.k)
+        formula = ElementTree.SubElement(
+            gate_element, gate.gate_type.value, attributes
+        )
+        for child in gate.children:
+            if tree.is_gate(child):
+                ElementTree.SubElement(formula, "gate", {"name": child})
+            else:
+                ElementTree.SubElement(formula, "basic-event", {"name": child})
+    data_element = ElementTree.SubElement(root, "model-data")
+    for event in tree.events.values():
+        event_element = ElementTree.SubElement(
+            data_element, "define-basic-event", {"name": event.name}
+        )
+        if event.description:
+            ElementTree.SubElement(event_element, "label").text = event.description
+        ElementTree.SubElement(
+            event_element, "float", {"value": repr(event.probability)}
+        )
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def from_openpsa_xml(text: str, top: str | None = None) -> FaultTree:
+    """Parse the supported Open-PSA subset back into a :class:`FaultTree`.
+
+    ``top`` selects the top gate; by default the unique gate that no
+    other gate references (ambiguity raises, naming the candidates).
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise ModelError(f"not well-formed XML: {error}") from None
+    if root.tag != "opsa-mef":
+        raise ModelError(f"not an Open-PSA document: root element {root.tag!r}")
+
+    fault_trees = root.findall("define-fault-tree")
+    if len(fault_trees) != 1:
+        raise ModelError(
+            f"expected exactly one define-fault-tree, found {len(fault_trees)}"
+        )
+    ft_element = fault_trees[0]
+    name = ft_element.get("name", "fault-tree")
+
+    gates: list[Gate] = []
+    for gate_element in ft_element.findall("define-gate"):
+        gates.append(_parse_gate(gate_element))
+    # Gates may also be defined at model level in some exports.
+    for gate_element in root.findall("define-gate"):
+        gates.append(_parse_gate(gate_element))
+
+    events: list[BasicEvent] = []
+    for data_element in root.findall("model-data"):
+        for event_element in data_element.findall("define-basic-event"):
+            events.append(_parse_basic_event(event_element))
+
+    # Events referenced but never defined get probability 0 with a note —
+    # rejecting instead: a silent 0 would corrupt every result.
+    defined = {e.name for e in events} | {g.name for g in gates}
+    for gate in gates:
+        for child in gate.children:
+            if child not in defined:
+                raise ModelError(
+                    f"gate {gate.name!r} references {child!r}, which has no "
+                    f"define-gate or define-basic-event"
+                )
+
+    if top is None:
+        referenced = {c for g in gates for c in g.children}
+        candidates = [g.name for g in gates if g.name not in referenced]
+        if len(candidates) != 1:
+            raise ModelError(
+                f"cannot infer the top gate (unreferenced gates: "
+                f"{sorted(candidates)}); pass top= explicitly"
+            )
+        top = candidates[0]
+    return FaultTree(top, events, gates, name=name)
+
+
+def save_openpsa(tree: FaultTree, path: str | Path) -> None:
+    """Write ``tree`` to an Open-PSA XML file."""
+    Path(path).write_text(to_openpsa_xml(tree))
+
+
+def load_openpsa(path: str | Path, top: str | None = None) -> FaultTree:
+    """Load a fault tree from an Open-PSA XML file."""
+    return from_openpsa_xml(Path(path).read_text(), top)
+
+
+def _parse_gate(gate_element: ElementTree.Element) -> Gate:
+    name = gate_element.get("name")
+    if not name:
+        raise ModelError("define-gate without a name attribute")
+    description = ""
+    label = gate_element.find("label")
+    if label is not None and label.text:
+        description = label.text
+    formulas = [
+        child for child in gate_element if child.tag in _FORMULA_TAGS
+    ]
+    if len(formulas) != 1:
+        supported = ", ".join(sorted(_FORMULA_TAGS))
+        raise ModelError(
+            f"gate {name!r}: expected exactly one formula element "
+            f"({supported}); found "
+            f"{[c.tag for c in gate_element if c.tag != 'label']}"
+        )
+    formula = formulas[0]
+    gate_type = _FORMULA_TAGS[formula.tag]
+    k = None
+    if gate_type is GateType.ATLEAST:
+        raw = formula.get("min")
+        if raw is None:
+            raise ModelError(f"gate {name!r}: atleast formula without min")
+        k = int(raw)
+    children: list[str] = []
+    for operand in formula:
+        if operand.tag in ("gate", "basic-event", "house-event"):
+            child = operand.get("name")
+            if not child:
+                raise ModelError(f"gate {name!r}: operand without a name")
+            children.append(child)
+        else:
+            raise ModelError(
+                f"gate {name!r}: unsupported operand <{operand.tag}> "
+                f"(the coherent subset supports gate/basic-event references)"
+            )
+    return Gate(name, gate_type, tuple(children), k, description)
+
+
+def _parse_basic_event(event_element: ElementTree.Element) -> BasicEvent:
+    name = event_element.get("name")
+    if not name:
+        raise ModelError("define-basic-event without a name attribute")
+    description = ""
+    label = event_element.find("label")
+    if label is not None and label.text:
+        description = label.text
+    value = event_element.find("float")
+    if value is None or value.get("value") is None:
+        raise ModelError(
+            f"basic event {name!r}: only constant <float value=...> "
+            f"probabilities are supported"
+        )
+    return BasicEvent(name, float(value.get("value")), description)
+
+
+def _xml_name(name: str) -> str:
+    """XML name attributes reject some characters model names may carry."""
+    return name.replace(" ", "-")

@@ -1,0 +1,253 @@
+"""Synthetic industrial-size PSA fault trees (paper, Section VI-B).
+
+The paper's large-scale experiments run on two real nuclear safety
+studies (2,995 basic events / 52,213 gates and 2,040 / 56,863).  Those
+models are proprietary, so this generator builds fault trees with the
+*structural statistics the algorithm is sensitive to*:
+
+* a frontline/support topology — redundant-train frontline systems
+  whose trains depend on shared support-system trains, support systems
+  chaining onto deeper support (the source of long trigger chains);
+* accident sequences — AND combinations of frontline-system failures
+  under per-initiator OR groups (the event-tree residue present in any
+  flattened PSA model);
+* per-system pump CCF events, log-uniform component probabilities, and
+  binary gate layering inside trains (real PSA models are deep: tens of
+  thousands of small gates, not wide flat ones).
+
+Everything is driven by a seeded :class:`numpy.random.Generator`, so a
+configuration is a reproducible model identity.  Two presets mirror the
+paper's two studies at a laptop-friendly scale (``model_1``/``model_2``)
+and accept a ``scale`` factor to grow toward the original sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.tree import FaultTree
+
+__all__ = ["SyntheticConfig", "build_synthetic", "model_1", "model_2"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Shape parameters of a synthetic PSA model.
+
+    ``support_fanout`` controls how many support-train gates a frontline
+    train references; ``group_size`` is the arity of the OR layering
+    inside trains (2 gives the deep binary structure of real models).
+    """
+
+    seed: int = 1
+    n_initiators: int = 3
+    n_frontline: int = 8
+    n_support: int = 4
+    trains_per_system: int = 2
+    components_per_train: int = 6
+    sequences_per_initiator: int = 3
+    systems_per_sequence: int = 2
+    support_fanout: int = 1
+    support_chain_depth: int = 2
+    group_size: int = 2
+    include_ccf: bool = True
+    probability_range: tuple[float, float] = (3e-5, 2e-3)
+
+    def scaled(self, scale: float) -> "SyntheticConfig":
+        """A proportionally larger (or smaller) configuration.
+
+        Scales the system counts and components per train; train
+        redundancy and sequence shape stay fixed (they are structural
+        constants of PSA models, not size knobs).
+        """
+        return replace(
+            self,
+            n_frontline=max(2, round(self.n_frontline * scale)),
+            n_support=max(1, round(self.n_support * scale)),
+            components_per_train=max(2, round(self.components_per_train * scale)),
+            n_initiators=max(1, round(self.n_initiators * scale)),
+        )
+
+
+def model_1(scale: float = 1.0) -> FaultTree:
+    """The stand-in for the paper's study "model 1".
+
+    Broad and comparatively shallow: more frontline systems, shorter
+    support chains — the study whose cutsets quantify faster.
+    """
+    config = SyntheticConfig(
+        seed=101,
+        n_initiators=4,
+        n_frontline=9,
+        n_support=4,
+        components_per_train=6,
+        sequences_per_initiator=3,
+        systems_per_sequence=2,
+        support_chain_depth=2,
+    )
+    return build_synthetic(config.scaled(scale), name="synthetic-model-1")
+
+
+def model_2(scale: float = 1.0) -> FaultTree:
+    """The stand-in for the paper's study "model 2".
+
+    Deeper support chaining and wider sequences: fewer but harder
+    cutsets, mirroring the study with the much longer generation time.
+    """
+    config = SyntheticConfig(
+        seed=202,
+        n_initiators=3,
+        n_frontline=7,
+        n_support=5,
+        components_per_train=7,
+        sequences_per_initiator=4,
+        systems_per_sequence=2,
+        support_fanout=2,
+        support_chain_depth=3,
+    )
+    return build_synthetic(config.scaled(scale), name="synthetic-model-2")
+
+
+def build_synthetic(
+    config: SyntheticConfig, name: str = "synthetic-psa"
+) -> FaultTree:
+    """Generate a fault tree from ``config`` (deterministic in the seed)."""
+    rng = np.random.default_rng(config.seed)
+    b = FaultTreeBuilder(name)
+
+    # Support systems first: SUP-i trains may depend on SUP-j (j > i)
+    # trains up to the configured chain depth.  Support systems are only
+    # ever referenced per train, so no system-level gate is built for
+    # them (it would be unreachable dead weight).
+    for i in range(config.n_support):
+        depth_left = config.support_chain_depth
+        deeper = [
+            j
+            for j in range(i + 1, min(i + 1 + depth_left, config.n_support))
+        ]
+        _build_system(
+            b,
+            rng,
+            config,
+            f"SUP-{i}",
+            [f"SUP-{j}" for j in deeper],
+            system_gate=False,
+        )
+
+    # Frontline systems draw support dependencies pseudo-randomly.
+    for i in range(config.n_frontline):
+        if config.n_support:
+            n_deps = min(config.support_fanout, config.n_support)
+            chosen = rng.choice(config.n_support, size=n_deps, replace=False)
+            depends = [f"SUP-{j}" for j in sorted(int(j) for j in chosen)]
+        else:
+            depends = []
+        _build_system(b, rng, config, f"FL-{i}", depends)
+
+    # Accident sequences: per initiator, AND combinations of frontline
+    # system failures gated by the initiating event.
+    sequence_gates: list[str] = []
+    for i in range(config.n_initiators):
+        ie_name = f"IE-{i}"
+        b.event(ie_name, _draw_probability(rng, (1e-3, 5e-2)), f"initiating event {i}")
+        for s in range(config.sequences_per_initiator):
+            k = min(config.systems_per_sequence, config.n_frontline)
+            chosen = rng.choice(config.n_frontline, size=k, replace=False)
+            systems = [f"FL-{j}" for j in sorted(int(j) for j in chosen)]
+            gate = f"SEQ-{i}-{s}"
+            b.and_(gate, ie_name, *systems, description=f"sequence {s} of IE {i}")
+            sequence_gates.append(gate)
+    b.or_("TOP", *sequence_gates, description="core damage")
+    return b.build("TOP")
+
+
+def _build_system(
+    b: FaultTreeBuilder,
+    rng: np.random.Generator,
+    config: SyntheticConfig,
+    system: str,
+    support: list[str],
+    system_gate: bool = True,
+) -> None:
+    """One redundant-train system, optionally hanging onto support trains.
+
+    Component probabilities are drawn once per component *slot* and
+    shared across the system's trains: redundant trains are identical
+    hardware.  This symmetry is what gives same-slot events identical
+    Fussell–Vesely importance, which the dynamization methodology of
+    Section VI-B relies on to form trigger chains.
+
+    The system's pump CCF event is a child of every train gate — a
+    common-cause failure takes out all redundant trains at once — so it
+    stays effective both through the system-level AND gate and for
+    consumers that reference individual trains (support systems, which
+    set ``system_gate=False`` and get no system-level gate at all).
+    """
+    slot_probabilities = [
+        _draw_probability(rng, config.probability_range)
+        for _ in range(config.components_per_train)
+    ]
+    ccf: str | None = None
+    if config.include_ccf:
+        ccf = f"{system}-CCF"
+        b.event(ccf, _draw_probability(rng, (1e-5, 3e-4)), f"CCF of {system}")
+    train_letters = [chr(ord("A") + t) for t in range(config.trains_per_system)]
+    for letter in train_letters:
+        prefix = f"{system}-{letter}"
+        leaves: list[str] = []
+        for c in range(config.components_per_train):
+            event = f"{prefix}-C{c}"
+            b.event(
+                event,
+                slot_probabilities[c],
+                f"component {c} of train {prefix}",
+            )
+            leaves.append(event)
+        # Layer the train's OR logic into small groups (deep structure).
+        grouped = _layer_or(b, prefix, leaves, config.group_size)
+        children = [grouped]
+        if ccf is not None:
+            children.append(ccf)
+        for sup in support:
+            children.append(f"{sup}-TRAIN-{letter}")
+        b.or_(f"{system}-TRAIN-{letter}", *children)
+
+    if system_gate:
+        b.and_(system, *[f"{system}-TRAIN-{x}" for x in train_letters])
+
+
+def _layer_or(
+    b: FaultTreeBuilder, prefix: str, leaves: list[str], group_size: int
+) -> str:
+    """Fold a wide OR into a tree of ``group_size``-ary OR gates."""
+    level = list(leaves)
+    round_index = 0
+    while len(level) > 1:
+        next_level: list[str] = []
+        for g in range(0, len(level), group_size):
+            chunk = level[g : g + group_size]
+            if len(chunk) == 1:
+                next_level.append(chunk[0])
+                continue
+            gate = f"{prefix}-G{round_index}-{g // group_size}"
+            b.or_(gate, *chunk)
+            next_level.append(gate)
+        level = next_level
+        round_index += 1
+    if b.has_node(level[0]) and level[0].startswith(prefix + "-G"):
+        return level[0]
+    # A single component: wrap so the caller always gets a gate name.
+    gate = f"{prefix}-G-only"
+    b.or_(gate, level[0])
+    return gate
+
+
+def _draw_probability(
+    rng: np.random.Generator, bounds: tuple[float, float]
+) -> float:
+    """Log-uniform probability in ``bounds`` (the PSA-typical spread)."""
+    low, high = np.log(bounds[0]), np.log(bounds[1])
+    return float(np.exp(rng.uniform(low, high)))

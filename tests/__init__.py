@@ -1,0 +1,6 @@
+"""Test suite of the repro package.
+
+The directory is a package so that shared helpers
+(:mod:`tests.strategies`) import identically under both ``pytest``
+invocation styles (``pytest tests/`` and ``python -m pytest``).
+"""

@@ -1,0 +1,107 @@
+"""Tests of the ROBDD engine itself."""
+
+import itertools
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bdd.engine import FALSE, TRUE, BddManager
+
+
+class TestReduction:
+    def test_identical_branches_collapse(self):
+        m = BddManager()
+        assert m.mk(0, TRUE, TRUE) == TRUE
+        assert m.mk(0, FALSE, FALSE) == FALSE
+
+    def test_hash_consing(self):
+        m = BddManager()
+        a = m.mk(0, FALSE, TRUE)
+        b = m.mk(0, FALSE, TRUE)
+        assert a == b
+        assert m.var(0) == a
+
+    def test_terminal_constants(self):
+        m = BddManager()
+        assert m.evaluate(TRUE, lambda v: False) is True
+        assert m.evaluate(FALSE, lambda v: True) is False
+
+
+class TestBooleanOperations:
+    def test_and_or_truth_tables(self):
+        m = BddManager()
+        x, y = m.var(0), m.var(1)
+        conj = m.apply_and(x, y)
+        disj = m.apply_or(x, y)
+        for vx, vy in itertools.product([False, True], repeat=2):
+            env = {0: vx, 1: vy}
+            assert m.evaluate(conj, env.__getitem__) == (vx and vy)
+            assert m.evaluate(disj, env.__getitem__) == (vx or vy)
+
+    def test_identities(self):
+        m = BddManager()
+        x = m.var(0)
+        assert m.apply_and(x, TRUE) == x
+        assert m.apply_and(x, FALSE) == FALSE
+        assert m.apply_or(x, FALSE) == x
+        assert m.apply_or(x, TRUE) == TRUE
+        assert m.apply_and(x, x) == x
+
+    def test_negate_involution(self):
+        m = BddManager()
+        x, y = m.var(0), m.var(1)
+        f = m.apply_or(m.apply_and(x, y), m.negate(x))
+        assert m.negate(m.negate(f)) == f
+        assert m.apply_and(f, m.negate(f)) == FALSE
+
+    def test_conjoin_disjoin_empty(self):
+        m = BddManager()
+        assert m.conjoin([]) == TRUE
+        assert m.disjoin([]) == FALSE
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_atleast_semantics(self, n, k):
+        if k > n:
+            k = n
+        m = BddManager()
+        nodes = [m.var(i) for i in range(n)]
+        threshold = m.atleast(k, nodes)
+        for assignment in itertools.product([False, True], repeat=n):
+            env = dict(enumerate(assignment))
+            expected = sum(assignment) >= k
+            assert m.evaluate(threshold, env.__getitem__) == expected
+
+
+class TestEvaluation:
+    def test_probability_independent_or(self):
+        m = BddManager()
+        f = m.disjoin([m.var(0), m.var(1)])
+        p = m.probability(f, {0: 0.1, 1: 0.2})
+        assert math.isclose(p, 1 - 0.9 * 0.8)
+
+    def test_probability_matches_enumeration(self):
+        m = BddManager()
+        x, y, z = m.var(0), m.var(1), m.var(2)
+        f = m.apply_or(m.apply_and(x, y), z)
+        probs = {0: 0.3, 1: 0.5, 2: 0.1}
+        expected = 0.0
+        for bits in itertools.product([False, True], repeat=3):
+            if (bits[0] and bits[1]) or bits[2]:
+                weight = 1.0
+                for i, bit in enumerate(bits):
+                    weight *= probs[i] if bit else 1 - probs[i]
+                expected += weight
+        assert math.isclose(m.probability(f, probs), expected, rel_tol=1e-12)
+
+    def test_support_and_node_count(self):
+        m = BddManager()
+        f = m.apply_and(m.var(0), m.var(2))
+        assert m.support(f) == {0, 2}
+        assert m.count_nodes(f) == 4  # two decision nodes + two terminals
+
+    def test_satisfying_paths(self):
+        m = BddManager()
+        f = m.apply_and(m.var(0), m.var(1))
+        paths = list(m.satisfying_paths(f))
+        assert paths == [{0: True, 1: True}]

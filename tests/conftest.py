@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis
+import pytest
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.ft.builder import FaultTreeBuilder
+
+# A single profile: deterministic, moderate example counts, no deadline
+# (CI machines with one core hit the default 200 ms deadline spuriously).
+hypothesis.settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+)
+hypothesis.settings.load_profile("repro")
+
+
+@pytest.fixture
+def cooling_tree():
+    """The static cooling system of paper Example 1.
+
+    MCSs: {e}, {a,c}, {a,d}, {b,c}, {b,d} (paper Example 7).
+    """
+    b = FaultTreeBuilder("cooling")
+    b.event("a", 3e-3).event("b", 1e-3)
+    b.event("c", 3e-3).event("d", 1e-3)
+    b.event("e", 3e-6)
+    b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("cooling", "pumps", "e")
+    return b.build("cooling")
+
+
+@pytest.fixture
+def cooling_sdft():
+    """The SD cooling system of paper Example 3.
+
+    Pump in-operation failures are dynamic (rates from Example 2); the
+    spare pump's dynamic event ``d`` is triggered by the pump-1 gate.
+    """
+    b = SdFaultTreeBuilder("cooling-sd")
+    b.static_event("a", 3e-3).static_event("c", 3e-3).static_event("e", 3e-6)
+    b.dynamic_event("b", repairable(0.001, 0.05))
+    b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+    b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("cooling", "pumps", "e")
+    b.trigger("pump1", "d")
+    return b.build("cooling")

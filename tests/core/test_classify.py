@@ -1,0 +1,156 @@
+"""Tests of the trigger-gate classification (Section V-A)."""
+
+from repro.core.classify import (
+    TriggerClass,
+    classification_report,
+    classify_trigger_gate,
+    has_static_branching,
+    has_static_joins,
+    has_uniform_triggering,
+)
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+
+
+def _builder():
+    b = SdFaultTreeBuilder()
+    b.static_event("s1", 0.01).static_event("s2", 0.01)
+    b.dynamic_event("d1", repairable(0.01, 0.1))
+    b.dynamic_event("d2", repairable(0.01, 0.1))
+    b.dynamic_event("t1", triggered_repairable(0.01, 0.1))
+    return b
+
+
+class TestStaticBranching:
+    def test_or_with_one_dynamic_child(self):
+        b = _builder()
+        b.or_("trig", "s1", "d1")
+        b.and_("top", "trig", "t1", "s2", "d2")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_branching(sdft, "trig")
+        assert classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_BRANCHING
+
+    def test_or_with_two_dynamic_children_fails(self):
+        b = _builder()
+        b.or_("trig", "d1", "d2")
+        b.and_("top", "trig", "t1", "s1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert not has_static_branching(sdft, "trig")
+
+    def test_and_over_dynamics_is_fine(self):
+        """Static branching allows ANDs over dynamic events (Figure 1,
+        left column, case 3)."""
+        b = _builder()
+        b.and_("trig", "d1", "d2")
+        b.or_("top", "t1", "trig")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_branching(sdft, "trig")
+
+    def test_nested_or_checked(self):
+        b = _builder()
+        b.or_("inner", "d1", "d2")
+        b.and_("trig", "s1", "inner")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert not has_static_branching(sdft, "trig")
+
+
+class TestStaticJoins:
+    def test_or_over_dynamics(self):
+        b = _builder()
+        b.or_("trig", "d1", "d2")
+        b.and_("top", "trig", "t1", "s1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_joins(sdft, "trig")
+        assert classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_JOINS
+
+    def test_and_with_dynamic_child_fails(self):
+        b = _builder()
+        b.and_("inner", "d1", "s1")
+        b.or_("trig", "inner", "d2")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert not has_static_joins(sdft, "trig")
+
+    def test_and_over_statics_is_fine(self):
+        b = _builder()
+        b.and_("inner", "s1", "s2")
+        b.or_("trig", "inner", "d1", "d2")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_joins(sdft, "trig")
+
+
+class TestUniformTriggering:
+    def test_all_triggered_by_common_gate(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("a1", repairable(0.01, 0.1))
+        b.dynamic_event("b1", triggered_repairable(0.01, 0.1))
+        b.dynamic_event("b2", triggered_repairable(0.01, 0.1))
+        b.dynamic_event("c1", triggered_repairable(0.01, 0.1))
+        b.or_("sysA", "a1")
+        b.or_("sysB", "b1", "b2")
+        b.and_("top", "sysA", "sysB", "c1")
+        b.trigger("sysA", "b1", "b2")
+        b.trigger("sysB", "c1")
+        sdft = b.build("top")
+        assert has_uniform_triggering(sdft, "sysB")
+        assert (
+            classify_trigger_gate(sdft, "sysB")
+            is TriggerClass.STATIC_JOINS_UNIFORM
+        )
+        # sysA's single dynamic event a1 is untriggered: not uniform.
+        assert not has_uniform_triggering(sdft, "sysA")
+
+    def test_no_dynamics_is_vacuously_uniform(self):
+        b = _builder()
+        b.or_("trig", "s1", "s2")
+        b.or_("top", "trig", "t1", "d1", "d2")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_uniform_triggering(sdft, "trig")
+
+
+class TestGeneralCase:
+    def test_mixed_structure(self):
+        b = _builder()
+        b.or_("guard", "s1", "d1", "d2")  # two dynamic children: no branching
+        b.and_("trig", "guard", "d2")  # wait: d2 under AND too
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert classify_trigger_gate(sdft, "trig") is TriggerClass.GENERAL
+
+    def test_voting_gate_with_dynamics_is_general(self):
+        b = _builder()
+        b.atleast("trig", 2, "s1", "d1", "d2")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert classify_trigger_gate(sdft, "trig") is TriggerClass.GENERAL
+
+    def test_degenerate_voting_gates_reduce(self):
+        b = _builder()
+        b.atleast("trig", 1, "s1", "d1")  # acts as OR: one dynamic child
+        b.or_("top", "trig", "t1", "d2")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert (
+            classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_BRANCHING
+        )
+
+
+class TestReport:
+    def test_report_contents(self, cooling_sdft):
+        report = classification_report(cooling_sdft)
+        assert report.by_gate == {"pump1": TriggerClass.STATIC_BRANCHING}
+        assert report.all_efficient
+        assert not report.any_general
+        assert report.count(TriggerClass.STATIC_BRANCHING) == 1

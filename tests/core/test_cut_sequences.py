@@ -1,0 +1,84 @@
+"""Tests of the cut-completion (minimal cut sequence) attribution."""
+
+import pytest
+
+from repro.core.cut_sequences import AT_TIME_ZERO, completion_distribution
+from repro.core.quantify import quantify_cutset
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+
+
+class TestStaticCutsets:
+    def test_completed_at_time_zero(self, cooling_sdft):
+        completion = completion_distribution(
+            cooling_sdft, frozenset({"a", "c"}), 24.0
+        )
+        assert completion.by_event == {AT_TIME_ZERO: pytest.approx(9e-6)}
+        assert completion.most_likely_completer() == AT_TIME_ZERO
+
+
+class TestDynamicCutsets:
+    def test_attributions_sum_to_quantified_probability(self, cooling_sdft):
+        for cutset in ({"b", "d"}, {"a", "d"}, {"b", "c"}):
+            completion = completion_distribution(
+                cooling_sdft, frozenset(cutset), 24.0
+            )
+            exact = quantify_cutset(cooling_sdft, frozenset(cutset), 24.0)
+            assert completion.total == pytest.approx(
+                exact.probability, rel=1e-6
+            ), cutset
+
+    def test_triggered_spare_strikes_last(self, cooling_sdft):
+        """In {b, d} the spare pump d can only start degrading after b
+        has failed, so d completes the cut almost always."""
+        completion = completion_distribution(
+            cooling_sdft, frozenset({"b", "d"}), 24.0
+        )
+        assert completion.most_likely_completer() == "d"
+        assert completion.by_event["d"] > 10 * completion.by_event.get("b", 0.0)
+
+    def test_single_dynamic_event_is_sole_completer(self, cooling_sdft):
+        completion = completion_distribution(
+            cooling_sdft, frozenset({"a", "d"}), 24.0
+        )
+        assert set(completion.by_event) == {"d"}
+
+    def test_symmetric_events_complete_equally(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("x", repairable(0.02, 0.3))
+        b.dynamic_event("y", repairable(0.02, 0.3))
+        b.and_("top", "x", "y")
+        sdft = b.build("top")
+        completion = completion_distribution(sdft, frozenset({"x", "y"}), 24.0)
+        assert completion.by_event["x"] == pytest.approx(
+            completion.by_event["y"], rel=1e-9
+        )
+
+    def test_faster_failing_event_completes_less_often(self):
+        """The component that fails fast tends to fail *first*; the slow
+        one then completes the cut."""
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("fast", repairable(0.2, 0.05))
+        b.dynamic_event("slow", repairable(0.01, 0.05))
+        b.and_("top", "fast", "slow")
+        sdft = b.build("top")
+        completion = completion_distribution(
+            sdft, frozenset({"fast", "slow"}), 24.0
+        )
+        assert completion.by_event["slow"] > completion.by_event["fast"]
+
+
+class TestDegenerateCases:
+    def test_trivially_zero_cutset(self):
+        b = SdFaultTreeBuilder()
+        b.static_event("s", 0.01)
+        b.static_event("u", 0.02)
+        b.dynamic_event("t", triggered_repairable(0.05, 0.2))
+        b.or_("src", "s")
+        b.and_("helper", "t", "u")
+        b.or_("top", "helper", "u")
+        b.trigger("src", "t")
+        sdft = b.build("top")
+        completion = completion_distribution(sdft, frozenset({"t", "u"}), 24.0)
+        assert completion.by_event == {}
+        assert completion.most_likely_completer() is None

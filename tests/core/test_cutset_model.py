@@ -1,0 +1,175 @@
+"""Tests of the FT_C construction (Section V-C)."""
+
+import pytest
+
+from repro.core.cutset_model import TOP_GATE, build_cutset_model
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.ctmc.triggered import TriggeredCtmc
+from repro.errors import AnalysisError
+from repro.ft.tree import GateType
+
+
+class TestStaticCutsets:
+    def test_pure_static_cutset_has_no_model(self, cooling_sdft):
+        model = build_cutset_model(cooling_sdft, frozenset({"a", "c"}))
+        assert model.model is None
+        assert model.static_factor == pytest.approx(9e-6)
+        assert not model.is_dynamic
+
+    def test_unknown_events_rejected(self, cooling_sdft):
+        with pytest.raises(AnalysisError):
+            build_cutset_model(cooling_sdft, frozenset({"ghost"}))
+
+
+class TestStaticBranching:
+    def test_trigger_within_cutset(self, cooling_sdft):
+        """Cutset {b, d}: d's trigger (pump1) is failed by b; the model
+        keeps both dynamic events with a trigger over b."""
+        model = build_cutset_model(cooling_sdft, frozenset({"b", "d"}))
+        sdft_c = model.model
+        assert sdft_c is not None
+        assert set(sdft_c.dynamic_events) == {"b", "d"}
+        assert model.n_dynamic_in_cutset == 2
+        assert model.n_added_dynamic == 0
+        # The top gate requires both dynamic events simultaneously.
+        top = sdft_c.gates[TOP_GATE]
+        assert top.gate_type is GateType.AND
+        assert set(top.children) == {"b", "d"}
+        # d is triggered by a reconstructed gate over b.
+        trigger_gate = sdft_c.trigger_of["d"]
+        assert sdft_c.structure.events_under(trigger_gate) == {"b"}
+
+    def test_trigger_satisfied_by_static_event(self, cooling_sdft):
+        """Cutset {a, d}: a (static, assumed failed) already fails d's
+        trigger, so d becomes always-on with the untriggered view."""
+        model = build_cutset_model(cooling_sdft, frozenset({"a", "d"}))
+        sdft_c = model.model
+        assert sdft_c is not None
+        assert model.always_on == {"d"}
+        assert set(sdft_c.dynamic_events) == {"d"}
+        assert not isinstance(sdft_c.chain_of("d"), TriggeredCtmc)
+        assert sdft_c.trigger_of == {}
+        assert model.static_factor == pytest.approx(3e-3)
+
+
+class TestStaticJoins:
+    def _joins_model(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("e", repairable(0.02, 0.5))
+        b.dynamic_event("f", repairable(0.03, 0.5))
+        b.dynamic_event("g", triggered_repairable(0.05, 0.2))
+        b.static_event("s", 0.01)
+        b.or_("trigger_sys", "e", "f")
+        b.and_("top", "trigger_sys", "g", "s")
+        b.trigger("trigger_sys", "g")
+        return b.build("top")
+
+    def test_sibling_dynamic_events_added(self):
+        """Cutset {e, g, s}: static joins pulls f into the model even
+        though it is not in the cutset (paper Example 11: f's failure
+        and repair shape g's trigger timing)."""
+        sdft = self._joins_model()
+        model = build_cutset_model(sdft, frozenset({"e", "g", "s"}))
+        sdft_c = model.model
+        assert set(sdft_c.dynamic_events) == {"e", "f", "g"}
+        assert model.n_dynamic_in_cutset == 2
+        assert model.n_added_dynamic == 1
+        # Top requires only the cutset's dynamic events.
+        assert set(sdft_c.gates[TOP_GATE].children) == {"e", "g"}
+        # The reconstructed trigger covers both e and f.
+        trigger_gate = sdft_c.trigger_of["g"]
+        assert sdft_c.structure.events_under(trigger_gate) == {"e", "f"}
+
+
+class TestGeneralCase:
+    def _general_model(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("p", repairable(0.02, 0.5))
+        b.dynamic_event("q1", repairable(0.04, 0.5))
+        b.dynamic_event("q2", repairable(0.03, 0.4))
+        b.static_event("d", 0.15)
+        b.dynamic_event("r", triggered_repairable(0.05, 0.2))
+        b.or_("guard", "d", "q1", "q2")
+        b.and_("trig_gate", "p", "guard")
+        b.and_("aux", "trig_gate", "r")
+        b.or_("top", "aux")
+        b.trigger("trig_gate", "r")
+        return b.build("top")
+
+    def test_static_guards_added(self):
+        """Cutset {p, q1, r}: the general case adds the static guard d
+        (it can trigger r earlier) but not q2's... actually q2 is also a
+        relevant dynamic event of the guard OR."""
+        sdft = self._general_model()
+        model = build_cutset_model(sdft, frozenset({"p", "q1", "r"}))
+        sdft_c = model.model
+        assert "d" in sdft_c.static_events
+        assert "q2" in sdft_c.dynamic_events
+
+    def test_statics_in_cutset_excluded_from_model(self):
+        """Cutset {d, p, r}: d is assumed failed (multiplied outside),
+        so the trigger reduces to p alone and q1/q2 are irrelevant."""
+        sdft = self._general_model()
+        model = build_cutset_model(sdft, frozenset({"d", "p", "r"}))
+        sdft_c = model.model
+        assert set(sdft_c.dynamic_events) == {"p", "r"}
+        assert sdft_c.static_events == {}
+        assert model.static_factor == pytest.approx(0.15)
+
+
+class TestChainedTriggers:
+    def _chained(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("a1", repairable(0.03, 0.3))
+        b.dynamic_event("a2", repairable(0.02, 0.3))
+        b.dynamic_event("b1", triggered_repairable(0.04, 0.3))
+        b.dynamic_event("b2", triggered_repairable(0.05, 0.3))
+        b.dynamic_event("c1", triggered_repairable(0.06, 0.3))
+        b.or_("sysA", "a1", "a2")
+        b.or_("sysB", "b1", "b2")
+        b.and_("top", "sysA", "sysB", "c1")
+        b.trigger("sysA", "b1", "b2")
+        b.trigger("sysB", "c1")
+        return b.build("top")
+
+    def test_uniform_triggering_reuses_gates(self):
+        """Cutset {a1, b1, c1}: modelling c1's trigger adds b2 (static
+        joins); b2's trigger gate sysA is already modelled for b1 and is
+        reused, so no general-case blow-up occurs."""
+        sdft = self._chained()
+        model = build_cutset_model(sdft, frozenset({"a1", "b1", "c1"}))
+        sdft_c = model.model
+        assert set(sdft_c.dynamic_events) == {"a1", "a2", "b1", "b2", "c1"}
+        assert model.n_added_dynamic == 2
+        # b1 and b2 share one reconstructed trigger gate.
+        assert sdft_c.trigger_of["b1"] == sdft_c.trigger_of["b2"]
+
+    def test_model_is_quantifiable(self):
+        """The constructed FT_C must itself be a valid SD fault tree
+        whose product chain builds without errors."""
+        from repro.ctmc.product import build_product
+
+        sdft = self._chained()
+        model = build_cutset_model(sdft, frozenset({"a1", "b1", "c1"}))
+        product = build_product(model.model)
+        assert product.n_states > 1
+
+
+class TestTriviallyZero:
+    def test_untriggerable_cutset(self):
+        """A cutset whose triggered event's gate cannot fail in the
+        counted runs quantifies to zero."""
+        b = SdFaultTreeBuilder()
+        b.static_event("s", 0.01)
+        b.static_event("u", 0.02)
+        b.dynamic_event("t", triggered_repairable(0.05, 0.2))
+        b.or_("src", "s")
+        b.or_("top", "helper", "u")
+        b.and_("helper", "t", "u")
+        b.trigger("src", "t")
+        sdft = b.build("top")
+        # Force the degenerate case directly: cutset {t, u} without s.
+        model = build_cutset_model(sdft, frozenset({"t", "u"}))
+        assert model.trivially_zero
+        assert model.model is None

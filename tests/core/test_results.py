@@ -1,0 +1,54 @@
+"""Tests of the analysis result containers."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+
+
+@pytest.fixture
+def result(cooling_sdft):
+    return analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+
+
+class TestAnalysisResult:
+    def test_histogram_counts_dynamic_cutsets(self, result):
+        histogram = result.dynamic_event_histogram()
+        assert sum(histogram.values()) == result.n_dynamic_cutsets
+        # {a,d} and {b,c} have one dynamic event; {b,d} has two.
+        assert histogram == {1: 2, 2: 1}
+
+    def test_mean_dynamic_events(self, result):
+        mean_total, mean_added = result.mean_dynamic_events()
+        assert mean_total == pytest.approx(4 / 3)
+        assert mean_added == 0.0
+
+    def test_top_contributors_sorted(self, result):
+        top = result.top_contributors(3)
+        assert len(top) == 3
+        values = [r.probability for r in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_summary_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "failure probability" in text
+        assert "cutsets: 5 total" in text
+        assert "3 dynamic" in text
+
+    def test_timings_sum(self, result):
+        timings = result.timings
+        assert timings.total_seconds == pytest.approx(
+            timings.translation_seconds
+            + timings.mcs_generation_seconds
+            + timings.quantification_seconds
+        )
+
+    def test_mean_dynamic_events_empty_when_all_static(self):
+        from repro.core.sdft import SdFaultTreeBuilder
+
+        b = SdFaultTreeBuilder()
+        b.static_event("a", 0.1).static_event("b", 0.1)
+        b.and_("top", "a", "b")
+        static_result = analyze(b.build("top"))
+        assert static_result.mean_dynamic_events() == (0.0, 0.0)
+        assert static_result.dynamic_event_histogram() == {}
+        assert static_result.n_dynamic_cutsets == 0

@@ -1,0 +1,169 @@
+"""Tests of the SD fault-tree model and its structural invariants."""
+
+import pytest
+
+from repro.core.sdft import SdFaultTree, SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.errors import (
+    CyclicModelError,
+    DuplicateNameError,
+    ModelError,
+    TriggerError,
+    UnknownNodeError,
+)
+from repro.ft.tree import BasicEvent, Gate, GateType
+
+
+class TestBuilder:
+    def test_running_example(self, cooling_sdft):
+        assert cooling_sdft.is_static("a")
+        assert cooling_sdft.is_dynamic("b")
+        assert cooling_sdft.trigger_of == {"d": "pump1"}
+        assert cooling_sdft.triggers == {"pump1": ("d",)}
+        assert cooling_sdft.all_event_names == {"a", "b", "c", "d", "e"}
+
+    def test_duplicate_names_rejected(self):
+        b = SdFaultTreeBuilder()
+        b.static_event("x", 0.1)
+        with pytest.raises(DuplicateNameError):
+            b.dynamic_event("x", repairable(0.1, 0.5))
+        with pytest.raises(DuplicateNameError):
+            b.or_("x", "x")
+
+    def test_trigger_requires_events(self):
+        b = SdFaultTreeBuilder()
+        with pytest.raises(ModelError):
+            b.trigger("gate")
+
+    def test_has_node(self):
+        b = SdFaultTreeBuilder().static_event("s", 0.1)
+        b.dynamic_event("d", repairable(0.1, 0.5))
+        b.or_("g", "s", "d")
+        assert b.has_node("s") and b.has_node("d") and b.has_node("g")
+        assert not b.has_node("ghost")
+
+
+class TestTriggerValidation:
+    def _base(self):
+        b = SdFaultTreeBuilder()
+        b.static_event("s", 0.1)
+        b.dynamic_event("d", triggered_repairable(0.1, 0.5))
+        b.or_("g1", "s")
+        b.or_("top", "g1", "d")
+        return b
+
+    def test_valid_trigger(self):
+        b = self._base()
+        b.trigger("g1", "d")
+        sdft = b.build("top")
+        assert sdft.triggered_events() == {"d"}
+
+    def test_double_trigger_rejected(self):
+        b = self._base()
+        b.or_("g2", "s", "d")
+        b.trigger("g1", "d").trigger("g2", "d")
+        with pytest.raises(TriggerError):
+            b.build("top")
+
+    def test_trigger_source_must_be_gate(self):
+        b = self._base()
+        b.trigger("s", "d")
+        with pytest.raises(UnknownNodeError):
+            b.build("top")
+
+    def test_trigger_target_must_be_dynamic(self):
+        b = self._base()
+        b.trigger("g1", "s")
+        with pytest.raises(TriggerError):
+            b.build("top")
+
+    def test_triggered_event_needs_triggered_chain(self):
+        b = SdFaultTreeBuilder()
+        b.static_event("s", 0.1)
+        b.dynamic_event("d", repairable(0.1, 0.5))  # no on/off structure
+        b.or_("g1", "s")
+        b.or_("top", "g1", "d")
+        b.trigger("g1", "d")
+        with pytest.raises(TriggerError):
+            b.build("top")
+
+    def test_triggerable_chain_needs_a_trigger(self):
+        b = SdFaultTreeBuilder()
+        b.static_event("s", 0.1)
+        b.dynamic_event("d", triggered_repairable(0.1, 0.5))
+        b.or_("top", "s", "d")
+        with pytest.raises(TriggerError):
+            b.build("top")
+
+    def test_cyclic_triggering_rejected(self):
+        """Two events triggering each other through their gates is the
+        deadlock the paper's acyclicity requirement excludes."""
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("d1", triggered_repairable(0.1, 0.5))
+        b.dynamic_event("d2", triggered_repairable(0.1, 0.5))
+        b.or_("g1", "d1")
+        b.or_("g2", "d2")
+        b.and_("top", "g1", "g2")
+        b.trigger("g1", "d2").trigger("g2", "d1")
+        with pytest.raises(CyclicModelError):
+            b.build("top")
+
+    def test_self_triggering_rejected(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("d", triggered_repairable(0.1, 0.5))
+        b.or_("g", "d")
+        b.or_("top", "g")
+        b.trigger("g", "d")
+        with pytest.raises(CyclicModelError):
+            b.build("top")
+
+    def test_trigger_chain_is_acyclic_and_valid(self):
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("d1", repairable(0.1, 0.5))
+        b.dynamic_event("d2", triggered_repairable(0.1, 0.5))
+        b.dynamic_event("d3", triggered_repairable(0.1, 0.5))
+        b.or_("g1", "d1").or_("g2", "d2")
+        b.and_("top", "g1", "g2", "d3")
+        b.trigger("g1", "d2").trigger("g2", "d3")
+        sdft = b.build("top")
+        assert sdft.trigger_of == {"d2": "g1", "d3": "g2"}
+
+
+class TestQueries:
+    def test_dynamic_and_static_under(self, cooling_sdft):
+        assert cooling_sdft.dynamic_under("pump1") == {"b"}
+        assert cooling_sdft.static_under("pump1") == {"a"}
+        assert cooling_sdft.dynamic_under("cooling") == {"b", "d"}
+        assert cooling_sdft.static_under("cooling") == {"a", "c", "e"}
+
+    def test_dynamic_under_node_for_events(self, cooling_sdft):
+        assert cooling_sdft.dynamic_under_node("b")
+        assert not cooling_sdft.dynamic_under_node("a")
+        assert cooling_sdft.dynamic_under_node("pumps")
+
+    def test_chain_of(self, cooling_sdft):
+        assert cooling_sdft.chain_of("b").n_states == 2
+        with pytest.raises(UnknownNodeError):
+            cooling_sdft.chain_of("a")
+
+    def test_structure_is_static_view(self, cooling_sdft):
+        structure = cooling_sdft.structure
+        assert structure.probability("b") == 0.0  # placeholder only
+        assert structure.probability("a") == 3e-3
+
+
+class TestDirectConstruction:
+    def test_constructor_matches_builder(self, cooling_sdft):
+        rebuilt = SdFaultTree(
+            "cooling",
+            [BasicEvent("a", 3e-3), BasicEvent("c", 3e-3), BasicEvent("e", 3e-6)],
+            list(cooling_sdft.dynamic_events.values()),
+            [
+                Gate("pump1", GateType.OR, ("a", "b")),
+                Gate("pump2", GateType.OR, ("c", "d")),
+                Gate("pumps", GateType.AND, ("pump1", "pump2")),
+                Gate("cooling", GateType.OR, ("pumps", "e")),
+            ],
+            {"pump1": ["d"]},
+        )
+        assert rebuilt.trigger_of == cooling_sdft.trigger_of

@@ -1,0 +1,67 @@
+"""Tests of the rate-sensitivity analysis."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.core.sensitivity import rate_sensitivity
+from repro.errors import UnknownNodeError
+
+
+@pytest.fixture
+def analyzed(cooling_sdft):
+    return cooling_sdft, analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+
+
+class TestRateSensitivity:
+    def test_higher_failure_rate_raises_probability(self, analyzed):
+        sdft, result = analyzed
+        sensitivity = rate_sensitivity(sdft, result, "b", relative_step=0.10)
+        # b's chain carries both failure and repair rates; failure
+        # dominates the first-passage behaviour, so scaling both up
+        # still increases the failure probability.
+        assert sensitivity.perturbed_probability > sensitivity.base_probability
+        assert sensitivity.elasticity > 0.0
+
+    def test_base_matches_analysis(self, analyzed):
+        sdft, result = analyzed
+        sensitivity = rate_sensitivity(sdft, result, "d")
+        assert sensitivity.base_probability == pytest.approx(
+            result.failure_probability
+        )
+
+    def test_perturbation_consistency_with_full_reanalysis(self, analyzed):
+        """Re-quantifying only the affected cutsets equals analysing the
+        perturbed model from scratch."""
+        from repro.core.sensitivity import _with_scaled_rates
+
+        sdft, result = analyzed
+        sensitivity = rate_sensitivity(sdft, result, "b", relative_step=0.25)
+        full = analyze(
+            _with_scaled_rates(sdft, "b", 1.25), AnalysisOptions(horizon=24.0)
+        )
+        assert sensitivity.perturbed_probability == pytest.approx(
+            full.failure_probability, rel=1e-9
+        )
+
+    def test_small_step_linearises(self, analyzed):
+        """Elasticity stabilises as the step shrinks (the derivative)."""
+        sdft, result = analyzed
+        coarse = rate_sensitivity(sdft, result, "b", relative_step=0.5)
+        fine = rate_sensitivity(sdft, result, "b", relative_step=0.01)
+        finer = rate_sensitivity(sdft, result, "b", relative_step=0.005)
+        assert abs(fine.elasticity - finer.elasticity) < abs(
+            coarse.elasticity - finer.elasticity
+        ) + 1e-9
+
+    def test_static_event_rejected(self, analyzed):
+        sdft, result = analyzed
+        with pytest.raises(UnknownNodeError):
+            rate_sensitivity(sdft, result, "a")
+
+    def test_zero_elasticity_when_probability_zero(self, cooling_sdft):
+        result = analyze(
+            cooling_sdft, AnalysisOptions(horizon=24.0, cutoff=1e-2)
+        )
+        assert result.failure_probability == 0.0
+        sensitivity = rate_sensitivity(cooling_sdft, result, "b")
+        assert sensitivity.elasticity == 0.0

@@ -1,0 +1,119 @@
+"""Tests of the static translation FT-bar and worst-case probabilities."""
+
+import math
+
+import pytest
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.core.to_static import to_static
+from repro.core.worst_case import worst_case_probabilities, worst_case_probability
+from repro.ctmc.builders import (
+    erlang_failure,
+    repairable,
+    triggered_erlang,
+    triggered_repairable,
+)
+from repro.ft.mocus import MocusOptions, mocus
+from repro.ft.tree import GateType
+
+
+class TestWorstCase:
+    def test_untriggered_is_first_passage(self):
+        chain = repairable(0.001, 0.05)
+        p = worst_case_probability(chain, 24.0)
+        assert p == pytest.approx(1 - math.exp(-0.001 * 24), abs=1e-10)
+
+    def test_triggered_uses_on_view(self):
+        """Triggered at time 0 and never untriggered: identical to the
+        plain repairable chain, despite the passive states."""
+        triggered = triggered_repairable(0.001, 0.05, passive_failure_rate=0.0)
+        plain = repairable(0.001, 0.05)
+        assert worst_case_probability(triggered, 24.0) == pytest.approx(
+            worst_case_probability(plain, 24.0), abs=1e-10
+        )
+
+    def test_worst_case_dominates_passive_start(self):
+        """Active-from-0 exposure is at least the failure probability
+        of any later triggering (passive rates are lower)."""
+        from repro.ctmc.transient import failure_probability
+
+        chain = triggered_erlang(1, 1e-3, 0.05)
+        worst = worst_case_probability(chain, 24.0)
+        passive_only = failure_probability(chain, 24.0)  # never triggered
+        assert worst >= passive_only
+
+    def test_shared_chains_computed_once(self, cooling_sdft):
+        values = worst_case_probabilities(cooling_sdft, 24.0)
+        assert set(values) == {"b", "d"}
+        assert values["b"] == pytest.approx(values["d"], abs=1e-12)
+
+
+class TestTranslationStructure:
+    def test_trigger_becomes_and_gate(self, cooling_sdft):
+        translation = to_static(cooling_sdft, 24.0)
+        tree = translation.tree
+        assert "d#triggered" in tree.gates
+        gate = tree.gates["d#triggered"]
+        assert gate.gate_type is GateType.AND
+        assert set(gate.children) == {"d", "pump1"}
+        # pump2 now references the AND gate instead of d directly.
+        assert "d#triggered" in tree.gates["pump2"].children
+        assert "d" not in tree.gates["pump2"].children
+
+    def test_dynamic_events_become_static(self, cooling_sdft):
+        translation = to_static(cooling_sdft, 24.0)
+        tree = translation.tree
+        assert tree.probability("b") == pytest.approx(
+            1 - math.exp(-0.001 * 24), abs=1e-10
+        )
+        assert translation.worst_case["b"] == tree.probability("b")
+
+    def test_untriggered_events_not_redirected(self, cooling_sdft):
+        tree = to_static(cooling_sdft, 24.0).tree
+        assert "b" in tree.gates["pump1"].children
+
+
+class TestMcsEquivalence:
+    def test_running_example_mcs(self, cooling_sdft):
+        """FT-bar has the same minimal cutsets as the static Example 1
+        tree (paper Section V-B1)."""
+        tree = to_static(cooling_sdft, 24.0).tree
+        result = mocus(tree, MocusOptions(cutoff=0.0))
+        assert set(result.cutsets.cutsets) == {
+            frozenset({"e"}),
+            frozenset({"a", "c"}),
+            frozenset({"a", "d"}),
+            frozenset({"b", "c"}),
+            frozenset({"b", "d"}),
+        }
+
+    def test_trigger_forces_companion_events(self):
+        """A triggered event can only appear in cutsets together with a
+        failure of its triggering gate."""
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("head", erlang_failure(1, 0.01, 0.1))
+        b.dynamic_event("tail", triggered_erlang(1, 0.01, 0.1))
+        b.or_("src", "head")
+        b.and_("top", "head", "tail")
+        b.trigger("src", "tail")
+        tree = to_static(b.build("top"), 24.0).tree
+        cutsets = mocus(tree, MocusOptions(cutoff=0.0)).cutsets
+        for cutset in cutsets:
+            if "tail" in cutset:
+                assert "head" in cutset
+
+    def test_cutoff_conservative_wrt_dynamic_probability(self, cooling_sdft):
+        """Inequality (1): the product of worst-case probabilities of a
+        partial cutset bounds the true reach probability of any cutset
+        extending it, so quantified values never exceed the static bound
+        per cutset."""
+        from repro.core.analyzer import AnalysisOptions, analyze
+
+        result = analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+        tree = to_static(cooling_sdft, 24.0).tree
+        probabilities = {n: e.probability for n, e in tree.events.items()}
+        from repro.ft.cutsets import cutset_probability
+
+        for record in result.records:
+            static_value = cutset_probability(record.cutset, probabilities)
+            assert record.probability <= static_value + 1e-12

@@ -1,0 +1,190 @@
+"""Tests of the failure-model builders and triggered-CTMC invariants."""
+
+import math
+
+import pytest
+
+from repro.ctmc.builders import (
+    erlang_failure,
+    exponential_failure,
+    repairable,
+    static_chain,
+    triggered_erlang,
+    triggered_repairable,
+)
+from repro.ctmc.chain import Ctmc
+from repro.ctmc.transient import failure_probability, transient_distribution
+from repro.ctmc.triggered import TriggeredCtmc
+from repro.errors import InvalidRateError, ModelError, TriggerError
+
+
+class TestSimpleBuilders:
+    def test_exponential_first_passage(self):
+        chain = exponential_failure(0.01)
+        assert failure_probability(chain, 100.0) == pytest.approx(
+            1 - math.exp(-1.0), abs=1e-10
+        )
+
+    def test_repairable_shape(self):
+        chain = repairable(0.001, 0.05)
+        assert chain.n_states == 2
+        assert chain.exit_rate(("on", 1)) == pytest.approx(0.05)
+
+    def test_static_chain_is_frozen(self):
+        chain = static_chain(0.3)
+        assert chain.n_transitions == 0
+        distribution = transient_distribution(chain, 100.0)
+        assert distribution[chain.index["fail"]] == pytest.approx(0.3)
+
+    def test_rate_validation(self):
+        with pytest.raises(InvalidRateError):
+            exponential_failure(0.0)
+        with pytest.raises(InvalidRateError):
+            repairable(0.1, -1.0)
+
+
+class TestErlang:
+    def test_single_phase_equals_exponential(self):
+        erlang = erlang_failure(1, 0.01)
+        exponential = exponential_failure(0.01)
+        for t in (1.0, 10.0, 100.0):
+            assert failure_probability(erlang, t) == pytest.approx(
+                failure_probability(exponential, t), abs=1e-10
+            )
+
+    def test_mean_time_to_failure_preserved(self):
+        """k phases at rate k*lambda keep MTTF = 1/lambda: the Erlang CDF
+        crosses the exponential CDF near the mean but both have the same
+        first moment; check via the known Erlang CDF."""
+        rate, k, t = 0.01, 3, 80.0
+        chain = erlang_failure(k, rate)
+        x = k * rate * t
+        expected = 1 - math.exp(-x) * sum(x**i / math.factorial(i) for i in range(k))
+        assert failure_probability(chain, t) == pytest.approx(expected, abs=1e-9)
+
+    def test_more_phases_less_early_failure(self):
+        """Erlang failures have less mass in the early tail."""
+        t = 10.0  # well before MTTF = 1000 h
+        p1 = failure_probability(erlang_failure(1, 1e-3), t)
+        p3 = failure_probability(erlang_failure(3, 1e-3), t)
+        assert p3 < p1
+
+    def test_repair_transition(self):
+        chain = erlang_failure(2, 0.01, repair_rate=0.5)
+        assert (("on", 2), ("on", 0)) in chain.rates
+
+    def test_phase_validation(self):
+        with pytest.raises(ModelError):
+            erlang_failure(0, 0.01)
+
+
+class TestTriggeredInvariants:
+    def test_triggered_repairable_shape(self):
+        chain = triggered_repairable(0.001, 0.05)
+        assert isinstance(chain, TriggeredCtmc)
+        assert chain.on_states == {("on", 0), ("on", 1)}
+        assert chain.failed == {("on", 1)}
+        assert chain.initial == {("off", 0): 1.0}
+
+    def test_failed_must_be_on(self):
+        with pytest.raises(TriggerError):
+            TriggeredCtmc(
+                ["off", "on"],
+                {"off": 1.0},
+                {},
+                ["off"],  # failed off-state: forbidden
+                ["on"],
+                {"off": "on"},
+                {"on": "off"},
+            )
+
+    def test_initial_must_be_off(self):
+        with pytest.raises(TriggerError):
+            TriggeredCtmc(
+                ["off", "on"],
+                {"on": 1.0},
+                {},
+                [],
+                ["on"],
+                {"off": "on"},
+                {"on": "off"},
+            )
+
+    def test_switch_maps_must_be_total(self):
+        with pytest.raises(TriggerError):
+            TriggeredCtmc(
+                ["off1", "off2", "on"],
+                {"off1": 1.0},
+                {},
+                [],
+                ["on"],
+                {"off1": "on"},  # off2 missing
+                {"on": "off1"},
+            )
+
+    def test_switch_targets_must_cross_partition(self):
+        with pytest.raises(TriggerError):
+            TriggeredCtmc(
+                ["off1", "off2", "on"],
+                {"off1": 1.0},
+                {},
+                [],
+                ["on"],
+                {"off1": "off2", "off2": "off2"},  # lands in off: forbidden
+                {"on": "off1"},
+            )
+
+    def test_apply_trigger(self):
+        chain = triggered_repairable(0.001, 0.05)
+        assert chain.apply_trigger(("off", 0), True) == ("on", 0)
+        assert chain.apply_trigger(("on", 1), False) == ("off", 1)
+        assert chain.apply_trigger(("on", 0), True) == ("on", 0)
+        assert chain.apply_trigger(("off", 1), False) == ("off", 1)
+
+
+class TestUntriggeredView:
+    def test_view_shifts_initial(self):
+        chain = triggered_repairable(0.001, 0.05)
+        view = chain.untriggered_view()
+        assert isinstance(view, Ctmc)
+        assert view.initial == {("on", 0): 1.0}
+
+    def test_view_first_passage_matches_plain_repairable(self):
+        triggered = triggered_repairable(0.001, 0.05).untriggered_view()
+        plain = repairable(0.001, 0.05)
+        for t in (1.0, 24.0, 96.0):
+            assert failure_probability(triggered, t) == pytest.approx(
+                failure_probability(plain, t), abs=1e-10
+            )
+
+    def test_view_is_cached(self):
+        chain = triggered_repairable(0.001, 0.05)
+        assert chain.untriggered_view() is chain.untriggered_view()
+
+
+class TestTriggeredErlang:
+    def test_paper_section_vi_a_shape(self):
+        chain = triggered_erlang(2, 1e-3, 0.05)
+        # 3 passive + 3 active states.
+        assert chain.n_states == 6
+        assert chain.failed == {("on", 2)}
+        # Passive rates are 100x lower (paper's factor).
+        assert chain.rates[(("off", 0), ("off", 1))] == pytest.approx(
+            chain.rates[(("on", 0), ("on", 1))] / 100.0
+        )
+        # No repair while off: the passive failed phase is absorbing-ish.
+        assert (("off", 2), ("off", 0)) not in chain.rates
+        assert (("on", 2), ("on", 0)) in chain.rates
+
+    def test_zero_passive_factor(self):
+        chain = triggered_erlang(1, 1e-3, 0.05, passive_factor=0.0)
+        assert (("off", 0), ("off", 1)) not in chain.rates
+
+    def test_zero_repair_rate_allowed(self):
+        chain = triggered_erlang(1, 1e-3, 0.0)
+        assert (("on", 1), ("on", 0)) not in chain.rates
+
+    def test_switch_preserves_phase(self):
+        chain = triggered_erlang(3, 1e-3, 0.05)
+        assert chain.switch_on[("off", 2)] == ("on", 2)
+        assert chain.switch_off[("on", 3)] == ("off", 3)

@@ -1,0 +1,90 @@
+"""Tests of phase-type moment fitting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ctmc.analysis import mean_time_to_failure
+from repro.ctmc.phase_type import fit_failure_distribution
+from repro.ctmc.transient import failure_probability
+from repro.errors import ModelError
+
+
+def _empirical_cv(chain, mean: float) -> float:
+    """CV via the second moment: E[T^2] = 2 * integral of survival * t.
+
+    Cheap numeric version: estimate E[T^2] from the survival function on
+    a fine grid (enough accuracy for the fit checks)."""
+    import numpy as np
+
+    horizon = mean * 20
+    grid = np.linspace(0.0, horizon, 4001)
+    survival = np.array([1.0 - failure_probability(chain, float(t)) for t in grid])
+    second_moment = 2.0 * np.trapezoid(survival * grid, grid)
+    variance = second_moment - mean**2
+    return math.sqrt(max(variance, 0.0)) / mean
+
+
+class TestShapes:
+    def test_cv_one_is_exponential(self):
+        fit = fit_failure_distribution(100.0, 1.0)
+        assert fit.shape == "exponential"
+        assert fit.chain.n_states == 2
+
+    def test_low_cv_is_erlang(self):
+        fit = fit_failure_distribution(100.0, 0.5)
+        assert fit.shape == "erlang"
+        assert fit.chain.n_states == 5  # k = 4 phases
+        assert fit.fitted_cv == pytest.approx(0.5)
+
+    def test_high_cv_is_hyperexponential(self):
+        fit = fit_failure_distribution(100.0, 2.0)
+        assert fit.shape == "hyperexponential"
+        assert fit.chain.n_states == 3
+        assert fit.fitted_cv == pytest.approx(2.0)
+
+    def test_phase_cap(self):
+        fit = fit_failure_distribution(10.0, 0.01, max_phases=20)
+        assert fit.chain.n_states == 21
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            fit_failure_distribution(0.0, 1.0)
+        with pytest.raises(ModelError):
+            fit_failure_distribution(10.0, -1.0)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("cv", [0.3, 0.5, 1.0, 1.5, 3.0])
+    def test_mean_preserved(self, cv):
+        fit = fit_failure_distribution(50.0, cv)
+        assert mean_time_to_failure(fit.chain) == pytest.approx(50.0, rel=1e-9)
+
+    @pytest.mark.parametrize("cv", [0.5, 1.0, 2.0])
+    def test_cv_realised(self, cv):
+        fit = fit_failure_distribution(20.0, cv)
+        assert _empirical_cv(fit.chain, 20.0) == pytest.approx(
+            fit.fitted_cv, rel=0.05
+        )
+
+    @given(st.floats(0.2, 4.0), st.floats(1.0, 500.0))
+    def test_mean_always_matched(self, cv, mean):
+        fit = fit_failure_distribution(mean, cv)
+        assert mean_time_to_failure(fit.chain) == pytest.approx(mean, rel=1e-6)
+
+
+class TestUsableAsDynamicEvent:
+    def test_plugs_into_sd_tree(self):
+        from repro.core.analyzer import AnalysisOptions, analyze
+        from repro.core.sdft import SdFaultTreeBuilder
+
+        fit = fit_failure_distribution(200.0, 0.4)
+        b = SdFaultTreeBuilder()
+        b.dynamic_event("aged", fit.chain)
+        b.static_event("s", 0.01)
+        b.and_("top", "aged", "s")
+        result = analyze(b.build("top"), AnalysisOptions(horizon=24.0))
+        expected = 0.01 * failure_probability(fit.chain, 24.0)
+        assert result.failure_probability == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,193 @@
+"""Transient-analysis tests: closed forms, backend agreement, guards."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ctmc.chain import Ctmc
+from repro.ctmc.transient import (
+    failure_probability,
+    reach_probability,
+    steady_state,
+    transient_distribution,
+)
+from repro.errors import NumericalError
+
+from tests.strategies import small_ctmcs
+
+
+def _birth(rate=0.3):
+    return Ctmc(["a", "b"], {"a": 1.0}, {("a", "b"): rate}, ["b"])
+
+
+def _repairable(lam=0.2, mu=1.0):
+    return Ctmc(
+        ["ok", "fail"],
+        {"ok": 1.0},
+        {("ok", "fail"): lam, ("fail", "ok"): mu},
+        ["fail"],
+    )
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("t", [0.0, 0.1, 1.0, 10.0, 100.0])
+    def test_pure_birth(self, t):
+        chain = _birth(0.3)
+        distribution = transient_distribution(chain, t)
+        assert distribution[1] == pytest.approx(1 - math.exp(-0.3 * t), abs=1e-10)
+
+    @pytest.mark.parametrize("t", [0.5, 5.0, 50.0])
+    def test_repairable_transient_availability(self, t):
+        lam, mu = 0.2, 1.0
+        chain = _repairable(lam, mu)
+        distribution = transient_distribution(chain, t)
+        # Standard two-state availability formula.
+        expected = lam / (lam + mu) * (1 - math.exp(-(lam + mu) * t))
+        assert distribution[1] == pytest.approx(expected, abs=1e-10)
+
+    @pytest.mark.parametrize("t", [0.5, 5.0, 50.0])
+    def test_first_passage_ignores_repair(self, t):
+        """Reach probability makes the target absorbing, so the repair
+        transition cannot undo the first visit."""
+        chain = _repairable(0.2, 50.0)
+        assert failure_probability(chain, t) == pytest.approx(
+            1 - math.exp(-0.2 * t), abs=1e-9
+        )
+
+    def test_erlang_two_phase(self):
+        chain = Ctmc(
+            ["p0", "p1", "p2"],
+            {"p0": 1.0},
+            {("p0", "p1"): 2.0, ("p1", "p2"): 2.0},
+            ["p2"],
+        )
+        t = 1.3
+        # Erlang(2, 2) CDF: 1 - e^{-2t}(1 + 2t).
+        expected = 1 - math.exp(-2 * t) * (1 + 2 * t)
+        assert failure_probability(chain, t) == pytest.approx(expected, abs=1e-10)
+
+
+class TestBackends:
+    @given(small_ctmcs(), st.floats(0.0, 20.0))
+    def test_uniformization_matches_expm(self, chain, t):
+        uni = transient_distribution(chain, t, method="uniformization")
+        exp = transient_distribution(chain, t, method="expm")
+        assert np.allclose(uni, exp, atol=1e-8)
+
+    @given(small_ctmcs(), st.floats(0.1, 20.0))
+    def test_reach_probability_backend_agreement(self, chain, t):
+        a = reach_probability(chain, t, method="uniformization")
+        b = reach_probability(chain, t, method="expm")
+        assert a == pytest.approx(b, abs=1e-8)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            transient_distribution(_birth(), 1.0, method="laplace")
+
+
+class TestProperties:
+    @given(small_ctmcs(), st.floats(0.0, 10.0))
+    def test_distribution_is_stochastic(self, chain, t):
+        distribution = transient_distribution(chain, t)
+        assert distribution.min() >= -1e-12
+        assert distribution.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(small_ctmcs())
+    def test_reach_probability_monotone_in_horizon(self, chain):
+        values = [reach_probability(chain, t) for t in (0.5, 1.0, 5.0, 20.0)]
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier - 1e-10
+
+    def test_zero_horizon_reads_initial(self):
+        chain = Ctmc(["a", "b"], {"b": 1.0}, {("b", "a"): 1.0}, ["b"])
+        assert reach_probability(chain, 0.0) == pytest.approx(1.0)
+        assert failure_probability(_birth(), 0.0) == 0.0
+
+    def test_no_targets_is_zero(self):
+        chain = Ctmc(["a"], {"a": 1.0}, {}, [])
+        assert failure_probability(chain, 10.0) == 0.0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            transient_distribution(_birth(), -1.0)
+
+
+class TestEpsilon:
+    def test_tighter_epsilon_closer_to_expm(self):
+        chain = _repairable(0.5, 3.0)
+        exact = transient_distribution(chain, 10.0, method="expm")
+        loose = transient_distribution(chain, 10.0, epsilon=1e-3)
+        tight = transient_distribution(chain, 10.0, epsilon=1e-13)
+        assert np.abs(tight - exact).max() <= np.abs(loose - exact).max() + 1e-13
+
+    def test_stiff_chain_guard(self):
+        # Enormous q*t exceeds the term limit and must raise, not hang.
+        chain = Ctmc(
+            ["a", "b"],
+            {"a": 1.0},
+            {("a", "b"): 1e9, ("b", "a"): 1e9},
+            ["b"],
+        )
+        with pytest.raises(NumericalError):
+            transient_distribution(chain, 1e4)
+
+
+class TestOccupancy:
+    from repro.ctmc.transient import occupancy_integrals
+
+    def test_entries_sum_to_horizon(self):
+        from repro.ctmc.transient import occupancy_integrals
+
+        chain = _repairable(0.3, 1.0)
+        occupancy = occupancy_integrals(chain, 17.0)
+        assert occupancy.sum() == pytest.approx(17.0, abs=1e-6)
+
+    def test_matches_downtime(self):
+        """The failed-state occupancy is exactly the expected downtime."""
+        from repro.ctmc.analysis import expected_downtime
+        from repro.ctmc.transient import occupancy_integrals
+
+        chain = _repairable(0.3, 1.0)
+        occupancy = occupancy_integrals(chain, 40.0)
+        downtime = expected_downtime(chain, 40.0)
+        assert occupancy[chain.index["fail"]] == pytest.approx(downtime, rel=1e-6)
+
+    def test_frozen_chain(self):
+        from repro.ctmc.transient import occupancy_integrals
+
+        chain = Ctmc(["a", "b"], {"a": 0.25, "b": 0.75}, {}, [])
+        occupancy = occupancy_integrals(chain, 8.0)
+        assert occupancy[0] == pytest.approx(2.0)
+        assert occupancy[1] == pytest.approx(6.0)
+
+    def test_zero_horizon(self):
+        from repro.ctmc.transient import occupancy_integrals
+
+        assert occupancy_integrals(_birth(), 0.0).sum() == 0.0
+
+    @given(small_ctmcs(), st.floats(0.1, 15.0))
+    def test_occupancy_vs_quadrature(self, chain, horizon):
+        """The uniformization integral matches trapezoidal quadrature of
+        the transient distribution."""
+        from repro.ctmc.transient import occupancy_integrals
+
+        occupancy = occupancy_integrals(chain, horizon)
+        grid = np.linspace(0.0, horizon, 101)
+        samples = np.array([transient_distribution(chain, u) for u in grid])
+        quadrature = np.trapezoid(samples, grid, axis=0)
+        assert np.allclose(occupancy, quadrature, atol=horizon * 2e-3)
+
+
+class TestSteadyState:
+    def test_two_state_balance(self):
+        chain = _repairable(0.2, 1.0)
+        pi = steady_state(chain)
+        assert pi[1] == pytest.approx(0.2 / 1.2, abs=1e-10)
+
+    def test_reducible_chain_rejected(self):
+        chain = Ctmc(["a", "b"], {"a": 1.0}, {}, [])
+        with pytest.raises(NumericalError):
+            steady_state(chain)

@@ -1,0 +1,100 @@
+"""Tests of the fluent builder and the validation/lint layer."""
+
+import pytest
+
+from repro.errors import DuplicateNameError, ModelError
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.tree import GateType
+from repro.ft.validate import tree_stats, validate
+
+
+class TestBuilder:
+    def test_chaining(self):
+        tree = (
+            FaultTreeBuilder("t")
+            .event("a", 0.1)
+            .event("b", 0.2)
+            .or_("top", "a", "b")
+            .build("top")
+        )
+        assert set(tree.events) == {"a", "b"}
+        assert tree.gates["top"].gate_type is GateType.OR
+
+    def test_events_bulk(self):
+        b = FaultTreeBuilder().events([("a", 0.1), ("b", 0.2)])
+        assert b.has_node("a") and b.has_node("b")
+
+    def test_forward_references_allowed(self):
+        b = FaultTreeBuilder()
+        b.or_("top", "a", "b")  # children declared later
+        b.event("a", 0.1).event("b", 0.2)
+        tree = b.build("top")
+        assert tree.children("top") == ("a", "b")
+
+    def test_duplicate_rejected(self):
+        b = FaultTreeBuilder().event("a", 0.1)
+        with pytest.raises(DuplicateNameError):
+            b.event("a", 0.2)
+        with pytest.raises(DuplicateNameError):
+            b.or_("a", "a")
+
+    def test_top_must_be_declared_gate(self):
+        b = FaultTreeBuilder().event("a", 0.1)
+        with pytest.raises(ModelError):
+            b.build("a")
+        with pytest.raises(ModelError):
+            b.build("ghost")
+
+    def test_atleast(self):
+        b = FaultTreeBuilder().events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        tree = b.atleast("top", 2, "a", "b", "c").build("top")
+        assert tree.gates["top"].k == 2
+
+
+class TestValidate:
+    def test_clean_tree_has_no_warnings(self, cooling_tree):
+        report = validate(cooling_tree)
+        assert bool(report)
+        assert report.warnings == ()
+
+    def test_unreachable_nodes_warn(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1).event("orphan", 0.2)
+        b.or_("top", "a").or_("dead", "orphan")
+        report = validate(b.build("top"))
+        warned_nodes = {i.node for i in report.warnings}
+        assert "orphan" in warned_nodes
+        assert "dead" in warned_nodes
+        assert not report
+
+    def test_extreme_probabilities_flagged(self):
+        b = FaultTreeBuilder()
+        b.event("certain", 1.0).event("never", 0.0).event("big", 0.5)
+        b.or_("top", "certain", "never", "big")
+        report = validate(b.build("top"))
+        severities = {i.node: i.severity for i in report.issues}
+        assert severities["certain"] == "warning"
+        assert severities["never"] == "info"
+        assert severities["big"] == "info"
+
+    def test_single_input_gate_is_info(self):
+        b = FaultTreeBuilder().event("a", 0.1)
+        b.or_("wrap", "a").or_("top", "wrap")
+        report = validate(b.build("top"))
+        assert any(
+            i.node in ("wrap", "top") and "single-input" in i.message
+            for i in report.issues
+        )
+        assert bool(report)  # infos don't fail validation
+
+
+class TestTreeStats:
+    def test_counts(self, cooling_tree):
+        stats = tree_stats(cooling_tree)
+        assert stats.n_events == 5
+        assert stats.n_gates == 4
+        assert stats.n_and == 1
+        assert stats.n_or == 3
+        assert stats.n_atleast == 0
+        assert stats.max_depth == 4  # event -> pump -> pumps -> cooling
+        assert stats.mean_fan_in == pytest.approx((2 + 2 + 2 + 2) / 4)

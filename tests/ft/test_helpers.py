@@ -1,0 +1,51 @@
+"""Direct tests of small helpers exercised only indirectly elsewhere."""
+
+from repro.ft.cutsets import is_subsumed
+from repro.ft.scenario import restrict_scenario
+
+
+class TestRestrictScenario:
+    def test_overlay_adds_and_removes(self):
+        scenario = frozenset({"a", "b"})
+        result = restrict_scenario(scenario, {"b": False, "c": True})
+        assert result == frozenset({"a", "c"})
+
+    def test_empty_overlay_is_identity(self):
+        scenario = frozenset({"x"})
+        assert restrict_scenario(scenario, {}) == scenario
+
+    def test_original_not_mutated(self):
+        scenario = frozenset({"a"})
+        restrict_scenario(scenario, {"a": False})
+        assert scenario == frozenset({"a"})
+
+
+class TestIsSubsumed:
+    def _indexed(self, *sets):
+        family = [frozenset(s) for s in sets]
+        lookup = set(family)
+        buckets: dict[str, list[frozenset[str]]] = {}
+        for member in family:
+            for element in member:
+                buckets.setdefault(element, []).append(member)
+        return lookup, buckets
+
+    def test_subset_detected(self):
+        lookup, buckets = self._indexed({"a"}, {"b", "c"})
+        assert is_subsumed(frozenset({"a", "x"}), lookup, buckets)
+        assert is_subsumed(frozenset({"b", "c", "d"}), lookup, buckets)
+
+    def test_exact_duplicate_is_subsumed(self):
+        lookup, buckets = self._indexed({"a", "b"})
+        assert is_subsumed(frozenset({"a", "b"}), lookup, buckets)
+
+    def test_unrelated_sets_not_subsumed(self):
+        lookup, buckets = self._indexed({"a", "b"}, {"c"})
+        assert not is_subsumed(frozenset({"a", "d"}), lookup, buckets)
+
+    def test_large_candidate_uses_bucket_path(self):
+        lookup, buckets = self._indexed({"x0", "x1"})
+        big = frozenset(f"x{i}" for i in range(20))
+        assert is_subsumed(big, lookup, buckets)
+        other = frozenset(f"y{i}" for i in range(20))
+        assert not is_subsumed(other, lookup, buckets)

@@ -1,0 +1,101 @@
+"""Tests of the importance measures."""
+
+import math
+
+import pytest
+
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.importance import (
+    importance,
+    rank_by_fussell_vesely,
+    top_probability_with,
+)
+from repro.ft.mocus import mocus
+
+
+@pytest.fixture
+def cooling_cutsets(cooling_tree):
+    return mocus(cooling_tree).cutsets
+
+
+class TestFussellVesely:
+    def test_fv_is_containing_fraction(self, cooling_cutsets):
+        measures = importance(cooling_cutsets)
+        total = cooling_cutsets.rare_event()
+        # a appears in {a,c} (9e-6) and {a,d} (3e-6).
+        assert math.isclose(measures["a"].fussell_vesely, 12e-6 / total, rel_tol=1e-9)
+        # e appears only in {e} (3e-6).
+        assert math.isclose(measures["e"].fussell_vesely, 3e-6 / total, rel_tol=1e-9)
+
+    def test_symmetric_events_have_equal_fv(self, cooling_cutsets):
+        measures = importance(cooling_cutsets)
+        assert math.isclose(
+            measures["a"].fussell_vesely,
+            measures["c"].fussell_vesely,
+            rel_tol=1e-12,
+        )
+        assert math.isclose(
+            measures["b"].fussell_vesely,
+            measures["d"].fussell_vesely,
+            rel_tol=1e-12,
+        )
+
+    def test_ranking_order(self, cooling_cutsets):
+        ranked = rank_by_fussell_vesely(cooling_cutsets)
+        names = [name for name, _ in ranked]
+        # a and c (3e-3 each, in the heavy cutsets) outrank b and d.
+        assert set(names[:2]) == {"a", "c"}
+        values = [fv for _, fv in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestBirnbaum:
+    def test_birnbaum_is_derivative(self, cooling_cutsets):
+        """Birnbaum(a) equals the finite-difference derivative of the
+        rare-event sum with respect to p(a)."""
+        measures = importance(cooling_cutsets)
+        base = cooling_cutsets.rare_event()
+        delta = 1e-6
+        bumped = top_probability_with(cooling_cutsets, {"a": 3e-3 + delta})
+        numeric = (bumped - base) / delta
+        assert math.isclose(measures["a"].birnbaum, numeric, rel_tol=1e-6)
+
+    def test_zero_probability_event(self):
+        b = FaultTreeBuilder()
+        b.event("z", 0.0).event("x", 0.1)
+        b.and_("top", "z", "x")
+        cutsets = mocus(b.build("top"), options=None).cutsets
+        # With cutoff, the zero-probability cutset disappears entirely;
+        # regenerate without cutoff to exercise the p=0 branch.
+        from repro.ft.mocus import MocusOptions
+
+        cutsets = mocus(b.build("top"), MocusOptions(cutoff=0.0)).cutsets
+        measures = importance(cutsets)
+        assert measures["z"].fussell_vesely == 0.0
+        assert math.isclose(measures["z"].birnbaum, 0.1, rel_tol=1e-12)
+
+
+class TestRawRrw:
+    def test_raw_matches_reevaluation(self, cooling_cutsets):
+        measures = importance(cooling_cutsets)
+        base = cooling_cutsets.rare_event()
+        achieved = top_probability_with(cooling_cutsets, {"a": 1.0})
+        assert math.isclose(
+            measures["a"].risk_achievement_worth, achieved / base, rel_tol=1e-9
+        )
+
+    def test_rrw_matches_reevaluation(self, cooling_cutsets):
+        measures = importance(cooling_cutsets)
+        base = cooling_cutsets.rare_event()
+        reduced = top_probability_with(cooling_cutsets, {"a": 0.0})
+        assert math.isclose(
+            measures["a"].risk_reduction_worth, base / reduced, rel_tol=1e-9
+        )
+
+    def test_rrw_infinite_when_event_in_every_cutset(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1).event("x", 0.2)
+        b.and_("top", "a", "x")
+        cutsets = mocus(b.build("top")).cutsets
+        measures = importance(cutsets)
+        assert math.isinf(measures["a"].risk_reduction_worth)

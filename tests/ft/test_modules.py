@@ -1,0 +1,68 @@
+"""Tests of independent-module detection."""
+
+from hypothesis import given
+
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.modules import find_modules
+
+from tests.strategies import fault_trees
+
+
+class TestKnownModules:
+    def test_tree_shaped_model_every_gate_is_module(self, cooling_tree):
+        report = find_modules(cooling_tree)
+        # The cooling example is a proper tree (no sharing): every gate
+        # is a module.
+        assert set(report.modules) == {"pump1", "pump2", "pumps", "cooling"}
+
+    def test_shared_event_breaks_modules(self):
+        b = FaultTreeBuilder()
+        b.events([("shared", 0.1), ("x", 0.1), ("y", 0.1)])
+        b.or_("g1", "shared", "x")
+        b.or_("g2", "shared", "y")
+        b.and_("top", "g1", "g2")
+        report = find_modules(b.build("top"))
+        assert "g1" not in report.modules
+        assert "g2" not in report.modules
+        assert "top" in report.modules
+
+    def test_partial_sharing(self):
+        b = FaultTreeBuilder()
+        b.events([("shared", 0.1), ("x", 0.1), ("y", 0.1), ("z", 0.1)])
+        b.or_("impure", "shared", "x")
+        b.or_("pure", "y", "z")
+        b.and_("mid", "impure", "pure")
+        b.or_("top", "mid", "shared")
+        report = find_modules(b.build("top"))
+        assert "pure" in report.modules
+        assert "impure" not in report.modules
+        assert "mid" not in report.modules  # contains the shared event
+
+    def test_maximal_modules_exclude_nested(self, cooling_tree):
+        report = find_modules(cooling_tree)
+        # pumps contains pump1/pump2; only pumps is maximal (top excluded).
+        assert "pumps" in report.maximal
+        assert "pump1" not in report.maximal
+        assert "pump2" not in report.maximal
+
+
+class TestModuleProperty:
+    @given(fault_trees(max_events=7, max_gates=6))
+    def test_module_definition(self, tree):
+        """A reported module's descendants have no parents outside it."""
+        report = find_modules(tree)
+        reachable = tree.reachable_from_top()
+        for gate_name in report.modules:
+            inside = tree.gates_under(gate_name)
+            for node in tree.descendants(gate_name):
+                for parent in tree.parents(node):
+                    if parent in reachable:
+                        assert parent in inside, (
+                            f"{gate_name} reported as module but {node} has "
+                            f"outside parent {parent}"
+                        )
+
+    @given(fault_trees(max_events=7, max_gates=6))
+    def test_top_is_always_module(self, tree):
+        report = find_modules(tree)
+        assert tree.top in report.modules

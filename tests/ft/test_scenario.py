@@ -1,0 +1,129 @@
+"""Unit and property tests of the scenario semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.errors import UnknownNodeError
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.scenario import (
+    evaluate,
+    exact_top_probability,
+    failure_scenarios,
+    fails,
+    fails_top,
+    minimal_failure_sets,
+    scenario_probability,
+)
+
+from tests.strategies import fault_trees
+
+
+class TestEvaluate:
+    def test_paper_example(self, cooling_tree):
+        status = evaluate(cooling_tree, {"a", "d"})
+        assert status["pump1"] and status["pump2"]
+        assert status["pumps"] and status["cooling"]
+        assert not status["e"]
+
+    def test_or_gate_any_input(self, cooling_tree):
+        assert fails(cooling_tree, {"a"}, "pump1")
+        assert fails(cooling_tree, {"b"}, "pump1")
+        assert not fails(cooling_tree, {"c"}, "pump1")
+
+    def test_and_gate_all_inputs(self, cooling_tree):
+        assert not fails(cooling_tree, {"a"}, "pumps")
+        assert fails(cooling_tree, {"a", "c"}, "pumps")
+
+    def test_empty_scenario_fails_nothing(self, cooling_tree):
+        assert not fails_top(cooling_tree, frozenset())
+
+    def test_unknown_event_rejected(self, cooling_tree):
+        with pytest.raises(UnknownNodeError):
+            fails_top(cooling_tree, {"ghost"})
+        with pytest.raises(UnknownNodeError):
+            fails_top(cooling_tree, {"pump1"})  # gates are not scenario members
+
+    def test_atleast_gate(self):
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        b.atleast("top", 2, "a", "b", "c")
+        tree = b.build("top")
+        assert not fails_top(tree, {"a"})
+        assert fails_top(tree, {"a", "c"})
+        assert fails_top(tree, {"a", "b", "c"})
+
+
+class TestProbabilities:
+    def test_scenario_probability_paper_example_1(self, cooling_tree):
+        # p({a, d}) from paper Example 1 is approximately 2.988e-6.
+        p = scenario_probability(cooling_tree, {"a", "d"})
+        assert math.isclose(p, 2.988e-6, rel_tol=1e-3)
+
+    def test_scenario_probabilities_sum_to_one(self, cooling_tree):
+        import itertools
+
+        names = sorted(cooling_tree.events)
+        total = 0.0
+        for r in range(len(names) + 1):
+            for combo in itertools.combinations(names, r):
+                total += scenario_probability(cooling_tree, frozenset(combo))
+        assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+    def test_exact_top_probability_known_value(self, cooling_tree):
+        # p = 1 - (1 - p_pumps)(1 - p_e) with p_pumps = p1 * p2.
+        p1 = 1 - (1 - 3e-3) * (1 - 1e-3)
+        p2 = p1
+        expected = 1 - (1 - p1 * p2) * (1 - 3e-6)
+        # Loose tolerance: the brute-force sum accumulates rounding from
+        # 2^5 scenario terms of wildly different magnitudes.
+        assert math.isclose(exact_top_probability(cooling_tree), expected, rel_tol=1e-6)
+
+
+class TestEnumeration:
+    def test_failure_scenarios_are_failures(self, cooling_tree):
+        scenarios = list(failure_scenarios(cooling_tree))
+        assert scenarios
+        for scenario in scenarios:
+            assert fails_top(cooling_tree, scenario)
+
+    def test_minimal_failure_sets_paper_example_7(self, cooling_tree):
+        minimal = {frozenset(s) for s in minimal_failure_sets(cooling_tree)}
+        assert minimal == {
+            frozenset({"e"}),
+            frozenset({"a", "c"}),
+            frozenset({"a", "d"}),
+            frozenset({"b", "c"}),
+            frozenset({"b", "d"}),
+        }
+
+    def test_enumeration_guards(self, cooling_tree):
+        b = FaultTreeBuilder()
+        for i in range(25):
+            b.event(f"x{i}", 0.1)
+        b.or_("top", *[f"x{i}" for i in range(25)])
+        big = b.build("top")
+        with pytest.raises(ValueError):
+            list(failure_scenarios(big))
+        with pytest.raises(ValueError):
+            minimal_failure_sets(big)
+
+
+class TestMonotonicity:
+    @given(fault_trees(max_events=6, max_gates=5))
+    def test_coherence_failing_more_cannot_unfail(self, tree):
+        """Coherent trees are monotone: adding failures never repairs the top."""
+        names = sorted(tree.events)
+        scenario = frozenset(names[::2])
+        bigger = frozenset(names)
+        if fails_top(tree, scenario):
+            assert fails_top(tree, bigger)
+
+    @given(fault_trees(max_events=6, max_gates=5))
+    def test_supersets_of_minimal_sets_fail(self, tree):
+        minimal = minimal_failure_sets(tree)
+        all_events = frozenset(tree.events)
+        for cutset in minimal[:5]:
+            assert fails_top(tree, cutset)
+            assert fails_top(tree, all_events | cutset)

@@ -1,0 +1,110 @@
+"""Tests of the structural simplification pass."""
+
+import itertools
+
+from hypothesis import given
+
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.normalize import simplify
+from repro.ft.scenario import fails_top
+from repro.ft.tree import GateType
+
+from tests.strategies import fault_trees
+
+
+class TestRewrites:
+    def test_pass_through_collapsed(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1).event("b", 0.2)
+        b.or_("wrap", "a")
+        b.and_("top", "wrap", "b")
+        simplified = simplify(b.build("top"))
+        assert "wrap" not in simplified.gates
+        assert set(simplified.gates["top"].children) == {"a", "b"}
+
+    def test_chain_of_pass_throughs(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1).event("x", 0.1)
+        b.or_("w1", "a").or_("w2", "w1").or_("w3", "w2")
+        b.and_("top", "w3", "x")
+        simplified = simplify(b.build("top"))
+        assert set(simplified.gates) == {"top"}
+        assert set(simplified.gates["top"].children) == {"a", "x"}
+
+    def test_same_type_flattening(self):
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        b.or_("inner", "a", "b")
+        b.or_("top", "inner", "c")
+        simplified = simplify(b.build("top"))
+        assert set(simplified.gates) == {"top"}
+        assert set(simplified.gates["top"].children) == {"a", "b", "c"}
+
+    def test_shared_gates_not_inlined(self):
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        b.or_("shared", "a", "b")
+        b.or_("left", "shared", "c")
+        b.and_("top", "left", "shared")
+        simplified = simplify(b.build("top"))
+        # shared has two parents: it must survive.
+        assert "shared" in simplified.gates
+
+    def test_mixed_types_not_flattened(self):
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        b.and_("inner", "a", "b")
+        b.or_("top", "inner", "c")
+        simplified = simplify(b.build("top"))
+        assert "inner" in simplified.gates
+
+    def test_single_input_top_kept(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1)
+        b.or_("top", "a")
+        simplified = simplify(b.build("top"))
+        assert simplified.top == "top"
+        assert simplified.gates["top"].children == ("a",)
+
+    def test_atleast_untouched(self):
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        b.atleast("vote", 2, "a", "b", "c")
+        b.or_("top", "vote")
+        simplified = simplify(b.build("top"))
+        assert simplified.gates["vote"].gate_type is GateType.ATLEAST
+
+    def test_unreachable_pruned(self):
+        b = FaultTreeBuilder()
+        b.event("a", 0.1).event("orphan", 0.2)
+        b.or_("top", "a").or_("dead", "orphan")
+        simplified = simplify(b.build("top"))
+        assert "dead" not in simplified.gates
+        assert "orphan" not in simplified.events
+
+
+class TestEquivalence:
+    @given(fault_trees(max_events=6, max_gates=6))
+    def test_function_preserved(self, tree):
+        simplified = simplify(tree)
+        names = sorted(tree.events_under(tree.top))
+        for r in range(len(names) + 1):
+            for combo in itertools.combinations(names, r):
+                scenario = frozenset(combo)
+                assert fails_top(tree, scenario) == fails_top(
+                    simplified, scenario & frozenset(simplified.events)
+                )
+
+    @given(fault_trees(max_events=6, max_gates=6))
+    def test_never_grows(self, tree):
+        simplified = simplify(tree)
+        assert len(simplified.gates) <= len(tree.gates)
+
+    @given(fault_trees(max_events=6, max_gates=6))
+    def test_idempotent(self, tree):
+        once = simplify(tree)
+        twice = simplify(once)
+        assert set(once.gates) == set(twice.gates)
+        assert all(
+            once.gates[n].children == twice.gates[n].children for n in once.gates
+        )

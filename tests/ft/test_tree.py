@@ -1,0 +1,186 @@
+"""Unit tests for the static fault-tree model."""
+
+import pytest
+
+from repro.errors import (
+    CyclicModelError,
+    DuplicateNameError,
+    InvalidProbabilityError,
+    ModelError,
+    UnknownNodeError,
+)
+from repro.ft.tree import BasicEvent, FaultTree, Gate, GateType
+
+
+def _tiny():
+    return FaultTree(
+        "top",
+        [BasicEvent("a", 0.1), BasicEvent("b", 0.2), BasicEvent("c", 0.3)],
+        [
+            Gate("left", GateType.OR, ("a", "b")),
+            Gate("top", GateType.AND, ("left", "c")),
+        ],
+    )
+
+
+class TestBasicEvent:
+    def test_probability_bounds(self):
+        BasicEvent("ok0", 0.0)
+        BasicEvent("ok1", 1.0)
+        with pytest.raises(InvalidProbabilityError):
+            BasicEvent("bad", 1.5)
+        with pytest.raises(InvalidProbabilityError):
+            BasicEvent("bad", -0.1)
+
+
+class TestGate:
+    def test_needs_children(self):
+        with pytest.raises(ModelError):
+            Gate("g", GateType.AND, ())
+
+    def test_rejects_duplicate_children(self):
+        with pytest.raises(ModelError):
+            Gate("g", GateType.OR, ("a", "a"))
+
+    def test_atleast_needs_valid_k(self):
+        Gate("g", GateType.ATLEAST, ("a", "b", "c"), k=2)
+        with pytest.raises(ModelError):
+            Gate("g", GateType.ATLEAST, ("a", "b"))
+        with pytest.raises(ModelError):
+            Gate("g", GateType.ATLEAST, ("a", "b"), k=3)
+        with pytest.raises(ModelError):
+            Gate("g", GateType.ATLEAST, ("a", "b"), k=0)
+
+    def test_k_forbidden_on_and_or(self):
+        with pytest.raises(ModelError):
+            Gate("g", GateType.AND, ("a", "b"), k=1)
+
+
+class TestConstruction:
+    def test_duplicate_event_names_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            FaultTree(
+                "g",
+                [BasicEvent("a", 0.1), BasicEvent("a", 0.2)],
+                [Gate("g", GateType.OR, ("a",))],
+            )
+
+    def test_gate_event_name_collision_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            FaultTree(
+                "a",
+                [BasicEvent("a", 0.1)],
+                [Gate("a", GateType.OR, ("a",))],
+            )
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            FaultTree(
+                "g",
+                [BasicEvent("a", 0.1)],
+                [Gate("g", GateType.OR, ("a", "ghost"))],
+            )
+
+    def test_top_must_be_gate(self):
+        with pytest.raises(ModelError):
+            FaultTree("a", [BasicEvent("a", 0.1)], [Gate("g", GateType.OR, ("a",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CyclicModelError):
+            FaultTree(
+                "g1",
+                [BasicEvent("a", 0.1)],
+                [
+                    Gate("g1", GateType.OR, ("g2", "a")),
+                    Gate("g2", GateType.OR, ("g1",)),
+                ],
+            )
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(CyclicModelError):
+            FaultTree(
+                "g",
+                [BasicEvent("a", 0.1)],
+                [Gate("g", GateType.OR, ("g", "a"))],
+            )
+
+
+class TestQueries:
+    def test_membership_and_kinds(self):
+        tree = _tiny()
+        assert tree.is_event("a") and not tree.is_gate("a")
+        assert tree.is_gate("top") and not tree.is_event("top")
+        assert "a" in tree and "top" in tree and "nope" not in tree
+
+    def test_children_and_probability(self):
+        tree = _tiny()
+        assert tree.children("left") == ("a", "b")
+        assert tree.children("a") == ()
+        assert tree.probability("b") == 0.2
+        with pytest.raises(UnknownNodeError):
+            tree.children("ghost")
+        with pytest.raises(UnknownNodeError):
+            tree.probability("left")
+
+    def test_parents(self):
+        tree = _tiny()
+        assert tree.parents("a") == ("left",)
+        assert tree.parents("left") == ("top",)
+        assert tree.parents("top") == ()
+
+    def test_topological_order(self):
+        tree = _tiny()
+        order = tree.topological_order()
+        assert set(order) == {"a", "b", "c", "left", "top"}
+        assert order.index("left") < order.index("top")
+        assert order.index("a") < order.index("left")
+
+    def test_events_and_gates_under(self):
+        tree = _tiny()
+        assert tree.events_under("left") == {"a", "b"}
+        assert tree.events_under("top") == {"a", "b", "c"}
+        assert tree.events_under("a") == {"a"}
+        assert tree.gates_under("top") == {"left", "top"}
+        assert tree.gates_under("left") == {"left"}
+        assert tree.descendants("top") == {"a", "b", "c", "left"}
+
+    def test_events_under_shared_subtree(self):
+        # A DAG where one event feeds two gates.
+        tree = FaultTree(
+            "top",
+            [BasicEvent("a", 0.1), BasicEvent("b", 0.1)],
+            [
+                Gate("g1", GateType.OR, ("a",)),
+                Gate("g2", GateType.OR, ("a", "b")),
+                Gate("top", GateType.AND, ("g1", "g2")),
+            ],
+        )
+        assert tree.events_under("top") == {"a", "b"}
+        assert tree.parents("a") == ("g1", "g2")
+
+
+class TestDerivedTrees:
+    def test_with_probabilities(self):
+        tree = _tiny()
+        updated = tree.with_probabilities({"a": 0.5})
+        assert updated.probability("a") == 0.5
+        assert updated.probability("b") == 0.2
+        assert tree.probability("a") == 0.1  # original untouched
+        with pytest.raises(UnknownNodeError):
+            tree.with_probabilities({"ghost": 0.5})
+
+    def test_subtree(self):
+        tree = _tiny()
+        sub = tree.subtree("left")
+        assert sub.top == "left"
+        assert set(sub.events) == {"a", "b"}
+        assert set(sub.gates) == {"left"}
+        with pytest.raises(UnknownNodeError):
+            tree.subtree("a")
+
+    def test_reachable_from_top(self):
+        events = [BasicEvent("a", 0.1), BasicEvent("orphan", 0.5)]
+        gates = [Gate("top", GateType.OR, ("a",))]
+        tree = FaultTree("top", events, gates)
+        assert "orphan" not in tree.reachable_from_top()
+        assert tree.reachable_from_top() == {"a", "top"}

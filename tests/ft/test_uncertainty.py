@@ -1,0 +1,94 @@
+"""Tests of lognormal uncertainty propagation."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ft.cutsets import CutSetList
+from repro.ft.mocus import mocus
+from repro.ft.uncertainty import LogNormal, propagate
+
+
+class TestLogNormal:
+    def test_sigma_from_error_factor(self):
+        d = LogNormal(1e-3, error_factor=3.0)
+        assert math.isclose(d.sigma, math.log(3.0) / 1.6448536269514722)
+
+    def test_error_factor_one_is_deterministic(self):
+        import numpy as np
+
+        d = LogNormal(1e-3, error_factor=1.0)
+        samples = d.sample(np.random.default_rng(0), 100)
+        assert np.allclose(samples, 1e-3)
+
+    def test_samples_clipped_to_unit_interval(self):
+        import numpy as np
+
+        d = LogNormal(0.5, error_factor=10.0)
+        samples = d.sample(np.random.default_rng(0), 2000)
+        assert samples.max() <= 1.0
+        assert samples.min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LogNormal(0.0, 3.0)
+        with pytest.raises(ModelError):
+            LogNormal(1e-3, 0.5)
+
+
+class TestPropagate:
+    def test_deterministic_distributions_recover_point_value(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        distributions = {
+            name: LogNormal(p, 1.0)
+            for name, p in cutsets.probabilities.items()
+            if p > 0.0
+        }
+        result = propagate(cutsets, distributions, n_samples=100, seed=1)
+        assert math.isclose(result.mean, cutsets.rare_event(), rel_tol=1e-9)
+        assert result.standard_deviation < 1e-18
+
+    def test_spread_grows_with_error_factor(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        narrow = propagate(
+            cutsets,
+            {n: LogNormal(p, 1.5) for n, p in cutsets.probabilities.items() if p > 0},
+            n_samples=4000,
+            seed=2,
+        )
+        wide = propagate(
+            cutsets,
+            {n: LogNormal(p, 10.0) for n, p in cutsets.probabilities.items() if p > 0},
+            n_samples=4000,
+            seed=2,
+        )
+        assert wide.error_factor > narrow.error_factor
+        assert wide.p95 > narrow.p95
+
+    def test_quantiles_ordered(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        result = propagate(cutsets, {}, n_samples=2000, seed=3)
+        assert result.p05 <= result.median <= result.p95
+        assert result.n_samples == 2000
+
+    def test_default_error_factor_applies(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        result = propagate(cutsets, {}, n_samples=2000, seed=4)
+        # With EF 3 per event the output cannot be deterministic.
+        assert result.standard_deviation > 0.0
+
+    def test_mean_near_lognormal_expectation(self):
+        """Single one-event cutset: the propagated mean matches the
+        lognormal mean  median * exp(sigma^2 / 2)."""
+        cutsets = CutSetList((frozenset({"a"}),), {"a": 1e-4})
+        d = LogNormal(1e-4, 3.0)
+        result = propagate(cutsets, {"a": d}, n_samples=200_000, seed=5)
+        expected = 1e-4 * math.exp(d.sigma**2 / 2)
+        assert math.isclose(result.mean, expected, rel_tol=0.02)
+        assert math.isclose(result.median, 1e-4, rel_tol=0.02)
+
+    def test_sample_count_guard(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        with pytest.raises(ModelError):
+            propagate(cutsets, {}, n_samples=1)

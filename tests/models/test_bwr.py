@@ -1,0 +1,83 @@
+"""Tests of the fictive BWR study (Section VI-A model)."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze, analyze_static
+from repro.core.classify import TriggerClass, classification_report
+from repro.errors import ModelError
+from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+FAST = AnalysisOptions(horizon=24.0, cutoff=1e-10)  # keep tests quick
+
+
+class TestModelShape:
+    def test_static_variant_has_no_dynamics(self):
+        sdft = build_bwr(BwrConfig(dynamic=False))
+        assert not sdft.dynamic_events
+        assert not sdft.triggers
+
+    def test_size_matches_paper_scale(self):
+        sdft = build_bwr(BwrConfig(triggers=TRIGGER_STAGES))
+        n_events = len(sdft.all_event_names)
+        assert 60 <= n_events <= 90  # paper: 68 basic events
+        assert len(sdft.dynamic_events) == 11  # 10 train pumps + F&B pump
+
+    def test_trigger_stages(self):
+        sdft = build_bwr(BwrConfig(triggers=TRIGGER_STAGES))
+        assert len(sdft.trigger_of) == 6
+        assert sdft.trigger_of["FB-PUMP-FTR"] == "RHR"
+        assert sdft.trigger_of["ECC-B-PUMP-FTR"] == "ECC-TRAIN-A"
+
+    def test_partial_stages(self):
+        sdft = build_bwr(BwrConfig(triggers=("FEEDBLEED", "RHR")))
+        assert set(sdft.trigger_of) == {"FB-PUMP-FTR", "RHR-B-PUMP-FTR"}
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ModelError):
+            BwrConfig(triggers=("REACTOR-SCRAM",))
+
+    def test_classification_is_efficient(self):
+        """The BWR triggering structure must avoid the general case
+        (the paper designed VI-A around static joins / branching)."""
+        sdft = build_bwr(BwrConfig(triggers=TRIGGER_STAGES))
+        report = classification_report(sdft)
+        assert not report.any_general
+        assert TriggerClass.STATIC_BRANCHING in report.by_gate.values()
+        assert (
+            TriggerClass.STATIC_JOINS in report.by_gate.values()
+            or TriggerClass.STATIC_JOINS_UNIFORM in report.by_gate.values()
+        )
+
+
+class TestFrequencies:
+    def test_dynamic_below_static_baseline(self):
+        static_frequency = analyze_static(build_bwr(BwrConfig(dynamic=False)), FAST)
+        dynamic = analyze(build_bwr(BwrConfig(repair_rate=0.05)), FAST)
+        assert dynamic.failure_probability < static_frequency
+
+    def test_triggers_reduce_frequency(self):
+        no_triggers = analyze(build_bwr(BwrConfig(repair_rate=0.05)), FAST)
+        all_triggers = analyze(
+            build_bwr(BwrConfig(repair_rate=0.05, triggers=TRIGGER_STAGES)), FAST
+        )
+        assert (
+            all_triggers.failure_probability < no_triggers.failure_probability
+        )
+
+    def test_faster_repair_reduces_frequency(self):
+        slow = analyze(build_bwr(BwrConfig(repair_rate=1e-3)), FAST)
+        fast = analyze(build_bwr(BwrConfig(repair_rate=5e-2)), FAST)
+        assert fast.failure_probability < slow.failure_probability
+
+    def test_no_repair_close_to_static(self):
+        """Without repairs or triggers, every dynamic event's worst case
+        equals its exponential failure probability: the dynamic result
+        collapses onto the static one."""
+        static_frequency = analyze_static(build_bwr(BwrConfig(dynamic=False)), FAST)
+        no_repair = analyze(build_bwr(BwrConfig(repair_rate=None)), FAST)
+        # Tolerance: cutsets sitting exactly at the cutoff may be kept by
+        # one aggregation and dropped by the other (quantified values are
+        # a hair below their static counterparts).
+        assert no_repair.failure_probability == pytest.approx(
+            static_frequency, rel=1e-4
+        )

@@ -1,0 +1,130 @@
+"""Tests of the importance-driven dynamization (Section VI-B method)."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze, analyze_static
+from repro.errors import ModelError
+from repro.ft.mocus import MocusOptions, mocus
+from repro.models.enrich import dynamize, plan_dynamization
+from repro.models.synthetic import SyntheticConfig, build_synthetic
+
+OPTIONS = AnalysisOptions(horizon=24.0, cutoff=1e-12)
+
+
+@pytest.fixture(scope="module")
+def static_model():
+    config = SyntheticConfig(
+        seed=7,
+        n_initiators=2,
+        n_frontline=3,
+        n_support=2,
+        components_per_train=3,
+        sequences_per_initiator=2,
+        probability_range=(1e-4, 1e-2),
+    )
+    tree = build_synthetic(config)
+    cutsets = mocus(tree, MocusOptions(cutoff=1e-12)).cutsets
+    return tree, cutsets
+
+
+class TestPlan:
+    def test_fraction_selects_count(self, static_model):
+        tree, cutsets = static_model
+        ranked_count = len(cutsets.events_involved())
+        plan = plan_dynamization(cutsets, 0.5, 0.0)
+        assert len(plan.dynamic_events) == int(ranked_count * 0.5)
+        assert plan.n_triggered == 0
+
+    def test_small_positive_fraction_picks_at_least_one(self, static_model):
+        _, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.001, 0.0)
+        assert len(plan.dynamic_events) == 1
+
+    def test_zero_fraction(self, static_model):
+        _, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.0, 0.0)
+        assert plan.dynamic_events == ()
+
+    def test_chains_form_between_symmetric_trains(self, static_model):
+        _, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.6, 0.3)
+        assert plan.chains, "symmetric trains should yield equal-FV chains"
+        for chain in plan.chains:
+            assert len(chain) >= 2
+            # Chained events differ only in the train letter.
+            bases = {name.replace("-A-", "-X-").replace("-B-", "-X-") for name in chain}
+            assert len(bases) == 1
+
+    def test_trigger_budget_respected(self, static_model):
+        _, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.8, 0.2)
+        target = int(len(plan.dynamic_events) * 0.2)
+        assert plan.n_triggered <= max(target, 1)
+
+    def test_fraction_bounds(self, static_model):
+        _, cutsets = static_model
+        with pytest.raises(ModelError):
+            plan_dynamization(cutsets, 1.5, 0.0)
+        with pytest.raises(ModelError):
+            plan_dynamization(cutsets, 0.5, -0.1)
+
+
+class TestDynamize:
+    def test_calibration_preserves_static_result(self, static_model):
+        """The Erlang rates are chosen so the worst-case probability over
+        the horizon equals the original static probability: the static
+        re-analysis of the dynamized model reproduces the original."""
+        tree, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.4, 0.0)
+        sdft = dynamize(tree, plan, horizon=24.0)
+        original = cutsets.rare_event()
+        recomputed = analyze_static(sdft, OPTIONS)
+        assert recomputed == pytest.approx(original, rel=1e-6)
+
+    def test_dynamic_analysis_reduces_frequency(self, static_model):
+        """Repairs make the dynamic result strictly better than static."""
+        tree, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.4, 0.2)
+        sdft = dynamize(tree, plan, horizon=24.0, repair_rate=0.1)
+        result = analyze(sdft, OPTIONS)
+        assert result.failure_probability < cutsets.rare_event()
+
+    def test_more_dynamization_reduces_more(self, static_model):
+        tree, cutsets = static_model
+        values = []
+        for fraction in (0.2, 0.8):
+            plan = plan_dynamization(cutsets, fraction, 0.1)
+            sdft = dynamize(tree, plan, horizon=24.0, repair_rate=0.1)
+            values.append(analyze(sdft, OPTIONS).failure_probability)
+        assert values[1] < values[0]
+
+    def test_chain_structure(self, static_model):
+        tree, cutsets = static_model
+        plan = plan_dynamization(cutsets, 0.6, 0.3)
+        sdft = dynamize(tree, plan, horizon=24.0)
+        assert len(sdft.trigger_of) == plan.n_triggered
+        for successor, source_gate in sdft.trigger_of.items():
+            # Pass-through OR gate over the predecessor event.
+            children = sdft.gates[source_gate].children
+            assert len(children) == 1
+            assert sdft.is_dynamic(children[0])
+
+    def test_unknown_event_in_plan_rejected(self, static_model):
+        tree, _ = static_model
+        from repro.models.enrich import DynamizationPlan
+
+        bad = DynamizationPlan(("ghost",), ())
+        with pytest.raises(ModelError):
+            dynamize(tree, bad, horizon=24.0)
+
+    def test_extreme_probability_rejected(self):
+        from repro.ft.builder import FaultTreeBuilder
+        from repro.models.enrich import DynamizationPlan
+
+        b = FaultTreeBuilder()
+        b.event("certain", 1.0).event("x", 0.1)
+        b.or_("top", "certain", "x")
+        tree = b.build("top")
+        plan = DynamizationPlan(("certain",), ())
+        with pytest.raises(ModelError):
+            dynamize(tree, plan, horizon=24.0)

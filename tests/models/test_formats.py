@@ -1,0 +1,98 @@
+"""Round-trip tests of the JSON model format."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.errors import ModelError
+from repro.models.formats import (
+    load_model,
+    save_model,
+    sdft_from_dict,
+    sdft_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+class TestStaticRoundTrip:
+    def test_dict_round_trip(self, cooling_tree):
+        data = tree_to_dict(cooling_tree)
+        rebuilt = tree_from_dict(data)
+        assert sorted(rebuilt.events) == sorted(cooling_tree.events)
+        assert all(
+            rebuilt.events[n].probability == cooling_tree.events[n].probability
+            for n in rebuilt.events
+        )
+        assert rebuilt.top == cooling_tree.top
+        for name, gate in cooling_tree.gates.items():
+            assert rebuilt.gates[name].children == gate.children
+            assert rebuilt.gates[name].gate_type == gate.gate_type
+
+    def test_file_round_trip(self, cooling_tree, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(cooling_tree, path)
+        loaded = load_model(path)
+        assert sorted(loaded.events) == sorted(cooling_tree.events)
+
+    def test_atleast_gate_preserved(self, tmp_path):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder()
+        b.events([("a", 0.1), ("b", 0.1), ("c", 0.1)])
+        tree = b.atleast("top", 2, "a", "b", "c").build("top")
+        path = tmp_path / "vote.json"
+        save_model(tree, path)
+        loaded = load_model(path)
+        assert loaded.gates["top"].k == 2
+
+
+class TestSdRoundTrip:
+    def test_dict_round_trip(self, cooling_sdft):
+        rebuilt = sdft_from_dict(sdft_to_dict(cooling_sdft))
+        assert sorted(rebuilt.static_events) == sorted(cooling_sdft.static_events)
+        assert sorted(rebuilt.dynamic_events) == sorted(cooling_sdft.dynamic_events)
+        assert rebuilt.trigger_of == cooling_sdft.trigger_of
+
+    def test_chains_preserved(self, cooling_sdft):
+        rebuilt = sdft_from_dict(sdft_to_dict(cooling_sdft))
+        original_chain = cooling_sdft.chain_of("d")
+        loaded_chain = rebuilt.chain_of("d")
+        assert set(loaded_chain.states) == set(original_chain.states)
+        assert loaded_chain.rates == original_chain.rates
+        assert loaded_chain.failed == original_chain.failed
+        # Triggered structure survives.
+        assert loaded_chain.switch_on == original_chain.switch_on
+
+    def test_analysis_equivalence(self, cooling_sdft, tmp_path):
+        """The loaded model analyses to the same probability."""
+        path = tmp_path / "sd.json"
+        save_model(cooling_sdft, path)
+        loaded = load_model(path)
+        original = analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+        reloaded = analyze(loaded, AnalysisOptions(horizon=24.0))
+        assert reloaded.failure_probability == pytest.approx(
+            original.failure_probability, rel=1e-12
+        )
+
+    def test_tuple_states_round_trip(self, cooling_sdft):
+        data = sdft_to_dict(cooling_sdft)
+        rebuilt = sdft_from_dict(data)
+        assert ("on", 0) in rebuilt.chain_of("d").index
+
+
+class TestErrors:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ModelError):
+            tree_from_dict({"kind": "sd-fault-tree"})
+        with pytest.raises(ModelError):
+            sdft_from_dict({"kind": "fault-tree"})
+
+    def test_unknown_file_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery"}')
+        with pytest.raises(ModelError):
+            load_model(path)
+
+    def test_unserialisable_object(self, tmp_path):
+        with pytest.raises(ModelError):
+            save_model(object(), tmp_path / "x.json")

@@ -1,0 +1,132 @@
+"""Tests of Open-PSA MEF import/export."""
+
+import pytest
+
+from repro.bdd.ft_bdd import exact_probability
+from repro.errors import ModelError
+from repro.ft.builder import FaultTreeBuilder
+from repro.models.openpsa import (
+    from_openpsa_xml,
+    load_openpsa,
+    save_openpsa,
+    to_openpsa_xml,
+)
+
+
+class TestRoundTrip:
+    def test_structure_survives(self, cooling_tree):
+        rebuilt = from_openpsa_xml(to_openpsa_xml(cooling_tree))
+        assert rebuilt.top == cooling_tree.top
+        assert sorted(rebuilt.events) == sorted(cooling_tree.events)
+        for name, gate in cooling_tree.gates.items():
+            assert rebuilt.gates[name].gate_type == gate.gate_type
+            assert set(rebuilt.gates[name].children) == set(gate.children)
+
+    def test_probabilities_survive_exactly(self, cooling_tree):
+        rebuilt = from_openpsa_xml(to_openpsa_xml(cooling_tree))
+        for name, event in cooling_tree.events.items():
+            assert rebuilt.events[name].probability == event.probability
+
+    def test_quantitative_equivalence(self, cooling_tree):
+        rebuilt = from_openpsa_xml(to_openpsa_xml(cooling_tree))
+        assert exact_probability(rebuilt) == pytest.approx(
+            exact_probability(cooling_tree), rel=1e-12
+        )
+
+    def test_atleast_gate(self):
+        b = FaultTreeBuilder("vote")
+        b.events([("a", 0.1), ("b", 0.2), ("c", 0.3)])
+        tree = b.atleast("top", 2, "a", "b", "c").build("top")
+        rebuilt = from_openpsa_xml(to_openpsa_xml(tree))
+        assert rebuilt.gates["top"].k == 2
+
+    def test_descriptions_survive(self):
+        b = FaultTreeBuilder("labelled")
+        b.event("a", 0.1, description="pump A fails")
+        b.or_("top", "a", description="system fails")
+        rebuilt = from_openpsa_xml(to_openpsa_xml(b.build("top")))
+        assert rebuilt.events["a"].description == "pump A fails"
+        assert rebuilt.gates["top"].description == "system fails"
+
+    def test_file_round_trip(self, cooling_tree, tmp_path):
+        path = tmp_path / "model.xml"
+        save_openpsa(cooling_tree, path)
+        assert path.read_text().startswith("<?xml")
+        loaded = load_openpsa(path)
+        assert loaded.top == cooling_tree.top
+
+
+class TestTopInference:
+    def test_explicit_top(self, cooling_tree):
+        rebuilt = from_openpsa_xml(to_openpsa_xml(cooling_tree), top="pumps")
+        assert rebuilt.top == "pumps"
+
+    def test_ambiguous_top_rejected(self):
+        text = """<?xml version='1.0'?>
+        <opsa-mef>
+          <define-fault-tree name="two-roots">
+            <define-gate name="g1"><or><basic-event name="a"/></or></define-gate>
+            <define-gate name="g2"><or><basic-event name="a"/></or></define-gate>
+          </define-fault-tree>
+          <model-data>
+            <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+          </model-data>
+        </opsa-mef>"""
+        with pytest.raises(ModelError, match="cannot infer"):
+            from_openpsa_xml(text)
+
+
+class TestRejectedInput:
+    def test_malformed_xml(self):
+        with pytest.raises(ModelError, match="well-formed"):
+            from_openpsa_xml("<opsa-mef>")
+
+    def test_wrong_root(self):
+        with pytest.raises(ModelError, match="root element"):
+            from_openpsa_xml("<something/>")
+
+    def test_undefined_reference(self):
+        text = """<opsa-mef>
+          <define-fault-tree name="t">
+            <define-gate name="g"><or><basic-event name="ghost"/></or></define-gate>
+          </define-fault-tree>
+        </opsa-mef>"""
+        with pytest.raises(ModelError, match="ghost"):
+            from_openpsa_xml(text)
+
+    def test_unsupported_formula(self):
+        text = """<opsa-mef>
+          <define-fault-tree name="t">
+            <define-gate name="g"><not><basic-event name="a"/></not></define-gate>
+          </define-fault-tree>
+          <model-data>
+            <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+          </model-data>
+        </opsa-mef>"""
+        with pytest.raises(ModelError, match="formula"):
+            from_openpsa_xml(text)
+
+    def test_non_constant_probability(self):
+        text = """<opsa-mef>
+          <define-fault-tree name="t">
+            <define-gate name="g"><or><basic-event name="a"/></or></define-gate>
+          </define-fault-tree>
+          <model-data>
+            <define-basic-event name="a"><exponential/></define-basic-event>
+          </model-data>
+        </opsa-mef>"""
+        with pytest.raises(ModelError, match="float"):
+            from_openpsa_xml(text)
+
+
+class TestBiggerModels:
+    def test_bwr_static_round_trip(self):
+        from repro.core.to_static import to_static
+        from repro.ft.mocus import mocus
+        from repro.models.bwr import BwrConfig, build_bwr
+
+        tree = to_static(build_bwr(BwrConfig(dynamic=False)), 24.0).tree
+        rebuilt = from_openpsa_xml(to_openpsa_xml(tree), top=tree.top)
+        original = mocus(tree).cutsets
+        recovered = mocus(rebuilt).cutsets
+        assert set(original.cutsets) == set(recovered.cutsets)

@@ -1,0 +1,18 @@
+"""Keep the runnable examples in docstrings honest."""
+
+import doctest
+
+import repro
+import repro.ft.builder
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_builder_doctest():
+    results = doctest.testmod(repro.ft.builder, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,107 @@
+"""Tests of the event-tree substrate."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.eventtree.tree import (
+    EventTreeBuilder,
+    compile_damage_state,
+    compile_sequence,
+)
+from repro.ft.builder import FaultTreeBuilder
+from repro.ft.scenario import fails
+
+
+def _cooling_event_tree():
+    return (
+        EventTreeBuilder("LOOP", "IE-LOOP", 0.1)
+        .functional_event("FW", "feedwater-fails")
+        .functional_event("HP", "highpressure-fails")
+        .sequence("S1", "OK", FW=False)
+        .sequence("S2", "OK", FW=True, HP=False)
+        .sequence("S3", "CD", FW=True, HP=True)
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_structure(self):
+        tree = _cooling_event_tree()
+        assert tree.initiating_event == "IE-LOOP"
+        assert [f.name for f in tree.functional_events] == ["FW", "HP"]
+        assert tree.consequences() == {"OK", "CD"}
+        assert [s.name for s in tree.by_consequence("CD")] == ["S3"]
+
+    def test_failed_events_ordered(self):
+        tree = _cooling_event_tree()
+        s3 = tree.by_consequence("CD")[0]
+        assert s3.failed_events == ("FW", "HP")
+
+    def test_duplicate_functional_event_rejected(self):
+        b = EventTreeBuilder("T", "IE", 0.1).functional_event("F", "g")
+        with pytest.raises(ModelError):
+            b.functional_event("F", "g2")
+
+    def test_unknown_branch_rejected(self):
+        b = EventTreeBuilder("T", "IE", 0.1).functional_event("F", "g")
+        with pytest.raises(ModelError):
+            b.sequence("S", "CD", GHOST=True)
+
+    def test_needs_sequences(self):
+        b = EventTreeBuilder("T", "IE", 0.1).functional_event("F", "g")
+        with pytest.raises(ModelError):
+            b.build()
+
+    def test_duplicate_sequence_names_rejected(self):
+        b = EventTreeBuilder("T", "IE", 0.1).functional_event("F", "g")
+        b.sequence("S", "CD", F=True).sequence("S", "OK", F=False)
+        with pytest.raises(ModelError):
+            b.build()
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ModelError):
+            EventTreeBuilder("T", "IE", -1.0)
+
+
+class TestCompilation:
+    def _fault_builder(self):
+        b = FaultTreeBuilder()
+        b.event("fw1", 0.1).event("hp1", 0.2)
+        b.or_("feedwater-fails", "fw1")
+        b.or_("highpressure-fails", "hp1")
+        return b
+
+    def test_compile_sequence_is_and_of_failures(self):
+        event_tree = _cooling_event_tree()
+        b = self._fault_builder()
+        gate = compile_sequence(event_tree, event_tree.by_consequence("CD")[0], b)
+        tree = b.or_("top", gate).build("top")
+        assert fails(tree, {"fw1", "hp1"}, gate)
+        assert not fails(tree, {"fw1"}, gate)
+
+    def test_success_branches_dropped(self):
+        """Delete-term: S2 (FW fails, HP succeeds) compiles to just FW."""
+        event_tree = _cooling_event_tree()
+        b = self._fault_builder()
+        gate = compile_sequence(event_tree, event_tree.sequences[1], b)
+        tree = b.or_("top", gate).build("top")
+        assert fails(tree, {"fw1"}, gate)  # HP success not required
+
+    def test_all_success_sequence_rejected(self):
+        event_tree = _cooling_event_tree()
+        b = self._fault_builder()
+        with pytest.raises(ModelError):
+            compile_sequence(event_tree, event_tree.sequences[0], b)
+
+    def test_compile_damage_state(self):
+        event_tree = _cooling_event_tree()
+        b = self._fault_builder()
+        top = compile_damage_state(event_tree, "CD", b)
+        tree = b.build(top)
+        assert fails(tree, {"fw1", "hp1"}, top)
+        assert not fails(tree, {"hp1"}, top)
+
+    def test_unknown_consequence_rejected(self):
+        event_tree = _cooling_event_tree()
+        with pytest.raises(ModelError):
+            compile_damage_state(event_tree, "MELTDOWN", self._fault_builder())

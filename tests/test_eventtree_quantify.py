@@ -1,0 +1,94 @@
+"""Tests of event-tree quantification over static and SD models."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions
+from repro.errors import ModelError
+from repro.eventtree.quantify import quantify_event_tree
+from repro.eventtree.tree import EventTreeBuilder
+
+
+@pytest.fixture
+def event_tree():
+    return (
+        EventTreeBuilder("COOLING-DEMAND", "IE", 0.5)
+        .functional_event("PUMPS", "pumps")
+        .functional_event("TANK", "tank-wrap")
+        .sequence("OKPATH", "OK", PUMPS=False)
+        .sequence("S-PUMPS", "CD", PUMPS=True, TANK=False)
+        .sequence("S-BOTH", "SEVERE", PUMPS=True, TANK=True)
+        .build()
+    )
+
+
+@pytest.fixture
+def static_model(cooling_tree):
+    """The cooling example with an extra wrapper gate for the tank."""
+    from repro.ft.builder import FaultTreeBuilder
+
+    b = FaultTreeBuilder("cooling+wrap")
+    for event in cooling_tree.events.values():
+        b.event(event.name, event.probability)
+    for gate in cooling_tree.gates.values():
+        b.gate(gate.name, gate.gate_type, gate.children, gate.k)
+    b.or_("tank-wrap", "e")
+    b.or_("top-all", "cooling", "tank-wrap")
+    return b.build("top-all")
+
+
+class TestStaticQuantification:
+    def test_sequence_probabilities(self, event_tree, static_model):
+        result = quantify_event_tree(event_tree, static_model)
+        by_name = {s.name: s for s in result.sequences}
+        # S-PUMPS: both pumps fail; rare-event sum of the 4 pump cutsets.
+        expected_pumps = 9e-6 + 3e-6 + 3e-6 + 1e-6
+        assert by_name["S-PUMPS"].probability == pytest.approx(
+            expected_pumps, rel=1e-9
+        )
+        # S-BOTH additionally requires the tank.
+        assert by_name["S-BOTH"].probability == pytest.approx(
+            expected_pumps * 3e-6, rel=1e-9
+        )
+
+    def test_frequencies_scale_by_initiator(self, event_tree, static_model):
+        result = quantify_event_tree(event_tree, static_model)
+        for sequence in result.sequences:
+            assert sequence.frequency == pytest.approx(0.5 * sequence.probability)
+
+    def test_success_only_sequences_skipped(self, event_tree, static_model):
+        result = quantify_event_tree(event_tree, static_model)
+        assert {s.name for s in result.sequences} == {"S-PUMPS", "S-BOTH"}
+
+    def test_consequence_totals(self, event_tree, static_model):
+        result = quantify_event_tree(event_tree, static_model)
+        totals = result.by_consequence()
+        assert set(totals) == {"CD", "SEVERE"}
+        assert totals["CD"] == pytest.approx(
+            result.consequence_frequency("CD")
+        )
+        assert totals["SEVERE"] < totals["CD"]
+
+    def test_missing_gate_rejected(self, event_tree, cooling_tree):
+        with pytest.raises(ModelError, match="tank-wrap"):
+            quantify_event_tree(event_tree, cooling_tree)
+
+
+class TestSdQuantification:
+    def test_dynamic_sequence_below_static(self, cooling_sdft):
+        """Against the SD model the pump sequence quantifies below the
+        static value: the spare pump's exposure is trigger-limited."""
+        event_tree = (
+            EventTreeBuilder("DEMAND", "IE", 1.0)
+            .functional_event("PUMPS", "pumps")
+            .sequence("S", "CD", PUMPS=True)
+            .build()
+        )
+        result = quantify_event_tree(
+            event_tree, cooling_sdft, AnalysisOptions(horizon=24.0)
+        )
+        sequence = result.sequences[0]
+        static_value = 9e-6 + 2 * 3e-3 * 0.0237 + 0.0237**2
+        assert 0.0 < sequence.probability < static_value
+        assert result.consequence_frequency("CD") == pytest.approx(
+            sequence.probability
+        )

@@ -1,0 +1,53 @@
+"""Smoke tests keeping the example scripts from rotting.
+
+Full example runs take minutes (they sweep whole experiment tables), so
+these tests compile every script and exercise the cheap model-building
+entry points; the heavy `main()` paths are executed by the benchmark
+suite's models anyway.
+"""
+
+import pathlib
+import py_compile
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _load(name: str):
+    import importlib.util
+
+    path = pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBuilders:
+    def test_quickstart_model(self):
+        module = _load("quickstart")
+        sdft = module.build_cooling_system()
+        assert sdft.trigger_of == {"d": "pump1"}
+
+    def test_event_tree_psa_model(self):
+        module = _load("event_tree_psa")
+        sdft = module.build_plant_model()
+        event_tree = module.build_event_tree()
+        assert "STBY-PUMP" in sdft.dynamic_events
+        assert event_tree.consequences() == {"OK", "CD", "SEVERE"}
+
+    def test_examples_have_main(self):
+        for path in EXAMPLES:
+            source = path.read_text()
+            assert 'if __name__ == "__main__":' in source, path
+            assert "def main(" in source, path
