@@ -30,6 +30,8 @@ Subpackages
 * :mod:`repro.ctmc` — Markov chains, transient solvers, simulation.
 * :mod:`repro.eventtree` — event-tree sequences on top of fault trees.
 * :mod:`repro.models` — the paper's experiment models and generators.
+* :mod:`repro.robust` — budgets, degradation ladder, checkpoint/resume
+  and run-health reporting for production-scale runs.
 """
 
 from repro.core import (

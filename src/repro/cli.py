@@ -63,6 +63,55 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bound oversized cutset chains instead of failing",
     )
+    analyze_cmd.add_argument(
+        "--degrade",
+        action="store_true",
+        help="per-cutset fault isolation: retry failing cutsets down the "
+        "degradation ladder (exact -> lumped -> Monte-Carlo -> bound) "
+        "instead of aborting the run",
+    )
+    analyze_cmd.add_argument(
+        "--wall-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget; on exhaustion the run returns a partial "
+        "result with a conservative remainder bound",
+    )
+    analyze_cmd.add_argument(
+        "--max-total-states",
+        type=int,
+        default=None,
+        help="budget on total chain states solved across the run",
+    )
+    analyze_cmd.add_argument(
+        "--budget-cutsets",
+        type=int,
+        default=None,
+        help="soft cap on generated cutsets (truncates, never crashes)",
+    )
+    analyze_cmd.add_argument(
+        "--mc-runs",
+        type=int,
+        default=4_000,
+        help="runs per Monte-Carlo fallback simulation (with --degrade)",
+    )
+    analyze_cmd.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="snapshot MOCUS/quantification progress to PATH periodically",
+    )
+    analyze_cmd.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="seconds between checkpoint snapshots (default 30)",
+    )
+    analyze_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint file if it exists",
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     mcs_cmd = sub.add_parser("mcs", help="generate minimal cutsets")
@@ -152,15 +201,26 @@ def _load_sdft(path: str) -> SdFaultTree:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     sdft = _load_sdft(args.model)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
     options = AnalysisOptions(
         horizon=args.horizon,
         cutoff=args.cutoff,
         lump_chains=getattr(args, "lump", False),
         on_oversize="bounds" if getattr(args, "bounds", False) else "raise",
+        fault_isolation=args.degrade,
+        wall_seconds=args.wall_seconds,
+        max_total_states=args.max_total_states,
+        budget_cutsets=args.budget_cutsets,
+        monte_carlo_runs=args.mc_runs,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval_seconds=args.checkpoint_interval,
+        resume=args.resume,
     )
     result = analyze(sdft, options)
     print(result.summary())
-    if result.n_bounded_cutsets:
+    if result.n_bounded_cutsets and not result.is_degraded:
         lower, upper = result.failure_probability_interval()
         print(
             f"{result.n_bounded_cutsets} cutsets bounded (oversized chains): "

@@ -23,12 +23,20 @@ import time
 from dataclasses import dataclass
 
 from repro.core.classify import classification_report
-from repro.core.quantify import QuantificationCache, quantify_cutset
+from repro.core.quantify import (
+    McsQuantification,
+    QuantificationCache,
+    quantify_cutset,
+)
 from repro.core.results import AnalysisResult, Timings
 from repro.core.sdft import SdFaultTree
 from repro.core.to_static import to_static
-from repro.ft.mocus import MocusOptions, mocus
+from repro.errors import AnalysisError, BudgetExceededError, NumericalError
+from repro.ft.cutsets import CutSetList
+from repro.ft.mocus import MocusOptions, MocusResult, mocus
 from repro.ft.probability import rare_event_probability
+from repro.robust.budget import Budget
+from repro.robust.health import HealthLog
 
 __all__ = [
     "AnalysisOptions",
@@ -62,6 +70,26 @@ class AnalysisOptions:
     static probabilities so it stays identical across dynamic
     parameterisations (e.g. phase counts), while the quantification
     still uses the dynamic chains.
+
+    Robustness knobs (:mod:`repro.robust`):
+
+    * ``fault_isolation`` — a failure quantifying one cutset no longer
+      aborts the run; the degradation ladder
+      (:mod:`repro.robust.ladder`) retries that cutset down
+      exact → lumped → Monte-Carlo → conservative bound, widening the
+      result into an interval and recording every descent in the
+      run-health report.
+    * ``wall_seconds`` / ``max_total_states`` / ``budget_cutsets`` — a
+      cooperative :class:`~repro.robust.budget.Budget`; running out
+      yields a *partial* result whose interval is widened by a
+      conservative bound on the unfinished work, never a crash.
+    * ``checkpoint_path`` — snapshot MOCUS frontier state and quantified
+      records to this file every ``checkpoint_interval_seconds``;
+      ``resume=True`` restarts a killed run from the snapshot (a
+      fingerprint mismatch raises
+      :class:`~repro.errors.CheckpointError`).
+    * ``monte_carlo_runs`` / ``monte_carlo_seed`` control the ladder's
+      simulation rung (seeded deterministically per cutset).
     """
 
     horizon: float = 24.0
@@ -72,11 +100,31 @@ class AnalysisOptions:
     on_oversize: str = "raise"
     lump_chains: bool = False
     mocus_probability_overrides: "dict[str, float] | None" = None
+    fault_isolation: bool = False
+    wall_seconds: float | None = None
+    max_total_states: int | None = None
+    budget_cutsets: int | None = None
+    monte_carlo_runs: int = 4_000
+    monte_carlo_seed: int = 0
+    checkpoint_path: str | None = None
+    checkpoint_interval_seconds: float = 30.0
+    resume: bool = False
 
 
 def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
-    """Run the full SD analysis and return an :class:`AnalysisResult`."""
+    """Run the full SD analysis and return an :class:`AnalysisResult`.
+
+    With the robustness options of :class:`AnalysisOptions` the pipeline
+    survives per-cutset solver failures (degradation ladder), resource
+    exhaustion (cooperative budgets → partial results with conservative
+    remainder bounds) and process kills (checkpoint/resume); everything
+    that deviated from the clean path is enumerated in the result's
+    :attr:`~repro.core.results.AnalysisResult.health` report.
+    """
     opts = options or AnalysisOptions()
+    budget = _make_budget(opts)
+    health = HealthLog()
+    manager, resumed = _open_checkpoint(sdft, opts, health)
 
     started = time.perf_counter()
     translation = to_static(sdft, opts.horizon)
@@ -88,33 +136,34 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     translation_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    mocus_result = mocus(
-        mocus_tree,
-        MocusOptions(cutoff=opts.cutoff, max_partials=opts.max_partials),
+    mocus_result, restored_records = _generate_cutsets(
+        mocus_tree, opts, budget, health, manager, resumed
     )
+    if mocus_result.truncated:
+        health.budget(
+            "mocus",
+            f"cutset generation truncated after "
+            f"{len(mocus_result.cutsets)} cutsets; un-enumerated mass "
+            f"bounded by {mocus_result.remainder_bound:.3e}",
+        )
     mcs_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    classes = classification_report(sdft).by_gate
-    cache = QuantificationCache()
-    records = []
-    total = 0.0
-    for cutset in mocus_result.cutsets:
-        record = quantify_cutset(
-            sdft,
-            cutset,
-            opts.horizon,
-            classes=classes,
-            cache=cache,
-            epsilon=opts.epsilon,
-            max_chain_states=opts.max_chain_states,
-            on_oversize=opts.on_oversize,
-            lump_chains=opts.lump_chains,
-        )
-        records.append(record)
-        if record.probability > opts.cutoff:
-            total += record.probability
+    records, cache = _quantify_cutsets(
+        sdft,
+        translation.tree,
+        mocus_result,
+        opts,
+        budget,
+        health,
+        manager,
+        restored_records,
+    )
+    total = sum(r.probability for r in records if r.probability > opts.cutoff)
     quantification_seconds = time.perf_counter() - started
+
+    if manager is not None:
+        manager.clear()
 
     return AnalysisResult(
         failure_probability=total,
@@ -126,6 +175,291 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         classification=classification_report(sdft),
         cache_hits=cache.hits,
         cache_misses=cache.misses,
+        health=health.freeze(),
+        mcs_truncated=mocus_result.truncated,
+        mcs_remainder_bound=mocus_result.remainder_bound,
+    )
+
+
+# ----------------------------------------------------------------------
+# Resilient-pipeline helpers
+# ----------------------------------------------------------------------
+
+
+def _make_budget(opts: AnalysisOptions) -> "Budget | None":
+    """A cooperative budget, or ``None`` when every axis is unlimited."""
+    if (
+        opts.wall_seconds is None
+        and opts.max_total_states is None
+        and opts.budget_cutsets is None
+    ):
+        return None
+    return Budget(
+        wall_seconds=opts.wall_seconds,
+        max_total_states=opts.max_total_states,
+        max_cutsets=opts.budget_cutsets,
+    )
+
+
+def _open_checkpoint(sdft: SdFaultTree, opts: AnalysisOptions, health: HealthLog):
+    """The run's checkpoint manager and, when resuming, its snapshot."""
+    if not opts.checkpoint_path:
+        return None, None
+    from repro.robust.checkpoint import CheckpointManager, model_fingerprint
+
+    manager = CheckpointManager(
+        opts.checkpoint_path,
+        model_fingerprint(sdft, opts.horizon, opts.cutoff),
+        opts.checkpoint_interval_seconds,
+    )
+    payload = None
+    if opts.resume:
+        payload = manager.load()
+        if payload is not None:
+            health.info(
+                "checkpoint",
+                f"resumed from {opts.checkpoint_path} "
+                f"(phase {payload['phase']!r})",
+            )
+    return manager, payload
+
+
+def _generate_cutsets(
+    mocus_tree, opts: AnalysisOptions, budget, health: HealthLog, manager, resumed
+):
+    """Run (or restore) cutset generation, surviving budget exhaustion.
+
+    Returns the MOCUS result plus the quantification records restored
+    from a quantify-phase checkpoint (empty when not resuming).
+    """
+    if resumed is not None and resumed["phase"] == "quantify":
+        from repro.robust.checkpoint import record_from_dict
+
+        state = resumed["state"]
+        probabilities = {
+            name: event.probability for name, event in mocus_tree.events.items()
+        }
+        cutsets = CutSetList.from_cutsets(
+            [frozenset(names) for names in state["cutsets"]],
+            probabilities,
+            minimal=True,
+        )
+        restored = {
+            record.cutset: record
+            for record in map(record_from_dict, state["records"])
+        }
+        result = MocusResult(
+            cutsets,
+            truncated=state.get("mcs_truncated", False),
+            remainder_bound=state.get("mcs_remainder_bound", 0.0),
+        )
+        return result, restored
+
+    mocus_resume = None
+    if resumed is not None and resumed["phase"] == "mocus":
+        mocus_resume = resumed["state"]["mocus"]
+    on_progress = None
+    if manager is not None:
+        on_progress = lambda build: manager.maybe_save(  # noqa: E731
+            "mocus", lambda: {"mocus": build()}
+        )
+    try:
+        result = mocus(
+            mocus_tree,
+            MocusOptions(cutoff=opts.cutoff, max_partials=opts.max_partials),
+            budget=budget,
+            on_progress=on_progress,
+            resume=mocus_resume,
+        )
+    except BudgetExceededError as error:
+        if error.partial is None:
+            raise
+        result = error.partial.result
+        # Persist the frontier: a resumed run with a fresh budget can
+        # continue the search instead of redoing it.
+        if manager is not None:
+            manager.save("mocus", {"mocus": error.partial.frontier})
+    return result, {}
+
+
+def _quantify_cutsets(
+    sdft: SdFaultTree,
+    translation_tree,
+    mocus_result: MocusResult,
+    opts: AnalysisOptions,
+    budget,
+    health: HealthLog,
+    manager,
+    restored: dict,
+):
+    """Quantify every cutset with isolation, budgets and checkpoints."""
+    classes = classification_report(sdft).by_gate
+    cache = QuantificationCache()
+    records: list[McsQuantification] = []
+    cutset_list = list(mocus_result.cutsets)
+
+    def state() -> dict:
+        from repro.robust.checkpoint import record_to_dict
+
+        return {
+            "cutsets": [sorted(c) for c in cutset_list],
+            "records": [record_to_dict(r) for r in records],
+            "mcs_truncated": mocus_result.truncated,
+            "mcs_remainder_bound": mocus_result.remainder_bound,
+        }
+
+    if manager is not None:
+        # Phase transition: from here on the cutset list is fixed.
+        manager.save("quantify", state())
+
+    out_of_budget = False
+    for cutset in cutset_list:
+        reused = restored.get(cutset)
+        if reused is not None:
+            records.append(reused)
+            continue
+        if not out_of_budget and budget is not None and budget.expired():
+            health.budget(
+                "quantify",
+                "wall-clock budget exhausted; remaining cutsets carry "
+                "their conservative static worst-case bound",
+            )
+            out_of_budget = True
+        if out_of_budget:
+            records.append(
+                _skipped_record(
+                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
+                )
+            )
+            continue
+        try:
+            record = _quantify_one(
+                sdft, cutset, opts, classes, cache, budget, health
+            )
+        except BudgetExceededError as error:
+            health.budget("quantify", str(error), cutset=cutset)
+            out_of_budget = True
+            records.append(
+                _skipped_record(
+                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
+                )
+            )
+            continue
+        except (NumericalError, AnalysisError) as error:
+            if not opts.fault_isolation:
+                raise
+            health.degradation(
+                "quantify",
+                f"every ladder rung failed ({error}); static worst-case "
+                f"bound substituted",
+                cutset=cutset,
+                rung="skipped",
+            )
+            records.append(
+                _skipped_record(
+                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
+                )
+            )
+            continue
+        records.append(record)
+        if manager is not None:
+            manager.maybe_save("quantify", state)
+    return records, cache
+
+
+def _quantify_one(
+    sdft: SdFaultTree,
+    cutset: frozenset,
+    opts: AnalysisOptions,
+    classes,
+    cache: QuantificationCache,
+    budget,
+    health: HealthLog,
+) -> McsQuantification:
+    """Quantify one cutset, through the ladder when isolation is on."""
+    if not opts.fault_isolation:
+        record = quantify_cutset(
+            sdft,
+            cutset,
+            opts.horizon,
+            classes=classes,
+            cache=cache,
+            epsilon=opts.epsilon,
+            max_chain_states=opts.max_chain_states,
+            on_oversize=opts.on_oversize,
+            lump_chains=opts.lump_chains,
+            budget=budget,
+        )
+        if record.bounded:
+            health.degradation(
+                "quantify",
+                "oversized chain bounded by the interval approximation",
+                cutset=cutset,
+                rung="bound",
+            )
+        return record
+
+    from repro.robust.ladder import quantify_with_ladder
+
+    outcome = quantify_with_ladder(
+        sdft,
+        cutset,
+        opts.horizon,
+        classes=classes,
+        cache=cache,
+        epsilon=opts.epsilon,
+        max_chain_states=opts.max_chain_states,
+        lump_chains=opts.lump_chains,
+        budget=budget,
+        monte_carlo_runs=opts.monte_carlo_runs,
+        monte_carlo_seed=opts.monte_carlo_seed,
+    )
+    for attempt in outcome.attempts:
+        health.retry(
+            "quantify",
+            f"rung failed: {attempt.error}",
+            cutset=cutset,
+            rung=attempt.rung,
+        )
+    if outcome.degraded:
+        health.degradation(
+            "quantify",
+            "fallback value substituted",
+            cutset=cutset,
+            rung=outcome.rung,
+        )
+    return outcome.record
+
+
+def _worst_case_probability(translation_tree, cutset: frozenset) -> float:
+    """The static worst-case ``p̄(C)`` — inequality (1)'s upper bound.
+
+    Computed from the *translation* tree (never the MOCUS override
+    probabilities), so it soundly dominates ``p̃(C)``.
+    """
+    probability = 1.0
+    for name in cutset:
+        probability *= translation_tree.events[name].probability
+    return probability
+
+
+def _skipped_record(
+    sdft: SdFaultTree, cutset: frozenset, worst_case: float
+) -> McsQuantification:
+    """A conservative placeholder for a cutset the budget never reached."""
+    n_dynamic = sum(1 for name in cutset if sdft.is_dynamic(name))
+    return McsQuantification(
+        cutset,
+        worst_case,
+        n_dynamic > 0,
+        n_dynamic,
+        n_dynamic,
+        0,
+        0,
+        0.0,
+        bounded=True,
+        lower_bound=0.0,
+        rung="skipped",
     )
 
 

@@ -23,8 +23,17 @@ from repro.ctmc.lumping import lump
 from repro.ctmc.product import build_product
 from repro.ctmc.transient import reach_probability
 from repro.errors import AnalysisError
+from repro.robust import faults
 
-__all__ = ["McsQuantification", "QuantificationCache", "quantify_cutset"]
+__all__ = [
+    "McsQuantification",
+    "QuantificationCache",
+    "bound_record",
+    "quantify_cutset",
+]
+
+#: Valid ``on_oversize`` modes, validated before any work is done.
+_OVERSIZE_MODES = ("raise", "bounds")
 
 
 @dataclass(frozen=True)
@@ -53,6 +62,11 @@ class McsQuantification:
     trivially_zero: bool = False
     bounded: bool = False
     lower_bound: float | None = None
+    #: Degradation-ladder rung that produced the value: ``"exact"`` for
+    #: the full transient solve (also static/trivial cutsets),
+    #: ``"lumped"``, ``"monte_carlo"``, ``"bound"``, or ``"skipped"``
+    #: (budget ran out; value is the conservative static bound).
+    rung: str = "exact"
 
 
 class QuantificationCache:
@@ -110,6 +124,7 @@ def quantify_cutset(
     max_chain_states: int = 200_000,
     on_oversize: str = "raise",
     lump_chains: bool = False,
+    budget=None,
 ) -> McsQuantification:
     """Compute ``p̃(C)`` for one minimal cutset.
 
@@ -117,11 +132,22 @@ def quantify_cutset(
     (see :mod:`repro.core.analyzer`).  ``on_oversize`` decides what
     happens when the cutset's chain would exceed ``max_chain_states``:
     ``"raise"`` propagates the error, ``"bounds"`` falls back to the
-    interval approximation of :mod:`repro.core.bounds`.
+    interval approximation of :mod:`repro.core.bounds`.  ``budget`` is
+    an optional :class:`repro.robust.budget.Budget` charged for the
+    chain states solved and polled for the wall-clock deadline.
     """
+    if on_oversize not in _OVERSIZE_MODES:
+        raise ValueError(f"unknown on_oversize mode {on_oversize!r}")
     model = build_cutset_model(sdft, cutset, classes)
     return quantify_model(
-        model, horizon, cache, epsilon, max_chain_states, on_oversize, lump_chains
+        model,
+        horizon,
+        cache,
+        epsilon,
+        max_chain_states,
+        on_oversize,
+        lump_chains,
+        budget,
     )
 
 
@@ -133,6 +159,7 @@ def quantify_model(
     max_chain_states: int = 200_000,
     on_oversize: str = "raise",
     lump_chains: bool = False,
+    budget=None,
 ) -> McsQuantification:
     """Quantify an already-built cutset model.
 
@@ -141,7 +168,7 @@ def quantify_model(
     symmetric redundant components then collapse into counters.  The
     reported ``chain_states`` is the size actually solved.
     """
-    if on_oversize not in ("raise", "bounds"):
+    if on_oversize not in _OVERSIZE_MODES:
         raise ValueError(f"unknown on_oversize mode {on_oversize!r}")
     if model.trivially_zero:
         return McsQuantification(
@@ -186,32 +213,27 @@ def quantify_model(
 
     started = time.perf_counter()
     try:
+        faults.check("chain_build", cutset=model.cutset)
         product = build_product(model.model, max_states=max_chain_states)
     except AnalysisError:
         if on_oversize != "bounds":
             raise
-        from repro.core.bounds import bound_cutset
-
-        interval = bound_cutset(model, horizon, epsilon)
-        return McsQuantification(
-            model.cutset,
-            interval.upper,
-            True,
-            model.n_dynamic_in_cutset,
-            model.n_dynamic_in_model,
-            model.n_added_dynamic,
-            0,
-            time.perf_counter() - started,
-            bounded=True,
-            lower_bound=interval.lower,
-        )
+        # The single fallback mechanism: the same bound rung the
+        # degradation ladder ends on (repro.robust.ladder).
+        return bound_record(model, horizon, epsilon)
     chain = product.chain
     solved_states = product.n_states
     if lump_chains:
+        faults.check("lump", cutset=model.cutset)
         lumped = lump(chain.with_absorbing(chain.failed))
         chain = lumped.chain
         solved_states = chain.n_states
-    dynamic_probability = reach_probability(chain, horizon, epsilon=epsilon)
+    if budget is not None:
+        budget.charge_states(solved_states, "quantify")
+    faults.check("transient_solve", cutset=model.cutset)
+    dynamic_probability = reach_probability(
+        chain, horizon, epsilon=epsilon, budget=budget
+    )
     elapsed = time.perf_counter() - started
     if cache is not None and key is not None:
         cache.put(key, dynamic_probability, solved_states)
@@ -224,4 +246,35 @@ def quantify_model(
         model.n_added_dynamic,
         solved_states,
         elapsed,
+        rung="lumped" if lump_chains else "exact",
+    )
+
+
+def bound_record(
+    model: CutsetModel, horizon: float, epsilon: float = 1e-12
+) -> McsQuantification:
+    """Quantify a cutset by the interval bound of :mod:`repro.core.bounds`.
+
+    The one fallback used both by ``on_oversize="bounds"`` and by the
+    last rung of the degradation ladder: ``probability`` is the
+    conservative upper bound, ``lower_bound`` the matching lower bound,
+    and ``bounded`` is set so interval reporting picks it up.
+    """
+    started = time.perf_counter()
+    faults.check("bound", cutset=model.cutset)
+    from repro.core.bounds import bound_cutset
+
+    interval = bound_cutset(model, horizon, epsilon)
+    return McsQuantification(
+        model.cutset,
+        interval.upper,
+        True,
+        model.n_dynamic_in_cutset,
+        model.n_dynamic_in_model,
+        model.n_added_dynamic,
+        0,
+        time.perf_counter() - started,
+        bounded=True,
+        lower_bound=interval.lower,
+        rung="bound",
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.classify import ClassificationReport
 from repro.core.quantify import McsQuantification
+from repro.robust.health import HealthReport
 
 __all__ = ["Timings", "AnalysisResult"]
 
@@ -42,6 +43,13 @@ class AnalysisResult:
     cutsets above the cutoff; ``static_bound`` is the same sum with the
     worst-case static probabilities (what the translation alone would
     report — always an upper bound on ``failure_probability``).
+
+    ``health`` enumerates every recovery action of the run
+    (degradations, retries, budget hits — :mod:`repro.robust.health`);
+    a degraded run is never silently indistinguishable from a clean
+    one.  ``mcs_truncated`` marks a budget-shortened cutset list and
+    ``mcs_remainder_bound`` conservatively bounds the un-enumerated
+    probability mass, which widens the reported interval's upper end.
     """
 
     failure_probability: float
@@ -53,6 +61,9 @@ class AnalysisResult:
     classification: ClassificationReport
     cache_hits: int = 0
     cache_misses: int = 0
+    health: HealthReport = HealthReport()
+    mcs_truncated: bool = False
+    mcs_remainder_bound: float = 0.0
 
     # ------------------------------------------------------------------
     # Aggregated views used by the experiment harnesses
@@ -73,12 +84,32 @@ class AnalysisResult:
         """Cutsets quantified by the interval fallback (oversized chains)."""
         return sum(1 for r in self.records if r.bounded)
 
+    @property
+    def n_degraded_cutsets(self) -> int:
+        """Cutsets answered below the exact/lumped rungs of the ladder."""
+        return sum(
+            1
+            for r in self.records
+            if r.rung in ("monte_carlo", "bound", "skipped")
+        )
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any part of the result is not the clean exact answer."""
+        return (
+            self.mcs_truncated
+            or self.n_degraded_cutsets > 0
+            or not self.health.is_clean
+        )
+
     def failure_probability_interval(self) -> tuple[float, float]:
         """``(lower, upper)`` bounds of the rare-event failure probability.
 
         For exactly-quantified cutsets both ends use the quantified
-        value; bounded cutsets contribute their interval ends.  With no
-        bounded cutsets both ends equal :attr:`failure_probability`.
+        value; bounded cutsets contribute their interval ends.  A
+        budget-truncated cutset list additionally widens the upper end
+        by the conservative remainder bound.  With no bounded cutsets
+        and no truncation both ends equal :attr:`failure_probability`.
         """
         lower = 0.0
         upper = 0.0
@@ -89,7 +120,7 @@ class AnalysisResult:
                     lower += record.lower_bound
                 else:
                     lower += record.probability
-        return (lower, upper)
+        return (lower, upper + self.mcs_remainder_bound)
 
     def fussell_vesely(self) -> dict[str, float]:
         """Time-aware Fussell–Vesely importance per basic event.
@@ -161,4 +192,16 @@ class AnalysisResult:
             f"MCS {self.timings.mcs_generation_seconds:.2f}s, "
             f"quantification {self.timings.quantification_seconds:.2f}s",
         ]
+        if self.mcs_truncated:
+            lines.append(
+                f"cutset list TRUNCATED by budget; un-enumerated mass "
+                f"<= {self.mcs_remainder_bound:.3e}"
+            )
+        if self.is_degraded:
+            lower, upper = self.failure_probability_interval()
+            lines.append(
+                f"DEGRADED result: {self.n_degraded_cutsets} cutsets on "
+                f"fallback rungs; true value in [{lower:.3e}, {upper:.3e}]"
+            )
+            lines.append(self.health.summary())
         return "\n".join(lines)

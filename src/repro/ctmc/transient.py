@@ -50,12 +50,15 @@ def transient_distribution(
     horizon: float,
     method: str = "uniformization",
     epsilon: float = DEFAULT_EPSILON,
+    budget=None,
 ) -> np.ndarray:
     """Distribution over states at time ``horizon``.
 
     Returns a dense vector indexed like ``chain.states``.  ``epsilon``
     bounds the truncation error of the uniformization series in total
-    variation (ignored by the ``expm`` backend).
+    variation (ignored by the ``expm`` backend).  ``budget`` is an
+    optional :class:`repro.robust.budget.Budget` whose wall-clock
+    deadline is polled cooperatively between series terms.
     """
     if horizon < 0.0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
@@ -63,7 +66,7 @@ def transient_distribution(
     if horizon == 0.0 or not chain.rates:
         return nu
     if method == "uniformization":
-        return _uniformization(chain, horizon, epsilon)
+        return _uniformization(chain, horizon, epsilon, budget)
     if method == "expm":
         generator = chain.generator_matrix().toarray()
         return nu @ linalg.expm(generator * horizon)
@@ -76,6 +79,7 @@ def reach_probability(
     targets=None,
     method: str = "uniformization",
     epsilon: float = DEFAULT_EPSILON,
+    budget=None,
 ) -> float:
     """``Pr[Reach^{<=t}(targets)]`` — visit a target before the horizon.
 
@@ -86,7 +90,7 @@ def reach_probability(
     if not target_set:
         return 0.0
     absorbed = chain.with_absorbing(target_set)
-    distribution = transient_distribution(absorbed, horizon, method, epsilon)
+    distribution = transient_distribution(absorbed, horizon, method, epsilon, budget)
     indices = [chain.index[s] for s in target_set]
     return float(min(1.0, distribution[indices].sum()))
 
@@ -152,7 +156,8 @@ def occupancy_integrals(
         if k > _MAX_TERMS:
             raise NumericalError(
                 f"occupancy series needs more than {_MAX_TERMS} terms "
-                f"(q*t = {qt:.3g}); rescale the model"
+                f"(chain of {n} states, horizon {horizon:g}, "
+                f"q*t = {qt:.3g}); rescale the model"
             )
         pi = pi @ dtmc
     return total / q
@@ -175,12 +180,15 @@ def steady_state(chain: Ctmc) -> np.ndarray:
     solution, residual, rank, _ = np.linalg.lstsq(system, rhs, rcond=None)
     if rank < n:
         raise NumericalError(
-            "chain is reducible: no unique stationary distribution"
+            f"chain of {n} states is reducible: no unique stationary "
+            f"distribution (rank {rank} < {n})"
         )
     pi = np.clip(solution, 0.0, None)
     total = pi.sum()
     if total <= 0.0:
-        raise NumericalError("stationary solve produced a zero vector")
+        raise NumericalError(
+            f"stationary solve produced a zero vector (chain of {n} states)"
+        )
     return pi / total
 
 
@@ -189,7 +197,9 @@ def steady_state(chain: Ctmc) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
-def _uniformization(chain: Ctmc, horizon: float, epsilon: float) -> np.ndarray:
+def _uniformization(
+    chain: Ctmc, horizon: float, epsilon: float, budget=None
+) -> np.ndarray:
     """Transient distribution by randomisation with adaptive truncation.
 
     With uniformization rate ``q >= max exit rate``, the DTMC
@@ -197,8 +207,13 @@ def _uniformization(chain: Ctmc, horizon: float, epsilon: float) -> np.ndarray:
     The series is cut off once the accumulated Poisson weight exceeds
     ``1 - epsilon``; the remaining mass bounds the error in total
     variation.  Poisson weights use a log-space recurrence, so large
-    ``q t`` does not underflow.
+    ``q t`` does not underflow.  A ``budget`` deadline is polled every
+    few hundred terms, so a stiff solve yields control promptly.
     """
+    # Check upfront too: short series never reach the in-loop poll, and
+    # an already-expired budget should not start new solves at all.
+    if budget is not None:
+        budget.check_deadline("transient")
     rate_matrix = chain.rate_matrix()
     exit_rates = np.asarray(rate_matrix.sum(axis=1)).ravel()
     q = float(exit_rates.max())
@@ -229,8 +244,11 @@ def _uniformization(chain: Ctmc, horizon: float, epsilon: float) -> np.ndarray:
         if k > _MAX_TERMS:
             raise NumericalError(
                 f"uniformization needs more than {_MAX_TERMS} terms "
-                f"(q*t = {qt:.3g}); rescale the model or use method='expm'"
+                f"(chain of {n} states, horizon {horizon:g}, "
+                f"q*t = {qt:.3g}); rescale the model or use method='expm'"
             )
+        if budget is not None and not (k & 255):
+            budget.check_deadline("transient")
         pi = pi @ dtmc
     # Renormalise by the accumulated weight: distributes the truncated
     # tail proportionally, keeping the result a distribution.

@@ -59,3 +59,42 @@ class CutoffError(AnalysisError):
 
 class NumericalError(ReproError):
     """A numerical routine failed to reach the requested accuracy."""
+
+
+class BudgetExceededError(AnalysisError):
+    """A cooperative resource budget ran out mid-analysis.
+
+    Raised by budget checks inside MOCUS, the transient solver and the
+    quantification loop (:mod:`repro.robust.budget`).  ``stage`` names
+    the pipeline stage that hit the limit and ``partial`` optionally
+    carries the work completed so far (e.g. a truncated MOCUS result),
+    so callers can convert the interruption into a partial result with a
+    conservative remainder bound instead of a crash.
+    """
+
+    def __init__(self, message: str, stage: str = "", partial=None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.partial = partial
+
+
+class CheckpointError(AnalysisError):
+    """A checkpoint file is unreadable or does not match the model."""
+
+
+class InjectedFaultError(ReproError):
+    """Default error raised by the fault-injection hook in tests.
+
+    Deliberately *outside* the error families the degradation ladder
+    recovers from unless a specific error type is injected — tests
+    choose the type via :func:`repro.robust.faults.inject`.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """A result was produced by a fallback strategy, not the exact solver.
+
+    Emitted (never raised) when per-cutset fault isolation substitutes a
+    cheaper rung of the degradation ladder; the structured counterpart
+    lives in the run-health report (:mod:`repro.robust.health`).
+    """

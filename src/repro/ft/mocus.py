@@ -38,12 +38,20 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.errors import CutoffError, UnknownNodeError
+from repro.errors import BudgetExceededError, CutoffError, UnknownNodeError
 from repro.ft.cutsets import CutSetList
 from repro.ft.normalize import restrict
 from repro.ft.tree import FaultTree, GateType
+from repro.robust import faults
 
-__all__ = ["MocusOptions", "MocusResult", "MocusStats", "mocus", "constrained_mcs"]
+__all__ = [
+    "MocusOptions",
+    "MocusPartial",
+    "MocusResult",
+    "MocusStats",
+    "mocus",
+    "constrained_mcs",
+]
 
 #: Default probabilistic cutoff, matching the paper's experiments.
 DEFAULT_CUTOFF = 1e-15
@@ -90,16 +98,45 @@ class MocusStats:
 
 @dataclass(frozen=True)
 class MocusResult:
-    """Minimal cutsets plus the search statistics that produced them."""
+    """Minimal cutsets plus the search statistics that produced them.
+
+    ``truncated`` marks a search cut short by a cooperative budget
+    (:mod:`repro.robust.budget`): the cutsets are genuine minimal
+    cutsets, but more may exist.  ``remainder_bound`` then bounds the
+    probability mass of everything un-enumerated — by the union bound,
+    any failure scenario not covered by a completed cutset must fail
+    every event of some frontier partial, so the sum of frontier
+    partial probabilities dominates the missed contribution.
+    """
 
     cutsets: CutSetList
     stats: MocusStats = field(default_factory=MocusStats)
+    truncated: bool = False
+    remainder_bound: float = 0.0
+
+
+@dataclass(frozen=True)
+class MocusPartial:
+    """Work salvaged from a budget-interrupted MOCUS run.
+
+    Attached as ``partial`` to the :class:`BudgetExceededError` so the
+    analyzer can keep the truncated result and checkpoint the frontier.
+    ``frontier`` is the name-based snapshot accepted by
+    ``mocus(resume=...)``.
+    """
+
+    result: MocusResult
+    frontier: dict
 
 
 def mocus(
     tree: FaultTree,
     options: MocusOptions | None = None,
     top: str | None = None,
+    budget=None,
+    on_progress=None,
+    progress_every: int = 100_000,
+    resume: dict | None = None,
 ) -> MocusResult:
     """Generate minimal cutsets of ``tree`` (or of the gate ``top``).
 
@@ -108,6 +145,14 @@ def mocus(
     minimal cutsets with probability above the cutoff (dropping
     below-cutoff ones is the standard, deliberately conservative
     under-approximation of Section IV-A).
+
+    ``budget`` is an optional :class:`repro.robust.budget.Budget`
+    polled cooperatively; when it runs out the raised
+    :class:`BudgetExceededError` carries a :class:`MocusPartial` with
+    the minimal cutsets found so far and a resumable frontier snapshot.
+    ``on_progress`` is called every ``progress_every`` expansions with a
+    zero-argument snapshot builder (checkpointing hook).  ``resume``
+    restarts the search from a snapshot produced by either mechanism.
     """
     opts = options or MocusOptions()
     root = top if top is not None else tree.top
@@ -115,70 +160,135 @@ def mocus(
         raise UnknownNodeError(f"top node {root!r} is not a gate")
     compiled = _compile(tree, root)
     stats = MocusStats()
-
-    # A partial cutset is (probability, event mask, gate mask).
-    stack: list[tuple[float, int, int]] = [(1.0, 0, 1 << compiled.root_bit)]
-    seen: set[tuple[int, int]] = {(0, stack[0][2])}
-    completed: list[int] = []
-    completed_lookup: set[int] = set()
-    enqueued = 1
     use_cutoff = opts.cutoff > 0.0
 
-    while stack:
-        probability, events, gates = stack.pop()
-        if completed_lookup and _is_subsumed_mask(
-            events, completed_lookup, completed
-        ):
-            stats.partials_subsumed += 1
-            continue
-        if not gates:
-            completed.append(events)
-            completed_lookup.add(events)
-            stats.completed += 1
-            if stats.completed > opts.max_cutsets:
-                raise CutoffError(
-                    f"MOCUS exceeded max_cutsets={opts.max_cutsets}; "
-                    f"raise the cutoff or the limit"
-                )
-            continue
-        stats.partials_expanded += 1
-        gate_bit = _pick_gate_bit(compiled, gates)
-        remaining = gates & ~(1 << gate_bit)
-        for add_events, add_gates in compiled.branches[gate_bit]:
-            new_bits = add_events & ~events
-            new_probability = probability
-            if new_bits:
-                bits = new_bits
-                while bits:
-                    low = bits & -bits
-                    new_probability *= compiled.probability[low.bit_length() - 1]
-                    bits ^= low
-            if use_cutoff and new_probability <= opts.cutoff:
-                stats.partials_cut_off += 1
-                continue
-            new_events = events | add_events
-            new_gates = remaining | add_gates
-            state = (new_events, new_gates)
-            if state in seen:
-                stats.partials_deduplicated += 1
-                continue
-            seen.add(state)
-            stack.append((new_probability, new_events, new_gates))
-            enqueued += 1
-            if enqueued > opts.max_partials:
-                raise CutoffError(
-                    f"MOCUS exceeded max_partials={opts.max_partials}; "
-                    f"raise the cutoff or the limit"
-                )
+    # A partial cutset is (probability, event mask, gate mask).
+    if resume is not None:
+        stack = [
+            (probability, _names_to_mask(compiled, events, False),
+             _names_to_mask(compiled, gates, True))
+            for probability, events, gates in resume["frontier"]
+        ]
+        completed = [
+            _names_to_mask(compiled, names, False)
+            for names in resume["completed"]
+        ]
+        completed_lookup = set(completed)
+        stats.completed = len(completed)
+        seen = {(events, gates) for _, events, gates in stack}
+        enqueued = len(stack)
+    else:
+        stack = [(1.0, 0, 1 << compiled.root_bit)]
+        seen = {(0, stack[0][2])}
+        completed = []
+        completed_lookup = set()
+        enqueued = 1
 
-    minimal_masks = _minimize_masks(completed)
-    stats.minimal = len(minimal_masks)
-    named = [_mask_to_names(compiled, mask) for mask in minimal_masks]
-    probabilities = {name: e.probability for name, e in tree.events.items()}
-    cutsets = CutSetList.from_cutsets(named, probabilities, minimal=True)
-    if use_cutoff:
-        cutsets = cutsets.truncate(opts.cutoff)
-    return MocusResult(cutsets, stats)
+    def snapshot() -> dict:
+        """Name-based frontier state: stable across processes."""
+        return {
+            "completed": [
+                sorted(_mask_to_names(compiled, mask)) for mask in completed
+            ],
+            "frontier": [
+                [
+                    probability,
+                    sorted(_mask_to_names(compiled, events)),
+                    _mask_to_gate_names(compiled, gates),
+                ]
+                for probability, events, gates in stack
+            ],
+        }
+
+    def finish() -> MocusResult:
+        minimal_masks = _minimize_masks(completed)
+        stats.minimal = len(minimal_masks)
+        named = [_mask_to_names(compiled, mask) for mask in minimal_masks]
+        probabilities = {name: e.probability for name, e in tree.events.items()}
+        cutsets = CutSetList.from_cutsets(named, probabilities, minimal=True)
+        if use_cutoff:
+            cutsets = cutsets.truncate(opts.cutoff)
+        return MocusResult(cutsets, stats)
+
+    next_progress = progress_every
+    try:
+        while stack:
+            # Budget polls, fault polls and progress snapshots all happen
+            # before the pop, so the frontier is exactly the current
+            # stack — a snapshot taken mid-expansion would lose the
+            # in-flight partial and every cutset below it.
+            faults.check("mocus")
+            if budget is not None and not (stats.partials_expanded & 255):
+                budget.check_deadline("mocus")
+            if on_progress is not None and stats.partials_expanded >= next_progress:
+                on_progress(snapshot)
+                next_progress = stats.partials_expanded + progress_every
+            probability, events, gates = stack.pop()
+            if completed_lookup and _is_subsumed_mask(
+                events, completed_lookup, completed
+            ):
+                stats.partials_subsumed += 1
+                continue
+            if not gates:
+                completed.append(events)
+                completed_lookup.add(events)
+                stats.completed += 1
+                if stats.completed > opts.max_cutsets:
+                    raise CutoffError(
+                        f"MOCUS exceeded max_cutsets={opts.max_cutsets}; "
+                        f"raise the cutoff or the limit"
+                    )
+                if budget is not None:
+                    budget.charge_cutset("mocus")
+                continue
+            stats.partials_expanded += 1
+            gate_bit = _pick_gate_bit(compiled, gates)
+            remaining = gates & ~(1 << gate_bit)
+            for add_events, add_gates in compiled.branches[gate_bit]:
+                new_bits = add_events & ~events
+                new_probability = probability
+                if new_bits:
+                    bits = new_bits
+                    while bits:
+                        low = bits & -bits
+                        new_probability *= compiled.probability[low.bit_length() - 1]
+                        bits ^= low
+                if use_cutoff and new_probability <= opts.cutoff:
+                    stats.partials_cut_off += 1
+                    continue
+                new_events = events | add_events
+                new_gates = remaining | add_gates
+                state = (new_events, new_gates)
+                if state in seen:
+                    stats.partials_deduplicated += 1
+                    continue
+                seen.add(state)
+                stack.append((new_probability, new_events, new_gates))
+                enqueued += 1
+                if enqueued > opts.max_partials:
+                    raise CutoffError(
+                        f"MOCUS exceeded max_partials={opts.max_partials}; "
+                        f"raise the cutoff or the limit"
+                    )
+    except BudgetExceededError as error:
+        # Salvage the work: the completed cutsets are genuine minimal
+        # cutsets, and the frontier's probability sum conservatively
+        # bounds everything not yet enumerated (union bound over the
+        # frontier branches).
+        remainder = sum(probability for probability, _, _ in stack)
+        result = finish()
+        error.partial = MocusPartial(
+            MocusResult(
+                result.cutsets,
+                result.stats,
+                truncated=True,
+                remainder_bound=remainder,
+            ),
+            snapshot(),
+        )
+        raise
+
+    return finish()
 
 
 def constrained_mcs(
@@ -304,6 +414,36 @@ def _mask_to_names(compiled: _Compiled, mask: int) -> frozenset[str]:
         names.append(compiled.event_names[low.bit_length() - 1])
         mask ^= low
     return frozenset(names)
+
+
+def _mask_to_gate_names(compiled: _Compiled, mask: int) -> list[str]:
+    names = []
+    while mask:
+        low = mask & -mask
+        names.append(compiled.gate_names[low.bit_length() - 1])
+        mask ^= low
+    return sorted(names)
+
+
+def _names_to_mask(compiled: _Compiled, names, gates: bool) -> int:
+    """Rebuild a bitmask from checkpointed names (resume path).
+
+    Bit assignment is deterministic (sorted reachable names), so a
+    snapshot from the same tree round-trips exactly; unknown names mean
+    the tree changed and resuming would be unsound.
+    """
+    table = compiled.gate_names if gates else compiled.event_names
+    bit_of = {name: i for i, name in enumerate(table)}
+    mask = 0
+    for name in names:
+        try:
+            mask |= 1 << bit_of[name]
+        except KeyError:
+            raise UnknownNodeError(
+                f"cannot resume MOCUS: {name!r} is not a "
+                f"{'gate' if gates else 'basic event'} of this tree"
+            ) from None
+    return mask
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,123 @@
+"""Deterministic fault injection for resilience testing.
+
+The degradation ladder and the budget layer exist to survive solver
+failures — but real failures (an ill-conditioned chain, an exploding
+product space) are hard to conjure on demand in a test.  This module
+provides the built-in hook: production code calls :func:`check` at each
+failure-prone stage, which is a near-free no-op unless a test has armed
+a fault for that stage with :func:`inject`.
+
+Stages wired into the pipeline:
+
+* ``"chain_build"``    — before building a cutset's product chain,
+* ``"transient_solve"`` — before the transient/first-passage solve,
+* ``"lump"``           — before lumping a chain,
+* ``"monte_carlo"``    — before the Monte-Carlo fallback rung,
+* ``"bound"``          — before the interval-bound fallback rung,
+* ``"mocus"``          — inside the MOCUS expansion loop,
+* ``"checkpoint"``     — before writing a checkpoint snapshot.
+
+Usage in tests::
+
+    with faults.inject("transient_solve", NumericalError("forced")):
+        result = analyze(sdft, options)   # first solve fails, ladder degrades
+
+``times`` limits how many calls trip (default: every call while armed);
+``when`` optionally gates on the call's context (e.g. only a specific
+cutset).  Injection state is process-global and **not** thread-safe —
+it is a test facility, not a production feature.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import InjectedFaultError
+
+__all__ = ["inject", "check", "clear", "trip_count"]
+
+
+class _Fault:
+    """One armed fault: what to raise, how often, and for which calls."""
+
+    def __init__(
+        self,
+        error: BaseException | type[BaseException],
+        times: int | None,
+        when: Callable[..., bool] | None,
+    ) -> None:
+        self.error = error
+        self.remaining = times
+        self.when = when
+        self.trips = 0
+
+    def should_trip(self, context: dict) -> bool:
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.when is not None and not self.when(**context):
+            return False
+        return True
+
+    def trip(self) -> BaseException:
+        self.trips += 1
+        if self.remaining is not None:
+            self.remaining -= 1
+        if isinstance(self.error, BaseException):
+            return self.error
+        return self.error(f"injected fault (trip {self.trips})")
+
+
+#: Armed faults by stage name.  Kept empty in production; the fast path
+#: of :func:`check` is a single falsy-dict test.
+_armed: dict[str, list[_Fault]] = {}
+
+
+def check(stage: str, **context) -> None:
+    """Raise the armed fault for ``stage``, if any.  No-op otherwise.
+
+    ``context`` keywords (e.g. ``cutset=...``) are passed to the fault's
+    ``when`` predicate so tests can target specific work items.
+    """
+    if not _armed:
+        return
+    for fault in _armed.get(stage, ()):
+        if fault.should_trip(context):
+            raise fault.trip()
+
+
+@contextmanager
+def inject(
+    stage: str,
+    error: BaseException | type[BaseException] = InjectedFaultError,
+    times: int | None = None,
+    when: Callable[..., bool] | None = None,
+) -> Iterator[_Fault]:
+    """Arm a fault for ``stage`` within the ``with`` block.
+
+    ``error`` may be an exception instance (raised as-is on every trip)
+    or a class (instantiated per trip).  ``times=N`` trips only the
+    first ``N`` matching calls — e.g. ``times=1`` makes the exact rung
+    fail once and lets the retry rung succeed.  The yielded handle
+    exposes ``trips`` for assertions.
+    """
+    fault = _Fault(error, times, when)
+    _armed.setdefault(stage, []).append(fault)
+    try:
+        yield fault
+    finally:
+        stack = _armed.get(stage, [])
+        if fault in stack:
+            stack.remove(fault)
+        if not stack:
+            _armed.pop(stage, None)
+
+
+def clear() -> None:
+    """Disarm every fault (safety net for test teardown)."""
+    _armed.clear()
+
+
+def trip_count(stage: str) -> int:
+    """Total trips of the currently armed faults for ``stage``."""
+    return sum(fault.trips for fault in _armed.get(stage, ()))

@@ -1,0 +1,149 @@
+"""Structured run-health reporting.
+
+A resilient pipeline that silently swaps exact solves for bounds would
+be worse than a crashing one — a degraded answer must never be
+indistinguishable from a clean one.  Every recovery action taken during
+an analysis (a degradation-ladder retry, a budget hit, a substituted
+bound, a numerical warning, a checkpoint resume) is recorded as a
+:class:`HealthEvent`; the immutable :class:`HealthReport` rides on
+:class:`~repro.core.results.AnalysisResult` and answers "can I trust
+this number, and if not exactly, how wide is the slack?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HealthEvent", "HealthReport", "HealthLog"]
+
+
+#: Event kinds, in roughly increasing order of severity.
+KIND_INFO = "info"
+KIND_WARNING = "warning"
+KIND_RETRY = "retry"
+KIND_DEGRADATION = "degradation"
+KIND_BUDGET = "budget"
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One recovery action or anomaly observed during a run.
+
+    ``kind`` is one of ``info`` / ``warning`` / ``retry`` /
+    ``degradation`` / ``budget``; ``stage`` names the pipeline stage
+    (``mocus``, ``quantify``, ``transient``, ``checkpoint``); ``cutset``
+    identifies the affected cutset where applicable; ``rung`` the
+    degradation-ladder rung that ultimately produced the value.
+    """
+
+    kind: str
+    stage: str
+    message: str
+    cutset: tuple[str, ...] | None = None
+    rung: str | None = None
+
+    def __str__(self) -> str:
+        where = f" [{'+'.join(self.cutset)}]" if self.cutset else ""
+        via = f" via {self.rung}" if self.rung else ""
+        return f"{self.kind}/{self.stage}{where}: {self.message}{via}"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Immutable summary of every recovery action of one analysis run."""
+
+    events: tuple[HealthEvent, ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether the run needed no recovery at all (infos allowed)."""
+        return all(e.kind == KIND_INFO for e in self.events)
+
+    @property
+    def degradations(self) -> tuple[HealthEvent, ...]:
+        """Cutsets answered by a fallback rung instead of the exact solve."""
+        return tuple(e for e in self.events if e.kind == KIND_DEGRADATION)
+
+    @property
+    def retries(self) -> tuple[HealthEvent, ...]:
+        """Failed attempts that were retried on a lower rung."""
+        return tuple(e for e in self.events if e.kind == KIND_RETRY)
+
+    @property
+    def budget_hits(self) -> tuple[HealthEvent, ...]:
+        """Budget exhaustions converted into partial results."""
+        return tuple(e for e in self.events if e.kind == KIND_BUDGET)
+
+    @property
+    def warnings(self) -> tuple[HealthEvent, ...]:
+        """Numerical or structural warnings that did not change results."""
+        return tuple(e for e in self.events if e.kind == KIND_WARNING)
+
+    def degraded_cutsets(self) -> frozenset[frozenset[str]]:
+        """The set of cutsets whose value came from a fallback rung."""
+        return frozenset(
+            frozenset(e.cutset) for e in self.degradations if e.cutset is not None
+        )
+
+    def summary(self) -> str:
+        """A short human-readable health digest."""
+        if not self.events:
+            return "run health: clean (no degradations, no budget hits)"
+        lines = [
+            "run health: "
+            f"{len(self.degradations)} degradations, "
+            f"{len(self.retries)} retries, "
+            f"{len(self.budget_hits)} budget hits, "
+            f"{len(self.warnings)} warnings"
+        ]
+        lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)
+
+
+@dataclass
+class HealthLog:
+    """Mutable event collector used while a run is in flight."""
+
+    events: list[HealthEvent] = field(default_factory=list)
+
+    def _record(
+        self,
+        kind: str,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
+        self.events.append(
+            HealthEvent(
+                kind,
+                stage,
+                message,
+                tuple(sorted(cutset)) if cutset is not None else None,
+                rung,
+            )
+        )
+
+    def info(self, stage: str, message: str, **kw) -> None:
+        """Record a neutral fact (e.g. a checkpoint resume)."""
+        self._record(KIND_INFO, stage, message, **kw)
+
+    def warning(self, stage: str, message: str, **kw) -> None:
+        """Record an anomaly that did not change any result."""
+        self._record(KIND_WARNING, stage, message, **kw)
+
+    def retry(self, stage: str, message: str, **kw) -> None:
+        """Record a failed attempt that the ladder retried lower."""
+        self._record(KIND_RETRY, stage, message, **kw)
+
+    def degradation(self, stage: str, message: str, **kw) -> None:
+        """Record a value produced by a fallback rung."""
+        self._record(KIND_DEGRADATION, stage, message, **kw)
+
+    def budget(self, stage: str, message: str, **kw) -> None:
+        """Record a budget exhaustion converted to a partial result."""
+        self._record(KIND_BUDGET, stage, message, **kw)
+
+    def freeze(self) -> HealthReport:
+        """The immutable report for the finished run."""
+        return HealthReport(tuple(self.events))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the robustness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Safety net: no test leaks an armed fault into the next one."""
+    yield
+    faults.clear()
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic deadlines."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

@@ -1,0 +1,65 @@
+"""Unit tests of the run-health reporting (repro.robust.health)."""
+
+from __future__ import annotations
+
+from repro.robust.health import HealthEvent, HealthLog, HealthReport
+
+
+def test_empty_report_is_clean():
+    report = HealthReport()
+    assert report.is_clean
+    assert report.degradations == ()
+    assert "clean" in report.summary()
+
+
+def test_infos_do_not_dirty_the_report():
+    log = HealthLog()
+    log.info("checkpoint", "resumed from run.ckpt")
+    assert log.freeze().is_clean
+
+
+def test_any_recovery_dirties_the_report():
+    for method in ("warning", "retry", "degradation", "budget"):
+        log = HealthLog()
+        getattr(log, method)("quantify", "something happened")
+        assert not log.freeze().is_clean
+
+
+def test_events_bucketed_by_kind():
+    log = HealthLog()
+    log.retry("quantify", "rung failed", cutset=frozenset({"b", "d"}), rung="exact")
+    log.degradation("quantify", "fallback", cutset=frozenset({"b", "d"}), rung="bound")
+    log.budget("mocus", "out of time")
+    log.warning("transient", "stiff chain")
+    report = log.freeze()
+    assert len(report.retries) == 1
+    assert len(report.degradations) == 1
+    assert len(report.budget_hits) == 1
+    assert len(report.warnings) == 1
+    assert report.degraded_cutsets() == frozenset({frozenset({"b", "d"})})
+
+
+def test_cutsets_stored_as_sorted_tuples():
+    log = HealthLog()
+    log.degradation("quantify", "fallback", cutset=frozenset({"d", "b"}))
+    assert log.events[0].cutset == ("b", "d")
+
+
+def test_event_str_mentions_everything():
+    event = HealthEvent(
+        "degradation", "quantify", "fallback", cutset=("b", "d"), rung="bound"
+    )
+    text = str(event)
+    assert "degradation/quantify" in text
+    assert "b+d" in text
+    assert "via bound" in text
+
+
+def test_summary_counts_and_lists_events():
+    log = HealthLog()
+    log.degradation("quantify", "fallback", cutset=frozenset({"b"}), rung="bound")
+    log.budget("mocus", "out of time")
+    summary = log.freeze().summary()
+    assert "1 degradations" in summary
+    assert "1 budget hits" in summary
+    assert "out of time" in summary

@@ -1,0 +1,97 @@
+"""The degradation ladder on the paper's cooling example.
+
+Each test forces failures at a specific rung via fault injection and
+checks both the rung the ladder lands on and that the degraded value
+still brackets the exact (fault-free) answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantify import quantify_cutset
+from repro.errors import NumericalError
+from repro.robust import faults
+from repro.robust.budget import Budget
+from repro.robust.ladder import quantify_with_ladder
+
+CUTSET = frozenset({"b", "d"})
+HORIZON = 24.0
+
+
+@pytest.fixture
+def clean_value(cooling_sdft):
+    """The exact p̃({b,d}) with nothing injected."""
+    return quantify_cutset(cooling_sdft, CUTSET, HORIZON).probability
+
+
+def test_clean_run_stays_on_the_exact_rung(cooling_sdft, clean_value):
+    outcome = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+    assert outcome.rung == "exact"
+    assert not outcome.degraded
+    assert outcome.attempts == ()
+    assert outcome.record.probability == pytest.approx(clean_value)
+
+
+def test_single_failure_recovers_on_the_lumped_rung(cooling_sdft, clean_value):
+    with faults.inject("transient_solve", NumericalError("forced"), times=1):
+        outcome = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+    assert outcome.rung == "lumped"
+    assert outcome.degraded
+    assert [a.rung for a in outcome.attempts] == ["exact"]
+    assert "forced" in outcome.attempts[0].error
+    # Lumping is exact: the recovered value matches the clean one.
+    assert outcome.record.probability == pytest.approx(clean_value, rel=1e-9)
+
+
+def test_persistent_solver_failure_lands_on_monte_carlo(cooling_sdft, clean_value):
+    with faults.inject("transient_solve", NumericalError("forced")):
+        outcome = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+    assert outcome.rung == "monte_carlo"
+    assert [a.rung for a in outcome.attempts] == ["exact", "lumped"]
+    record = outcome.record
+    assert record.bounded
+    assert record.lower_bound <= clean_value <= record.probability
+
+
+def test_monte_carlo_rung_is_deterministic(cooling_sdft):
+    import dataclasses
+
+    with faults.inject("transient_solve", NumericalError("forced")):
+        first = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+        second = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+    # Identical up to wall-clock timing: the per-cutset seed mixing makes
+    # the simulation rung reproducible.
+    strip = lambda r: dataclasses.replace(r, solve_seconds=0.0)  # noqa: E731
+    assert strip(first.record) == strip(second.record)
+
+
+def test_everything_failing_lands_on_the_bound_rung(cooling_sdft, clean_value):
+    with faults.inject("transient_solve", NumericalError("forced")), faults.inject(
+        "monte_carlo", NumericalError("forced")
+    ):
+        outcome = quantify_with_ladder(cooling_sdft, CUTSET, HORIZON)
+    assert outcome.rung == "bound"
+    assert [a.rung for a in outcome.attempts] == ["exact", "lumped", "monte_carlo"]
+    record = outcome.record
+    assert record.bounded
+    assert record.lower_bound <= clean_value <= record.probability
+
+
+def test_expired_budget_skips_monte_carlo(cooling_sdft, clean_value):
+    # An already-expired wall clock fails the solver rungs and makes the
+    # ladder jump straight past the (slow) simulation to the cheap bound.
+    outcome = quantify_with_ladder(
+        cooling_sdft, CUTSET, HORIZON, budget=Budget(wall_seconds=0.0)
+    )
+    assert outcome.rung == "bound"
+    skipped = [a for a in outcome.attempts if a.rung == "monte_carlo"]
+    assert skipped and "skipped" in skipped[0].error
+    assert outcome.record.lower_bound <= clean_value <= outcome.record.probability
+
+
+def test_static_cutsets_never_degrade(cooling_sdft):
+    with faults.inject("transient_solve", NumericalError("forced")):
+        outcome = quantify_with_ladder(cooling_sdft, frozenset({"e"}), HORIZON)
+    assert outcome.rung == "exact"
+    assert outcome.record.probability == pytest.approx(3e-6)

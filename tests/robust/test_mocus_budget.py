@@ -1,0 +1,98 @@
+"""Budget interruption and resume of the MOCUS search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, UnknownNodeError
+from repro.ft.cutsets import cutset_probability
+from repro.ft.mocus import mocus
+from repro.robust.budget import Budget
+
+
+def _interrupt(tree, **budget_kw):
+    with pytest.raises(BudgetExceededError) as excinfo:
+        mocus(tree, budget=Budget(**budget_kw))
+    return excinfo.value
+
+
+def test_cutset_budget_attaches_a_partial(cooling_tree):
+    error = _interrupt(cooling_tree, max_cutsets=2)
+    partial = error.partial
+    assert partial is not None
+    assert partial.result.truncated
+    assert len(partial.result.cutsets) >= 2
+    assert "frontier" in partial.frontier and "completed" in partial.frontier
+
+
+def test_partial_cutsets_are_genuine(cooling_tree):
+    full = {frozenset(c) for c in mocus(cooling_tree).cutsets}
+    error = _interrupt(cooling_tree, max_cutsets=2)
+    found = {frozenset(c) for c in error.partial.result.cutsets}
+    assert found <= full
+
+
+def test_remainder_bound_dominates_the_missed_mass(cooling_tree):
+    probabilities = {
+        name: event.probability for name, event in cooling_tree.events.items()
+    }
+    full = {frozenset(c) for c in mocus(cooling_tree).cutsets}
+    error = _interrupt(cooling_tree, max_cutsets=2)
+    found = {frozenset(c) for c in error.partial.result.cutsets}
+    missed_mass = sum(cutset_probability(c, probabilities) for c in full - found)
+    assert error.partial.result.remainder_bound >= missed_mass
+
+
+def test_zero_wall_budget_interrupts_before_any_work(cooling_tree):
+    error = _interrupt(cooling_tree, wall_seconds=0.0)
+    partial = error.partial
+    assert len(partial.result.cutsets) == 0
+    # The untouched root partial bounds everything: remainder is 1.
+    assert partial.result.remainder_bound == pytest.approx(1.0)
+
+
+def test_resume_completes_the_interrupted_search(cooling_tree):
+    full = mocus(cooling_tree)
+    error = _interrupt(cooling_tree, max_cutsets=2)
+    resumed = mocus(cooling_tree, resume=error.partial.frontier)
+    assert not resumed.truncated
+    assert {frozenset(c) for c in resumed.cutsets} == {
+        frozenset(c) for c in full.cutsets
+    }
+
+
+def test_resume_rejects_snapshots_from_another_tree(cooling_tree):
+    snapshot = {
+        "completed": [["no-such-event"]],
+        "frontier": [],
+    }
+    with pytest.raises(UnknownNodeError, match="no-such-event"):
+        mocus(cooling_tree, resume=snapshot)
+
+
+def test_progress_snapshots_lose_no_cutsets(cooling_tree):
+    # Regression: a snapshot taken mid-expansion used to drop the
+    # in-flight partial, so a resume from it silently lost every cutset
+    # below that partial.  Every periodic snapshot must resume to the
+    # exact full result.
+    full = {frozenset(c) for c in mocus(cooling_tree).cutsets}
+    snapshots = []
+    mocus(
+        cooling_tree,
+        on_progress=lambda build: snapshots.append(build()),
+        progress_every=1,
+    )
+    assert snapshots  # the hook must actually fire on this tree
+    for snapshot in snapshots:
+        resumed = mocus(cooling_tree, resume=snapshot)
+        assert {frozenset(c) for c in resumed.cutsets} == full
+
+
+def test_unlimited_budget_changes_nothing(cooling_tree):
+    plain = mocus(cooling_tree)
+    budgeted = mocus(cooling_tree, budget=Budget())
+    assert {frozenset(c) for c in plain.cutsets} == {
+        frozenset(c) for c in budgeted.cutsets
+    }
+    assert not budgeted.truncated
+    assert budgeted.remainder_bound == 0.0
