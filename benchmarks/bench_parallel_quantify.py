@@ -1,0 +1,249 @@
+"""P1 — parallel cutset quantification: dedup + solver-farm speedup.
+
+Measures the quantification phase of :func:`repro.core.analyzer.analyze`
+across worker counts (``jobs=1`` is the serial in-process loop, higher
+counts the dedup + process-pool farm of :mod:`repro.perf`) and records
+the signature-dedup statistics that make the farm worthwhile.  Run as a
+script::
+
+    python benchmarks/bench_parallel_quantify.py --output BENCH_quantify.json
+
+The payload records honest numbers for the machine it ran on —
+``cpu_count`` is part of the output, so a single-core runner showing no
+speedup is a property of the runner, not of the code.  The script also
+*asserts* the determinism contract: every jobs setting must reproduce
+the serial records bit for bit (wall-clock fields excluded).
+
+``--tiny`` restricts the sweep to the small cooling model (seconds, for
+CI smoke jobs); the default sweep runs the fictive BWR study and a
+dynamized synthetic PSA model.  ``validate_payload`` is the schema
+check the CI smoke job runs against the emitted file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+
+
+def _masked_records(result):
+    return [
+        dataclasses.replace(r, solve_seconds=0.0) for r in result.records
+    ]
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def build_cases(scale: float, tiny: bool):
+    """``(name, sdft, options_kwargs)`` triples of the sweep."""
+    from repro.core.sdft import SdFaultTreeBuilder
+    from repro.ctmc.builders import repairable, triggered_repairable
+
+    b = SdFaultTreeBuilder("cooling-sd")
+    b.static_event("a", 3e-3).static_event("c", 3e-3).static_event("e", 3e-6)
+    b.dynamic_event("b", repairable(0.001, 0.05))
+    b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+    b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("cooling", "pumps", "e")
+    b.trigger("pump1", "d")
+    cooling = b.build("cooling")
+    cases = [("cooling", cooling, {})]
+    if tiny:
+        return cases
+
+    from repro.ft.mocus import MocusOptions, mocus
+    from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+    from repro.models.enrich import dynamize, plan_dynamization
+    from repro.models.synthetic import model_1
+
+    bwr = build_bwr(BwrConfig(repair_rate=0.05, triggers=TRIGGER_STAGES))
+    cases.append(("bwr", bwr, {}))
+
+    tree = model_1(scale)
+    cutsets = mocus(tree, MocusOptions(cutoff=1e-10)).cutsets
+    plan = plan_dynamization(cutsets, 0.3, 0.5)
+    cases.append(
+        ("synthetic-1-dynamized", dynamize(tree, plan, 24.0), {"cutoff": 1e-10})
+    )
+    return cases
+
+
+def run_case(name: str, sdft, jobs_list, options_kwargs) -> dict:
+    """Sweep one model over the jobs list; assert identical results."""
+    from repro.core.analyzer import AnalysisOptions, analyze
+
+    runs = []
+    baseline = None
+    baseline_quantify = None
+    for jobs in jobs_list:
+        started = time.perf_counter()
+        result = analyze(sdft, AnalysisOptions(jobs=jobs, **options_kwargs))
+        wall = time.perf_counter() - started
+        if baseline is None:
+            baseline = result
+            baseline_quantify = result.timings.quantification_seconds
+        else:
+            assert (
+                result.failure_probability == baseline.failure_probability
+            ), f"{name}: jobs={jobs} changed the failure probability"
+            assert _masked_records(result) == _masked_records(baseline), (
+                f"{name}: jobs={jobs} changed the per-cutset records"
+            )
+        quantify_seconds = result.timings.quantification_seconds
+        runs.append(
+            {
+                "jobs": result.perf.jobs,
+                "wall_seconds": round(wall, 4),
+                "quantification_seconds": round(quantify_seconds, 4),
+                "quantification_speedup": round(
+                    baseline_quantify / quantify_seconds, 3
+                )
+                if quantify_seconds > 0.0
+                else 1.0,
+            }
+        )
+        print(
+            f"[{name}] jobs={jobs}: total {wall:.2f}s, "
+            f"quantification {quantify_seconds:.2f}s",
+            flush=True,
+        )
+    states_solved = sum(
+        r.chain_states for r in baseline.records if not r.cache_hit
+    )
+    return {
+        "model": name,
+        "n_cutsets": baseline.n_cutsets,
+        "n_dynamic_cutsets": baseline.n_dynamic_cutsets,
+        "dynamic_solves": baseline.perf.dynamic_solves,
+        "unique_models_solved": baseline.perf.unique_models_solved,
+        "dedup_ratio": round(baseline.perf.dedup_ratio, 4),
+        "states_solved": states_solved,
+        "failure_probability": baseline.failure_probability,
+        "identical_across_jobs": True,
+        "runs": runs,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check of an emitted ``BENCH_quantify.json`` (raises on error)."""
+
+    def expect(condition, message):
+        if not condition:
+            raise ValueError(f"BENCH_quantify.json schema: {message}")
+
+    expect(isinstance(payload, dict), "payload must be an object")
+    expect(
+        payload.get("benchmark") == "parallel_quantify",
+        "benchmark must be 'parallel_quantify'",
+    )
+    for key, kind in (
+        ("cpu_count", int),
+        ("python", str),
+        ("platform", str),
+        ("jobs_swept", list),
+        ("cases", list),
+    ):
+        expect(isinstance(payload.get(key), kind), f"{key} must be {kind.__name__}")
+    expect(payload["cpu_count"] >= 1, "cpu_count must be positive")
+    expect(len(payload["cases"]) >= 1, "at least one case required")
+    for case in payload["cases"]:
+        for key, kind in (
+            ("model", str),
+            ("n_cutsets", int),
+            ("n_dynamic_cutsets", int),
+            ("dynamic_solves", int),
+            ("unique_models_solved", int),
+            ("dedup_ratio", (int, float)),
+            ("states_solved", int),
+            ("failure_probability", (int, float)),
+            ("runs", list),
+        ):
+            expect(
+                isinstance(case.get(key), kind),
+                f"case {case.get('model')!r}: {key} must be {kind}",
+            )
+        expect(
+            case["identical_across_jobs"] is True,
+            f"case {case['model']!r}: results differed across jobs",
+        )
+        expect(
+            0.0 <= case["dedup_ratio"] < 1.0,
+            f"case {case['model']!r}: dedup_ratio out of range",
+        )
+        expect(
+            case["unique_models_solved"] <= case["dynamic_solves"],
+            f"case {case['model']!r}: more unique solves than dynamic solves",
+        )
+        expect(len(case["runs"]) >= 1, f"case {case['model']!r}: no runs")
+        for run in case["runs"]:
+            for key in ("jobs", "wall_seconds", "quantification_seconds"):
+                expect(
+                    isinstance(run.get(key), (int, float)),
+                    f"case {case['model']!r}: run field {key} missing",
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        default="1,2,4",
+        help="comma-separated worker counts to sweep (first is the baseline)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.6")),
+        help="synthetic-model scale factor",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small cooling model only (CI smoke: seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_quantify.json",
+        help="path of the JSON payload",
+    )
+    args = parser.parse_args(argv)
+    jobs_list = [int(value) for value in args.jobs.split(",") if value.strip()]
+    if not jobs_list:
+        parser.error("--jobs must name at least one worker count")
+
+    cases = [
+        run_case(name, sdft, jobs_list, options)
+        for name, sdft, options in build_cases(args.scale, args.tiny)
+    ]
+    payload = {
+        "benchmark": "parallel_quantify",
+        "created_unix": int(time.time()),
+        "cpu_count": _cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": args.scale,
+        "tiny": args.tiny,
+        "jobs_swept": jobs_list,
+        "cases": cases,
+    }
+    validate_payload(payload)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(cases)} cases, cpus={payload['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

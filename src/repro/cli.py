@@ -54,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="number of top cutsets to print"
     )
     analyze_cmd.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for quantification: a number, or 'auto' "
+        "for one per CPU; unique cutset models are deduplicated and "
+        "solved once on a process pool (default 1 = serial)",
+    )
+    analyze_cmd.add_argument(
         "--lump",
         action="store_true",
         help="reduce per-cutset chains by exact lumping before solving",
@@ -166,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     demo_cmd.add_argument("--repair-rate", type=float, default=0.05)
     demo_cmd.add_argument("--phases", type=int, default=1)
+    demo_cmd.add_argument("--jobs", default="1", metavar="N")
     demo_cmd.set_defaults(handler=_cmd_demo_bwr)
     return parser
 
@@ -217,6 +226,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval_seconds=args.checkpoint_interval,
         resume=args.resume,
+        jobs=args.jobs,
     )
     result = analyze(sdft, options)
     print(result.summary())
@@ -355,7 +365,8 @@ def _cmd_demo_bwr(args: argparse.Namespace) -> int:
         print(f"saved {sdft!r} to {args.save}")
         return 0
     result = analyze(
-        sdft, AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff)
+        sdft,
+        AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff, jobs=args.jobs),
     )
     print(result.summary())
     return 0

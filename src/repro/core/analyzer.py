@@ -23,12 +23,14 @@ import time
 from dataclasses import dataclass
 
 from repro.core.classify import classification_report
+from repro.core.cutset_model import build_cutset_model
 from repro.core.quantify import (
     McsQuantification,
     QuantificationCache,
     quantify_cutset,
+    quantify_model,
 )
-from repro.core.results import AnalysisResult, Timings
+from repro.core.results import AnalysisResult, PerfStats, Timings
 from repro.core.sdft import SdFaultTree
 from repro.core.to_static import to_static
 from repro.errors import AnalysisError, BudgetExceededError, NumericalError
@@ -90,6 +92,19 @@ class AnalysisOptions:
       :class:`~repro.errors.CheckpointError`).
     * ``monte_carlo_runs`` / ``monte_carlo_seed`` control the ladder's
       simulation rung (seeded deterministically per cutset).
+
+    Parallelism (:mod:`repro.perf`):
+
+    * ``jobs`` — worker processes for the quantification phase.  ``1``
+      (the default) keeps the serial in-process loop; ``"auto"`` uses
+      one worker per available CPU.  With more than one job the dynamic
+      cutsets are grouped by structural model signature, each *unique*
+      model is solved exactly once on a process pool
+      (largest-estimated-chain first), and the results are folded back
+      in deterministic cutset order — the analysis values are identical
+      to a serial run, only wall-clock changes.  A task that fails in a
+      worker is recovered by re-running its cutsets in the parent
+      through the usual degradation path.
     """
 
     horizon: float = 24.0
@@ -109,6 +124,7 @@ class AnalysisOptions:
     checkpoint_path: str | None = None
     checkpoint_interval_seconds: float = 30.0
     resume: bool = False
+    jobs: "int | str" = 1
 
 
 def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -149,7 +165,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     mcs_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    records, cache = _quantify_cutsets(
+    records, cache, perf = _quantify_cutsets(
         sdft,
         translation.tree,
         mocus_result,
@@ -178,6 +194,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         health=health.freeze(),
         mcs_truncated=mocus_result.truncated,
         mcs_remainder_bound=mocus_result.remainder_bound,
+        perf=perf,
     )
 
 
@@ -292,9 +309,25 @@ def _quantify_cutsets(
     manager,
     restored: dict,
 ):
-    """Quantify every cutset with isolation, budgets and checkpoints."""
-    classes = classification_report(sdft).by_gate
-    cache = QuantificationCache()
+    """Quantify every cutset with isolation, budgets and checkpoints.
+
+    ``opts.jobs`` selects the execution strategy: the serial in-process
+    loop (``1``), or the dedup + process-pool farm of :mod:`repro.perf`
+    — both produce identical records, totals and health events for the
+    same analysis.
+    """
+    from repro.perf.pool import resolve_jobs
+
+    n_jobs = resolve_jobs(opts.jobs)
+    ctx = _QuantifyContext(
+        sdft,
+        translation_tree,
+        opts,
+        classification_report(sdft).by_gate,
+        QuantificationCache(),
+        budget,
+        health,
+    )
     records: list[McsQuantification] = []
     cutset_list = list(mocus_result.cutsets)
 
@@ -312,59 +345,279 @@ def _quantify_cutsets(
         # Phase transition: from here on the cutset list is fixed.
         manager.save("quantify", state())
 
-    out_of_budget = False
-    for cutset in cutset_list:
-        reused = restored.get(cutset)
-        if reused is not None:
-            records.append(reused)
-            continue
-        if not out_of_budget and budget is not None and budget.expired():
-            health.budget(
-                "quantify",
-                "wall-clock budget exhausted; remaining cutsets carry "
-                "their conservative static worst-case bound",
-            )
-            out_of_budget = True
-        if out_of_budget:
-            records.append(
-                _skipped_record(
-                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
-                )
-            )
-            continue
+    worker_faults = 0
+    if n_jobs > 1:
+        worker_faults = _quantify_parallel(
+            ctx, cutset_list, records, restored, manager, state, n_jobs
+        )
+    else:
+        for cutset in cutset_list:
+            reused = restored.get(cutset)
+            if reused is not None:
+                records.append(reused)
+                continue
+            records.append(ctx.quantify(cutset))
+            if manager is not None:
+                manager.maybe_save("quantify", state)
+
+    cache = ctx.cache
+    dynamic_solves = cache.hits + cache.misses
+    perf = PerfStats(
+        jobs=n_jobs,
+        dynamic_solves=dynamic_solves,
+        unique_models_solved=cache.misses,
+        dedup_ratio=cache.hits / dynamic_solves if dynamic_solves else 0.0,
+        worker_faults=worker_faults,
+    )
+    return records, cache, perf
+
+
+@dataclass
+class _QuantifyContext:
+    """Shared state and the per-cutset policy of the quantification phase.
+
+    :meth:`quantify` is the exact serial behaviour — budget gate, then
+    the (optionally ladder-protected) solve, converting failures into
+    health events and conservative records.  The parallel fold reuses it
+    verbatim for deferred and worker-failed cutsets, which is what keeps
+    serial and parallel runs bit-identical in records and health.
+    """
+
+    sdft: SdFaultTree
+    translation_tree: object
+    opts: AnalysisOptions
+    classes: dict
+    cache: QuantificationCache
+    budget: "Budget | None"
+    health: HealthLog
+    out_of_budget: bool = False
+
+    def quantify(self, cutset: frozenset) -> McsQuantification:
+        """One cutset through the full serial path (gate, solve, recover)."""
+        gated = self._budget_gate(cutset)
+        if gated is not None:
+            return gated
         try:
-            record = _quantify_one(
-                sdft, cutset, opts, classes, cache, budget, health
+            return _quantify_one(
+                self.sdft,
+                cutset,
+                self.opts,
+                self.classes,
+                self.cache,
+                self.budget,
+                self.health,
             )
         except BudgetExceededError as error:
-            health.budget("quantify", str(error), cutset=cutset)
-            out_of_budget = True
-            records.append(
-                _skipped_record(
-                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
-                )
-            )
-            continue
+            self.health.budget("quantify", str(error), cutset=cutset)
+            self.out_of_budget = True
+            return self._skipped(cutset)
         except (NumericalError, AnalysisError) as error:
-            if not opts.fault_isolation:
+            if not self.opts.fault_isolation:
                 raise
-            health.degradation(
+            self.health.degradation(
                 "quantify",
                 f"every ladder rung failed ({error}); static worst-case "
                 f"bound substituted",
                 cutset=cutset,
                 rung="skipped",
             )
-            records.append(
-                _skipped_record(
-                    sdft, cutset, _worst_case_probability(translation_tree, cutset)
-                )
+            return self._skipped(cutset)
+
+    def fold_direct(self, model) -> McsQuantification:
+        """A static or trivially-zero cutset model (no chain solve)."""
+        gated = self._budget_gate(model.cutset)
+        if gated is not None:
+            return gated
+        return quantify_model(model, self.opts.horizon)
+
+    def fold_solved(self, model, key: tuple, result) -> McsQuantification:
+        """Fold one pool-solved unique value onto one member cutset.
+
+        Drives the shared cache exactly like the serial loop would: the
+        group's first member in cutset order records the miss (and is
+        charged to the state budget), every later member is a hit.
+        """
+        gated = self._budget_gate(model.cutset)
+        if gated is not None:
+            return gated
+        found = self.cache.get(key)
+        if found is not None:
+            probability, chain_states = found
+            return McsQuantification(
+                model.cutset,
+                probability * model.static_factor,
+                True,
+                model.n_dynamic_in_cutset,
+                model.n_dynamic_in_model,
+                model.n_added_dynamic,
+                chain_states,
+                0.0,
+                cache_hit=True,
             )
+        if self.budget is not None:
+            limit = self.budget.max_total_states
+            if (
+                limit is not None
+                and self.budget.states_charged + result.chain_states > limit
+            ):
+                # The state budget is about to trip.  Route this member
+                # through the serial per-cutset path instead, so the
+                # charge, the failure and any ladder descent happen with
+                # exactly the serial loop's accounting and health events.
+                return self.quantify(model.cutset)
+            self.budget.charge_states(result.chain_states, "quantify")
+        self.cache.put(key, result.probability, result.chain_states)
+        return McsQuantification(
+            model.cutset,
+            result.probability * model.static_factor,
+            True,
+            model.n_dynamic_in_cutset,
+            model.n_dynamic_in_model,
+            model.n_added_dynamic,
+            result.chain_states,
+            result.solve_seconds,
+            rung="lumped" if self.opts.lump_chains else "exact",
+        )
+
+    def _budget_gate(self, cutset: frozenset) -> "McsQuantification | None":
+        """The skipped record once the wall-clock budget has expired."""
+        if (
+            not self.out_of_budget
+            and self.budget is not None
+            and self.budget.expired()
+        ):
+            self.health.budget(
+                "quantify",
+                "wall-clock budget exhausted; remaining cutsets carry "
+                "their conservative static worst-case bound",
+            )
+            self.out_of_budget = True
+        if self.out_of_budget:
+            return self._skipped(cutset)
+        return None
+
+    def _skipped(self, cutset: frozenset) -> McsQuantification:
+        return _skipped_record(
+            self.sdft,
+            cutset,
+            _worst_case_probability(self.translation_tree, cutset),
+        )
+
+
+def _quantify_parallel(
+    ctx: _QuantifyContext,
+    cutset_list: list,
+    records: list,
+    restored: dict,
+    manager,
+    state,
+    n_jobs: int,
+) -> int:
+    """Dedup + process-pool quantification (the :mod:`repro.perf` path).
+
+    Three phases: *plan* — build every cutset's ``FT_C`` and group the
+    dynamic ones by model signature; *solve* — run one task per unique
+    model on the farm, largest first; *fold* — append records in
+    deterministic cutset order, advancing over the longest prefix whose
+    solves have landed (so checkpoints stay valid mid-run).  Returns the
+    number of worker-failed tasks (their cutsets are recovered in the
+    parent via :meth:`_QuantifyContext.quantify`).
+    """
+    from repro.perf.dedup import DedupPlan
+    from repro.perf.pool import SolveTask, SolverFarm
+    from repro.perf.schedule import estimate_chain_states
+
+    opts = ctx.opts
+    plan = DedupPlan()
+    # One entry per cutset: ("done", record) | ("serial", cutset) |
+    # ("direct", model) | ("group", key, model).
+    entries: list[tuple] = []
+    for cutset in cutset_list:
+        reused = restored.get(cutset)
+        if reused is not None:
+            entries.append(("done", reused))
             continue
-        records.append(record)
+        try:
+            model = build_cutset_model(ctx.sdft, cutset, ctx.classes)
+        except (NumericalError, AnalysisError):
+            # Defer to the per-cutset path, which reproduces the failure
+            # — and its health events — exactly as the serial loop would.
+            entries.append(("serial", cutset))
+            continue
+        if model.model is None or model.trivially_zero:
+            entries.append(("direct", model))
+            continue
+        key = ctx.cache.signature(model.model, opts.horizon)
+        plan.add(key, model)
+        entries.append(("group", key, model))
+
+    wall_allowance = None
+    state_allowance = None
+    if ctx.budget is not None:
+        wall_allowance = ctx.budget.remaining_seconds()
+        if ctx.budget.max_total_states is not None:
+            state_allowance = max(
+                0, ctx.budget.max_total_states - ctx.budget.states_charged
+            )
+    groups = plan.groups
+    tasks = [
+        SolveTask(
+            task_id=task_id,
+            model=group.representative.model,
+            horizon=opts.horizon,
+            epsilon=opts.epsilon,
+            max_chain_states=opts.max_chain_states,
+            lump_chains=opts.lump_chains,
+            cutset=tuple(sorted(group.representative.cutset)),
+            wall_allowance=wall_allowance,
+            state_allowance=state_allowance,
+            estimated_states=estimate_chain_states(group.representative.model),
+        )
+        for task_id, group in enumerate(groups)
+    ]
+
+    worker_faults = 0
+    next_index = 0
+
+    def fold_entry(entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "done":
+            records.append(entry[1])
+            return
+        if kind == "serial":
+            records.append(ctx.quantify(entry[1]))
+        elif kind == "direct":
+            records.append(ctx.fold_direct(entry[1]))
+        else:
+            _, key, model = entry
+            result = plan.get(key).result
+            if result.ok:
+                records.append(ctx.fold_solved(model, key, result))
+            else:
+                # Worker-side failure: recover this member in the parent
+                # through the standard (ladder-protected) path.
+                records.append(ctx.quantify(model.cutset))
         if manager is not None:
             manager.maybe_save("quantify", state)
-    return records, cache
+
+    def fold_ready() -> None:
+        nonlocal next_index
+        while next_index < len(entries):
+            entry = entries[next_index]
+            if entry[0] == "group" and plan.get(entry[1]).result is None:
+                break
+            fold_entry(entry)
+            next_index += 1
+
+    if tasks:
+        for result in SolverFarm(n_jobs).run(tasks):
+            group = groups[result.task_id]
+            group.result = result
+            if not result.ok:
+                worker_faults += 1
+            fold_ready()
+    fold_ready()
+    return worker_faults
 
 
 def _quantify_one(

@@ -23,6 +23,7 @@ from repro.ctmc.lumping import lump
 from repro.ctmc.product import build_product
 from repro.ctmc.transient import reach_probability
 from repro.errors import AnalysisError
+from repro.perf.fingerprint import model_signature
 from repro.robust import faults
 
 __all__ = [
@@ -73,10 +74,13 @@ class QuantificationCache:
     """Memoises chain solves by structural model signature.
 
     The signature covers everything the reachability probability depends
-    on: the dynamic events with their chain identities, the static
+    on: the dynamic events with their chain *contents*, the static
     guards with probabilities, the gate structure, the trigger edges and
-    the horizon.  Chains are compared by object identity — events built
-    from shared chain objects (the normal usage) hit the cache.
+    the horizon.  Chains are compared by content fingerprint
+    (:meth:`repro.ctmc.chain.Ctmc.fingerprint`), so equal-but-distinct
+    chain objects — models built separately, or chains revived by
+    unpickling in another process — hit the cache too.  The same keys
+    drive the cross-process dedup of :mod:`repro.perf.dedup`.
     """
 
     def __init__(self) -> None:
@@ -86,20 +90,7 @@ class QuantificationCache:
 
     def signature(self, model: SdFaultTree, horizon: float) -> tuple:
         """A hashable key identifying the quantification problem."""
-        gates = tuple(
-            (g.name, g.gate_type.value, g.children, g.k)
-            for g in sorted(model.gates.values(), key=lambda g: g.name)
-        )
-        dynamic = tuple(
-            (name, id(event.chain))
-            for name, event in sorted(model.dynamic_events.items())
-        )
-        static = tuple(
-            (name, event.probability)
-            for name, event in sorted(model.static_events.items())
-        )
-        triggers = tuple(sorted((g, tuple(e)) for g, e in model.triggers.items()))
-        return (gates, dynamic, static, triggers, horizon)
+        return model_signature(model, horizon)
 
     def get(self, key: tuple) -> tuple[float, int] | None:
         """Cached ``(probability, chain size)`` or ``None``."""

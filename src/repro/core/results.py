@@ -14,7 +14,43 @@ from repro.core.classify import ClassificationReport
 from repro.core.quantify import McsQuantification
 from repro.robust.health import HealthReport
 
-__all__ = ["Timings", "AnalysisResult"]
+__all__ = ["PerfStats", "Timings", "AnalysisResult"]
+
+
+@dataclass(frozen=True)
+class PerfStats:
+    """Execution statistics of the quantification phase.
+
+    The dedup numbers answer "how much solving did signature sharing
+    save": ``dynamic_solves`` counts cutsets that needed a chain value,
+    of which only ``unique_models_solved`` distinct models were actually
+    solved; ``dedup_ratio`` is the avoided fraction.  They are derived
+    from the shared solve cache, so serial and parallel runs of the same
+    analysis report identical dedup numbers.
+
+    ``jobs`` and ``worker_faults`` describe *how* the run executed:
+    worker count of the solver farm (1 = in-process serial loop) and how
+    many pool tasks failed in a worker and were recovered by re-running
+    their cutsets in the parent.  They never influence the analysis
+    values themselves.
+    """
+
+    jobs: int = 1
+    dynamic_solves: int = 0
+    unique_models_solved: int = 0
+    dedup_ratio: float = 0.0
+    worker_faults: int = 0
+
+    def summary(self) -> str:
+        """One human-readable line for the run report."""
+        line = (
+            f"dedup: {self.unique_models_solved} unique chain models solved "
+            f"for {self.dynamic_solves} dynamic solves "
+            f"({self.dedup_ratio:.0%} shared), jobs={self.jobs}"
+        )
+        if self.worker_faults:
+            line += f", {self.worker_faults} worker faults recovered"
+        return line
 
 
 @dataclass(frozen=True)
@@ -64,6 +100,7 @@ class AnalysisResult:
     health: HealthReport = HealthReport()
     mcs_truncated: bool = False
     mcs_remainder_bound: float = 0.0
+    perf: PerfStats = PerfStats()
 
     # ------------------------------------------------------------------
     # Aggregated views used by the experiment harnesses
@@ -188,6 +225,7 @@ class AnalysisResult:
             f"(of which {mean_added:.2f} added by trigger modelling)",
             f"chain-solve cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses",
+            self.perf.summary(),
             f"time: translation {self.timings.translation_seconds:.2f}s, "
             f"MCS {self.timings.mcs_generation_seconds:.2f}s, "
             f"quantification {self.timings.quantification_seconds:.2f}s",

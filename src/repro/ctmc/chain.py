@@ -12,6 +12,7 @@ The class is immutable after construction; analyses live in
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Iterable, Mapping
 
 import numpy as np
@@ -122,6 +123,56 @@ class Ctmc:
             f"Ctmc({self.n_states} states, {self.n_transitions} transitions, "
             f"{len(self.failed)} failed)"
         )
+
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A content-based digest identifying the labelled chain.
+
+        Two chains built independently from the same states, rates,
+        initial distribution and failed set — and, for triggered chains,
+        the same on/off structure — share the fingerprint; any
+        analysis-relevant difference changes it.  This is what
+        quantification caches and the dedup layer key on: unlike object
+        identity it survives pickling across processes and recognises
+        equal-but-distinct chain objects.
+
+        The digest is cached on the instance (the chain is immutable
+        after construction).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(
+            "\n".join(self._fingerprint_parts()).encode()
+        ).hexdigest()
+        self.__dict__["_fingerprint"] = digest
+        return digest
+
+    def _fingerprint_parts(self) -> list[str]:
+        """Canonical lines the fingerprint digests; subclasses extend.
+
+        State labels enter via ``repr`` and every collection is sorted,
+        so the digest is independent of construction order.  Floats use
+        ``repr`` too, which round-trips exactly in Python 3.
+        """
+        return [
+            type(self).__name__,
+            "states:" + "|".join(sorted(repr(s) for s in self.states)),
+            "initial:"
+            + "|".join(
+                sorted(f"{s!r}={p!r}" for s, p in self.initial.items())
+            ),
+            "rates:"
+            + "|".join(
+                sorted(
+                    f"{s!r}>{d!r}={r!r}" for (s, d), r in self.rates.items()
+                )
+            ),
+            "failed:" + "|".join(sorted(repr(s) for s in self.failed)),
+        ]
 
     # ------------------------------------------------------------------
     # Matrix forms

@@ -225,8 +225,19 @@ def _uniformization(
     qt = q * horizon
 
     n = chain.n_states
+    # The CSR conversion and diagonal fix happen once, before the
+    # series loop — every iteration is then a single sparse mat-vec.
     dtmc = (rate_matrix / q + sparse.eye(n, format="csr")).tocsr()
     dtmc = _strip_diagonal_deficit(dtmc, exit_rates / q)
+
+    # Early-exit support: states with no outgoing rate are fixed points
+    # of the DTMC, so once (almost) all probability mass sits on them
+    # the iterates have converged and the remaining Poisson tail can be
+    # added analytically.  This is exactly the reachability shape — the
+    # targets are made absorbing — where long horizons otherwise burn
+    # thousands of no-op series terms.
+    mobile = exit_rates > 0.0
+    watch_absorption = bool(mobile.any()) and not bool(mobile.all())
 
     log_qt = math.log(qt)
     pi = chain.initial_vector()
@@ -239,6 +250,14 @@ def _uniformization(
         result += weight * pi
         accumulated += weight
         if accumulated >= 1.0 - epsilon:
+            break
+        if watch_absorption and float(pi[mobile].sum()) <= epsilon:
+            # Mass still able to move is below the truncation tolerance:
+            # all future iterates equal pi within epsilon (mobile mass is
+            # non-increasing under an absorbing DTMC), so the rest of the
+            # series contributes (1 - accumulated) * pi up to epsilon.
+            result += (1.0 - accumulated) * pi
+            accumulated = 1.0
             break
         k += 1
         if k > _MAX_TERMS:

@@ -126,6 +126,25 @@ class TriggeredCtmc(Ctmc):
         self._untriggered_cache = view
         return view
 
+    def _fingerprint_parts(self) -> list[str]:
+        parts = super()._fingerprint_parts()
+        parts.append(
+            "on:" + "|".join(sorted(repr(s) for s in self.on_states))
+        )
+        parts.append(
+            "switch_on:"
+            + "|".join(
+                sorted(f"{s!r}>{d!r}" for s, d in self.switch_on.items())
+            )
+        )
+        parts.append(
+            "switch_off:"
+            + "|".join(
+                sorted(f"{s!r}>{d!r}" for s, d in self.switch_off.items())
+            )
+        )
+        return parts
+
     def __repr__(self) -> str:
         return (
             f"TriggeredCtmc({self.n_states} states, "

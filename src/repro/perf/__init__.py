@@ -1,0 +1,35 @@
+"""Performance layer: dedup + parallel execution of cutset solves.
+
+The paper's decomposition turns one intractable product-chain analysis
+into thousands of *independent* small per-cutset solves (Section V-C) —
+a shape that parallelises and deduplicates embarrassingly well.  This
+package supplies the mechanisms; :mod:`repro.core.analyzer` is the
+policy layer that threads them through the pipeline:
+
+* :mod:`repro.perf.fingerprint` — content-based structural signatures
+  of chains and per-cutset models, valid across processes;
+* :mod:`repro.perf.dedup` — group cutsets by model signature so each
+  unique model is solved exactly once;
+* :mod:`repro.perf.schedule` — order unique solves largest-first to
+  minimise process-pool tail latency;
+* :mod:`repro.perf.pool` — the process-pool solver farm with picklable
+  task/result types and per-task fault capture.
+"""
+
+from repro.perf.dedup import DedupPlan, ModelGroup
+from repro.perf.fingerprint import model_signature
+from repro.perf.pool import SolveResult, SolveTask, SolverFarm, resolve_jobs, solve_task
+from repro.perf.schedule import estimate_chain_states, order_largest_first
+
+__all__ = [
+    "DedupPlan",
+    "ModelGroup",
+    "SolveResult",
+    "SolveTask",
+    "SolverFarm",
+    "estimate_chain_states",
+    "model_signature",
+    "order_largest_first",
+    "resolve_jobs",
+    "solve_task",
+]

@@ -1,0 +1,213 @@
+"""The process-pool solver farm for unique cutset models.
+
+Each :class:`SolveTask` carries one unique ``FT_C`` model (picklable —
+plain data all the way down) plus its solver knobs and per-task
+resource allowances; :func:`solve_task` runs in a worker process and
+mirrors exactly the solving section of
+:func:`repro.core.quantify.quantify_model`, including the fault-
+injection checkpoints, so parallel runs degrade identically to serial
+ones under the same faults.
+
+Failures never escape a worker as exceptions: every error is captured
+into the returned :class:`SolveResult`, and the parent decides how to
+recover (the analyzer re-runs the affected cutsets through the PR-1
+degradation ladder).  A worker that dies outright (a crashed process
+breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`) is
+likewise converted into per-task failure results, so one crash costs a
+serial re-run of the affected cutsets, never the analysis.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.perf.schedule import order_largest_first
+
+__all__ = [
+    "SolveResult",
+    "SolveTask",
+    "SolverFarm",
+    "resolve_jobs",
+    "solve_task",
+]
+
+
+def resolve_jobs(jobs) -> int:
+    """Normalise a ``--jobs`` value to a positive worker count.
+
+    ``"auto"`` (or ``None``) means one worker per CPU the process may
+    use; integers (and integer strings) pass through.  ``1`` means the
+    serial in-process path — no pool is created at all.
+    """
+    if jobs is None or jobs == "auto":
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # platforms without CPU affinity
+            return os.cpu_count() or 1
+    count = int(jobs)
+    if count < 1:
+        raise ValueError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
+    return count
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One unique quantification problem, ready to cross a process boundary.
+
+    ``model`` is the cutset's ``FT_C`` :class:`~repro.core.sdft.SdFaultTree`;
+    ``cutset`` names the representative cutset (fault-injection context
+    and error messages).  ``wall_allowance``/``state_allowance`` bound
+    the worker-local budget — the parent derives them from the run
+    budget's remaining headroom at dispatch time, so a worker cannot
+    overrun the deadline unobserved.  ``estimated_states`` drives the
+    largest-first schedule.
+    """
+
+    task_id: int
+    model: object
+    horizon: float
+    epsilon: float
+    max_chain_states: int
+    lump_chains: bool
+    cutset: tuple[str, ...]
+    wall_allowance: float | None = None
+    state_allowance: int | None = None
+    estimated_states: int = 0
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one unique solve — value or captured failure.
+
+    ``probability`` is the *dynamic* reachability probability of the
+    model (not yet multiplied by any cutset's static factor, which is
+    member-specific).  ``error_kind`` classifies captured failures:
+    ``"analysis"``/``"numerical"`` for solver errors, ``"budget"`` for
+    an exhausted per-task allowance, ``"crash"`` for anything else
+    (including a broken pool).
+    """
+
+    task_id: int
+    probability: float = 0.0
+    chain_states: int = 0
+    solve_seconds: float = 0.0
+    error: str | None = None
+    error_kind: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the solve produced a value."""
+        return self.error is None
+
+
+def solve_task(task: SolveTask) -> SolveResult:
+    """Solve one unique model; runs inside a worker process.
+
+    Mirrors the dynamic-solve section of
+    :func:`repro.core.quantify.quantify_model` step for step — same
+    fault-injection stages, same operations in the same order — so a
+    fault armed before the pool forked trips here exactly as it would
+    have in the serial loop.
+    """
+    from repro.ctmc.lumping import lump
+    from repro.ctmc.product import build_product
+    from repro.ctmc.transient import reach_probability
+    from repro.errors import AnalysisError, BudgetExceededError, NumericalError
+    from repro.robust import faults
+    from repro.robust.budget import Budget
+
+    started = time.perf_counter()
+    cutset = frozenset(task.cutset)
+    try:
+        budget = None
+        if task.wall_allowance is not None or task.state_allowance is not None:
+            budget = Budget(
+                wall_seconds=task.wall_allowance,
+                max_total_states=task.state_allowance,
+            )
+        faults.check("chain_build", cutset=cutset)
+        product = build_product(task.model, max_states=task.max_chain_states)
+        chain = product.chain
+        solved_states = product.n_states
+        if task.lump_chains:
+            faults.check("lump", cutset=cutset)
+            lumped = lump(chain.with_absorbing(chain.failed))
+            chain = lumped.chain
+            solved_states = chain.n_states
+        if budget is not None:
+            budget.charge_states(solved_states, "quantify")
+        faults.check("transient_solve", cutset=cutset)
+        probability = reach_probability(
+            chain, task.horizon, epsilon=task.epsilon, budget=budget
+        )
+    except BudgetExceededError as error:
+        return SolveResult(task.task_id, error=str(error), error_kind="budget")
+    except NumericalError as error:
+        return SolveResult(task.task_id, error=str(error), error_kind="numerical")
+    except AnalysisError as error:
+        return SolveResult(task.task_id, error=str(error), error_kind="analysis")
+    except Exception as error:  # a worker must never raise across the pool
+        return SolveResult(
+            task.task_id,
+            error=f"{type(error).__name__}: {error}",
+            error_kind="crash",
+        )
+    return SolveResult(
+        task.task_id,
+        probability=probability,
+        chain_states=solved_states,
+        solve_seconds=time.perf_counter() - started,
+    )
+
+
+class SolverFarm:
+    """Run solve tasks on a process pool, yielding results as they land.
+
+    Tasks are dispatched largest-estimated-chain-first (pool tail
+    latency); results stream back in completion order — the caller is
+    responsible for folding them deterministically.  Every task yields
+    exactly one :class:`SolveResult`: a worker-process death surfaces as
+    ``error_kind="crash"`` results for the tasks it took down, never as
+    an exception.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    @staticmethod
+    def _context():
+        """Fork where available: cheap task shipping, inherited state."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+
+    def run(self, tasks: Iterable[SolveTask]) -> Iterator[SolveResult]:
+        """Yield one result per task, in completion order."""
+        ordered = order_largest_first(tasks)
+        if not ordered:
+            return
+        workers = min(self.jobs, len(ordered))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self._context()
+        ) as pool:
+            pending = {pool.submit(solve_task, task): task for task in ordered}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    try:
+                        yield future.result()
+                    except Exception as error:  # pool broke under the task
+                        yield SolveResult(
+                            task.task_id,
+                            error=f"worker died: {type(error).__name__}: {error}",
+                            error_kind="crash",
+                        )

@@ -15,10 +15,10 @@ problem raises :class:`~repro.errors.CheckpointError` rather than
 silently mixing results.  Writes are atomic (temp file + rename) so a
 kill mid-write leaves the previous snapshot intact.
 
-The quantification cache itself is *not* serialised — its keys contain
-chain object identities — but every quantified record is, which is the
-part that matters: on resume, already-quantified cutsets are restored
-verbatim and only the remainder is solved.
+The quantification cache itself is *not* serialised — rebuilding it is
+cheap relative to its size on disk — but every quantified record is,
+which is the part that matters: on resume, already-quantified cutsets
+are restored verbatim and only the remainder is solved.
 """
 
 from __future__ import annotations

@@ -135,6 +135,69 @@ class TestEpsilon:
             transient_distribution(chain, 1e4)
 
 
+class TestEarlyExit:
+    """The absorbed-mass early exit of the uniformization series.
+
+    Once (almost) all probability sits on absorbing states, the iterates
+    are fixed points and the remaining Poisson tail is added
+    analytically.  The exit must agree with the ``expm`` oracle and
+    never fire on chains without absorbing states.
+    """
+
+    @pytest.mark.parametrize("t", [50.0, 200.0, 1000.0])
+    def test_matches_expm_oracle_on_absorbing_chains(self, t):
+        """Long horizons on an absorbing chain: exactly the reachability
+        shape where the exit triggers, checked against the dense oracle."""
+        chain = Ctmc(
+            ["up", "degraded", "down"],
+            {"up": 1.0},
+            {
+                ("up", "degraded"): 0.4,
+                ("degraded", "up"): 0.1,
+                ("degraded", "down"): 0.7,
+            },
+            ["down"],
+        )
+        uni = transient_distribution(chain, t, method="uniformization")
+        exp = transient_distribution(chain, t, method="expm")
+        assert np.allclose(uni, exp, atol=1e-9)
+
+    def test_reach_probability_agreement_after_exit(self):
+        chain = _repairable(0.2, 1.0)
+        # with_absorbing makes "fail" a fixed point → the exit path runs.
+        a = reach_probability(chain, 500.0, method="uniformization")
+        b = reach_probability(chain, 500.0, method="expm")
+        assert a == pytest.approx(b, abs=1e-10)
+
+    def test_converged_series_is_cut_far_below_the_term_limit(self):
+        """A fast-absorbing chain over a huge horizon needs more Poisson
+        terms than the guard allows — only the early exit lets the solve
+        return (correctly) instead of raising."""
+        chain = _birth(5.0)
+        horizon = 1e6  # q*t ≈ 5.1e6 > _MAX_TERMS without the exit
+        assert reach_probability(chain, horizon) == pytest.approx(1.0)
+
+    def test_exit_respects_epsilon(self):
+        chain = Ctmc(
+            ["a", "b", "sink"],
+            {"a": 1.0},
+            {("a", "b"): 2.0, ("b", "a"): 0.5, ("b", "sink"): 3.0},
+            ["sink"],
+        )
+        exact = transient_distribution(chain, 300.0, method="expm")
+        for epsilon in (1e-6, 1e-10, 1e-13):
+            approx = transient_distribution(chain, 300.0, epsilon=epsilon)
+            assert np.abs(approx - exact).max() <= 10 * epsilon
+
+    def test_no_absorbing_states_unaffected(self):
+        """Fully mobile chains must never take the exit (the stiff-chain
+        guard above still fires); the plain series result is unchanged."""
+        chain = _repairable(0.5, 3.0)
+        uni = transient_distribution(chain, 40.0)
+        exp = transient_distribution(chain, 40.0, method="expm")
+        assert np.allclose(uni, exp, atol=1e-9)
+
+
 class TestOccupancy:
     from repro.ctmc.transient import occupancy_integrals
 

@@ -1,0 +1,93 @@
+"""Dedup planning and largest-first scheduling."""
+
+from dataclasses import dataclass, field
+
+from repro.core.cutset_model import build_cutset_model
+from repro.perf.dedup import DedupPlan
+from repro.perf.fingerprint import model_signature
+from repro.perf.schedule import (
+    ESTIMATE_CAP,
+    estimate_chain_states,
+    order_largest_first,
+)
+
+
+@dataclass
+class _FakeTask:
+    estimated_states: int
+    name: str = ""
+
+
+@dataclass
+class _FakeModel:
+    cutset: frozenset = field(default_factory=frozenset)
+
+
+class TestDedupPlan:
+    def test_groups_by_key_in_first_seen_order(self):
+        plan = DedupPlan()
+        plan.add(("k1",), _FakeModel(frozenset({"a"})))
+        plan.add(("k2",), _FakeModel(frozenset({"b"})))
+        plan.add(("k1",), _FakeModel(frozenset({"c"})))
+        assert [g.key for g in plan.groups] == [("k1",), ("k2",)]
+        assert plan.get(("k1",)).members == [frozenset({"a"}), frozenset({"c"})]
+
+    def test_representative_is_first_member(self):
+        plan = DedupPlan()
+        first = _FakeModel(frozenset({"a"}))
+        plan.add(("k",), first)
+        plan.add(("k",), _FakeModel(frozenset({"b"})))
+        assert plan.get(("k",)).representative is first
+
+    def test_statistics(self):
+        plan = DedupPlan()
+        for name in "abc":
+            plan.add(("shared",), _FakeModel(frozenset({name})))
+        plan.add(("solo",), _FakeModel(frozenset({"d"})))
+        assert plan.n_models == 4
+        assert plan.n_unique == 2
+        assert plan.dedup_ratio == 0.5
+
+    def test_empty_plan(self):
+        plan = DedupPlan()
+        assert plan.n_models == 0
+        assert plan.dedup_ratio == 0.0
+        assert plan.groups == []
+
+    def test_real_cutset_models_share_a_signature(self, cooling_sdft):
+        """{b,d} with different static partners → one quantification."""
+        plan = DedupPlan()
+        for static_partner in (frozenset({"b", "d"}), frozenset()):
+            cutset = frozenset({"b", "d"}) | static_partner
+            model = build_cutset_model(cooling_sdft, cutset)
+            plan.add(model_signature(model.model, 24.0), model)
+        assert plan.n_unique == 1
+        assert plan.dedup_ratio == 0.5
+
+
+class TestSchedule:
+    def test_estimate_multiplies_local_state_spaces(self, cooling_sdft):
+        model = build_cutset_model(cooling_sdft, frozenset({"b", "d"}))
+        # b: 2-state repairable, d: 4-state triggered repairable — the
+        # FT_C of {b, d} has no static guards.
+        assert estimate_chain_states(model.model) == 2 * 4
+
+    def test_estimate_caps(self, cooling_sdft):
+        model = build_cutset_model(cooling_sdft, frozenset({"b", "d"}))
+        big = model.model
+        # A pathological horizon of chains would overflow; the cap holds.
+        estimate = 1
+        for _ in range(100):
+            estimate = min(ESTIMATE_CAP, estimate * 4)
+        assert estimate == ESTIMATE_CAP
+        assert estimate_chain_states(big) <= ESTIMATE_CAP
+
+    def test_orders_largest_first_stable(self):
+        tasks = [
+            _FakeTask(4, "a"),
+            _FakeTask(16, "b"),
+            _FakeTask(4, "c"),
+            _FakeTask(8, "d"),
+        ]
+        ordered = order_largest_first(tasks)
+        assert [t.name for t in ordered] == ["b", "d", "a", "c"]

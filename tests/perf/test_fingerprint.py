@@ -1,0 +1,115 @@
+"""Content-based chain/model fingerprints and the cache-key soundness fix."""
+
+import pickle
+
+import pytest
+
+from repro.core.quantify import QuantificationCache, quantify_cutset
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.ctmc.chain import Ctmc
+from repro.perf.fingerprint import model_signature
+
+
+def build_cooling_sdft():
+    """The Example-3 cooling system with freshly built chain objects."""
+    b = SdFaultTreeBuilder("cooling-sd")
+    b.static_event("a", 3e-3).static_event("c", 3e-3).static_event("e", 3e-6)
+    b.dynamic_event("b", repairable(0.001, 0.05))
+    b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+    b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("cooling", "pumps", "e")
+    b.trigger("pump1", "d")
+    return b.build("cooling")
+
+
+class TestChainFingerprint:
+    def test_identical_chains_built_separately_match(self):
+        assert repairable(0.001, 0.05).fingerprint() == repairable(
+            0.001, 0.05
+        ).fingerprint()
+
+    def test_rate_changes_the_fingerprint(self):
+        assert (
+            repairable(0.001, 0.05).fingerprint()
+            != repairable(0.002, 0.05).fingerprint()
+        )
+
+    def test_failed_set_changes_the_fingerprint(self):
+        base = Ctmc(["ok", "fail"], {"ok": 1.0}, {("ok", "fail"): 0.1}, ["fail"])
+        no_failed = Ctmc(["ok", "fail"], {"ok": 1.0}, {("ok", "fail"): 0.1}, [])
+        assert base.fingerprint() != no_failed.fingerprint()
+
+    def test_state_order_is_canonicalised(self):
+        forward = Ctmc(
+            ["ok", "fail"], {"ok": 1.0}, {("ok", "fail"): 0.1}, ["fail"]
+        )
+        backward = Ctmc(
+            ["fail", "ok"], {"ok": 1.0}, {("ok", "fail"): 0.1}, ["fail"]
+        )
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_triggered_differs_from_plain(self):
+        """On/off structure is analysis-relevant and must enter the key."""
+        triggered = triggered_repairable(0.001, 0.05)
+        plain = Ctmc(
+            triggered.states, triggered.initial, triggered.rates, triggered.failed
+        )
+        assert triggered.fingerprint() != plain.fingerprint()
+
+    def test_untriggered_view_differs_from_triggered_chain(self):
+        chain = triggered_repairable(0.001, 0.05)
+        assert chain.fingerprint() != chain.untriggered_view().fingerprint()
+
+    def test_survives_pickling(self):
+        chain = triggered_repairable(0.001, 0.05)
+        original = chain.fingerprint()
+        assert pickle.loads(pickle.dumps(chain)).fingerprint() == original
+
+    def test_cached_on_the_instance(self):
+        chain = repairable(0.001, 0.05)
+        assert chain.fingerprint() is chain.fingerprint()
+
+
+class TestCacheKeySoundness:
+    def test_equal_but_distinct_chains_hit_the_cache(self):
+        """Regression for the historical ``id(chain)`` cache keys.
+
+        Two structurally identical models built separately share no
+        chain objects; the content-based signature must make the second
+        quantification a cache hit anyway.
+        """
+        first_model = build_cooling_sdft()
+        second_model = build_cooling_sdft()
+        assert (
+            first_model.chain_of("d") is not second_model.chain_of("d")
+        ), "fixture must not share chain objects"
+        cache = QuantificationCache()
+        first = quantify_cutset(
+            first_model, frozenset({"b", "d"}), 24.0, cache=cache
+        )
+        second = quantify_cutset(
+            second_model, frozenset({"b", "d"}), 24.0, cache=cache
+        )
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.probability == first.probability
+
+    def test_signature_distinguishes_horizons(self, cooling_sdft):
+        from repro.core.cutset_model import build_cutset_model
+
+        model = build_cutset_model(cooling_sdft, frozenset({"b", "d"}))
+        assert model_signature(model.model, 24.0) != model_signature(
+            model.model, 48.0
+        )
+
+    def test_signature_is_picklable_and_stable_across_processes(self, cooling_sdft):
+        """Signatures must hold across a process boundary (dedup farm)."""
+        from repro.core.cutset_model import build_cutset_model
+
+        model = build_cutset_model(cooling_sdft, frozenset({"b", "d"}))
+        key = model_signature(model.model, 24.0)
+        revived = pickle.loads(pickle.dumps(model.model))
+        assert model_signature(revived, 24.0) == key
