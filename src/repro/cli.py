@@ -9,6 +9,7 @@ Commands
 ``curve``       Failure probability over multiple horizons.
 ``simulate``    Monte-Carlo cross-check of an SD model.
 ``demo-bwr``    Build the fictive BWR study, save or analyse it.
+``trace``       Summarise a JSONL trace written by ``analyze --trace``.
 
 Models are JSON files in the format of :mod:`repro.models.formats`;
 files ending in ``.xml``/``.mef`` are read as Open-PSA fault trees
@@ -120,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the --checkpoint file if it exists",
     )
+    _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     mcs_cmd = sub.add_parser("mcs", help="generate minimal cutsets")
@@ -175,13 +177,35 @@ def _build_parser() -> argparse.ArgumentParser:
     demo_cmd.add_argument("--repair-rate", type=float, default=0.05)
     demo_cmd.add_argument("--phases", type=int, default=1)
     demo_cmd.add_argument("--jobs", default="1", metavar="N")
+    _add_observability_arguments(demo_cmd)
     demo_cmd.set_defaults(handler=_cmd_demo_bwr)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="summarise a JSONL trace written by analyze --trace"
+    )
+    trace_cmd.add_argument("trace_file", help="JSONL trace file")
+    trace_cmd.set_defaults(handler=_cmd_trace)
     return parser
 
 
 def _add_analysis_arguments(command: argparse.ArgumentParser) -> None:
     command.add_argument("--horizon", type=float, default=24.0, help="mission time (h)")
     command.add_argument("--cutoff", type=float, default=1e-15, help="MCS cutoff c*")
+
+
+def _add_observability_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace of the run (phase/solve/pool-task "
+        "spans plus metrics) to FILE; inspect with 'sdft trace FILE'",
+    )
+    command.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect pipeline metrics and print their highlights",
+    )
 
 
 def _load_any(path: str):
@@ -227,9 +251,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         checkpoint_interval_seconds=args.checkpoint_interval,
         resume=args.resume,
         jobs=args.jobs,
+        trace_path=args.trace,
+        collect_metrics=args.metrics,
     )
     result = analyze(sdft, options)
     print(result.summary())
+    if args.trace:
+        print(f"trace written to {args.trace} (inspect with: sdft trace {args.trace})")
     if result.n_bounded_cutsets and not result.is_degraded:
         lower, upper = result.failure_probability_interval()
         print(
@@ -366,9 +394,24 @@ def _cmd_demo_bwr(args: argparse.Namespace) -> int:
         return 0
     result = analyze(
         sdft,
-        AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff, jobs=args.jobs),
+        AnalysisOptions(
+            horizon=args.horizon,
+            cutoff=args.cutoff,
+            jobs=args.jobs,
+            trace_path=args.trace,
+            collect_metrics=args.metrics,
+        ),
     )
     print(result.summary())
+    if args.trace:
+        print(f"trace written to {args.trace} (inspect with: sdft trace {args.trace})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_trace_report
+
+    print(render_trace_report(args.trace_file))
     return 0
 
 

@@ -37,6 +37,7 @@ from repro.errors import AnalysisError, BudgetExceededError, NumericalError
 from repro.ft.cutsets import CutSetList
 from repro.ft.mocus import MocusOptions, MocusResult, mocus
 from repro.ft.probability import rare_event_probability
+from repro.obs.core import NULL_OBS, Observability
 from repro.robust.budget import Budget
 from repro.robust.health import HealthLog
 
@@ -105,6 +106,22 @@ class AnalysisOptions:
       to a serial run, only wall-clock changes.  A task that fails in a
       worker is recovered by re-running its cutsets in the parent
       through the usual degradation path.
+
+    Observability (:mod:`repro.obs`):
+
+    * ``trace_path`` — write a JSONL trace of the run (phase and
+      per-solve spans, pool-task spans shipped back from workers, and
+      the metric snapshot) to this file; summarise it with
+      ``sdft trace FILE``.
+    * ``collect_metrics`` — collect the pipeline metrics without
+      writing a trace file; the snapshot rides on
+      :attr:`~repro.core.results.AnalysisResult.metrics` and its
+      highlights are rendered by the run summary.
+
+    Either knob enables collection; both off (the default) costs
+    nearly nothing (see ``benchmarks/bench_obs_overhead.py``).  The
+    collected quantities never influence analysis values, and the
+    analysis-derived metrics are identical across ``jobs`` settings.
     """
 
     horizon: float = 24.0
@@ -125,6 +142,8 @@ class AnalysisOptions:
     checkpoint_interval_seconds: float = 30.0
     resume: bool = False
     jobs: "int | str" = 1
+    trace_path: str | None = None
+    collect_metrics: bool = False
 
 
 def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -138,45 +157,91 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     :attr:`~repro.core.results.AnalysisResult.health` report.
     """
     opts = options or AnalysisOptions()
-    budget = _make_budget(opts)
+    obs = Observability.from_options(opts.trace_path, opts.collect_metrics)
+    budget = _make_budget(opts, obs)
     health = HealthLog()
     manager, resumed = _open_checkpoint(sdft, opts, health)
 
-    started = time.perf_counter()
-    translation = to_static(sdft, opts.horizon)
-    mocus_tree = translation.tree
-    if opts.mocus_probability_overrides:
-        mocus_tree = mocus_tree.with_probabilities(
-            opts.mocus_probability_overrides
-        )
-    translation_seconds = time.perf_counter() - started
+    with obs.tracer.span(
+        "analyze",
+        model=getattr(sdft, "name", None) or "",
+        horizon=opts.horizon,
+        cutoff=opts.cutoff,
+        jobs=str(opts.jobs),
+    ):
+        started = time.perf_counter()
+        with obs.tracer.span("translate"):
+            translation = to_static(sdft, opts.horizon)
+            mocus_tree = translation.tree
+            if opts.mocus_probability_overrides:
+                mocus_tree = mocus_tree.with_probabilities(
+                    opts.mocus_probability_overrides
+                )
+        translation_seconds = time.perf_counter() - started
 
-    started = time.perf_counter()
-    mocus_result, restored_records = _generate_cutsets(
-        mocus_tree, opts, budget, health, manager, resumed
-    )
-    if mocus_result.truncated:
-        health.budget(
-            "mocus",
-            f"cutset generation truncated after "
-            f"{len(mocus_result.cutsets)} cutsets; un-enumerated mass "
-            f"bounded by {mocus_result.remainder_bound:.3e}",
-        )
-    mcs_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        with obs.tracer.span("mocus") as mocus_span:
+            mocus_result, restored_records = _generate_cutsets(
+                mocus_tree, opts, budget, health, manager, resumed, obs
+            )
+            mocus_span.set(
+                cutsets=len(mocus_result.cutsets),
+                truncated=mocus_result.truncated,
+            )
+        if mocus_result.truncated:
+            health.budget(
+                "mocus",
+                f"cutset generation truncated after "
+                f"{len(mocus_result.cutsets)} cutsets; un-enumerated mass "
+                f"bounded by {mocus_result.remainder_bound:.3e}",
+            )
+        mcs_seconds = time.perf_counter() - started
 
-    started = time.perf_counter()
-    records, cache, perf = _quantify_cutsets(
-        sdft,
-        translation.tree,
-        mocus_result,
-        opts,
-        budget,
-        health,
-        manager,
-        restored_records,
-    )
-    total = sum(r.probability for r in records if r.probability > opts.cutoff)
-    quantification_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        with obs.tracer.span("quantify") as quantify_span:
+            records, cache, perf = _quantify_cutsets(
+                sdft,
+                translation.tree,
+                mocus_result,
+                opts,
+                budget,
+                health,
+                manager,
+                restored_records,
+                obs,
+            )
+            quantify_span.set(
+                records=len(records),
+                dedup_hits=cache.hits,
+                dedup_misses=cache.misses,
+            )
+        total = sum(r.probability for r in records if r.probability > opts.cutoff)
+        quantification_seconds = time.perf_counter() - started
+
+    if obs.enabled:
+        # The dedup counters come from the shared cache totals (not the
+        # per-lookup call sites), which is what keeps them identical
+        # across jobs=1/N — the same property PerfStats relies on.
+        obs.metrics.count("quantify.dedup_hits", cache.hits)
+        obs.metrics.count("quantify.dedup_misses", cache.misses)
+    metrics_snapshot = obs.metrics.snapshot() if obs.enabled else None
+    if opts.trace_path:
+        from repro.obs.export import write_trace
+
+        n_lines = write_trace(
+            opts.trace_path,
+            obs.tracer.records(),
+            metrics_snapshot,
+            attrs={
+                "model": getattr(sdft, "name", None) or "",
+                "horizon": opts.horizon,
+                "cutoff": opts.cutoff,
+                "jobs": str(opts.jobs),
+            },
+        )
+        health.info(
+            "obs", f"trace written to {opts.trace_path} ({n_lines} lines)"
+        )
 
     if manager is not None:
         manager.clear()
@@ -195,6 +260,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         mcs_truncated=mocus_result.truncated,
         mcs_remainder_bound=mocus_result.remainder_bound,
         perf=perf,
+        metrics=metrics_snapshot,
     )
 
 
@@ -203,7 +269,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
 # ----------------------------------------------------------------------
 
 
-def _make_budget(opts: AnalysisOptions) -> "Budget | None":
+def _make_budget(opts: AnalysisOptions, obs=None) -> "Budget | None":
     """A cooperative budget, or ``None`` when every axis is unlimited."""
     if (
         opts.wall_seconds is None
@@ -215,6 +281,7 @@ def _make_budget(opts: AnalysisOptions) -> "Budget | None":
         wall_seconds=opts.wall_seconds,
         max_total_states=opts.max_total_states,
         max_cutsets=opts.budget_cutsets,
+        metrics=obs.metrics if obs is not None else None,
     )
 
 
@@ -242,7 +309,13 @@ def _open_checkpoint(sdft: SdFaultTree, opts: AnalysisOptions, health: HealthLog
 
 
 def _generate_cutsets(
-    mocus_tree, opts: AnalysisOptions, budget, health: HealthLog, manager, resumed
+    mocus_tree,
+    opts: AnalysisOptions,
+    budget,
+    health: HealthLog,
+    manager,
+    resumed,
+    obs=NULL_OBS,
 ):
     """Run (or restore) cutset generation, surviving budget exhaustion.
 
@@ -287,6 +360,7 @@ def _generate_cutsets(
             budget=budget,
             on_progress=on_progress,
             resume=mocus_resume,
+            metrics=obs.metrics if obs.enabled else None,
         )
     except BudgetExceededError as error:
         if error.partial is None:
@@ -308,6 +382,7 @@ def _quantify_cutsets(
     health: HealthLog,
     manager,
     restored: dict,
+    obs=NULL_OBS,
 ):
     """Quantify every cutset with isolation, budgets and checkpoints.
 
@@ -327,6 +402,7 @@ def _quantify_cutsets(
         QuantificationCache(),
         budget,
         health,
+        obs=obs,
     )
     records: list[McsQuantification] = []
     cutset_list = list(mocus_result.cutsets)
@@ -390,6 +466,7 @@ class _QuantifyContext:
     cache: QuantificationCache
     budget: "Budget | None"
     health: HealthLog
+    obs: object = NULL_OBS
     out_of_budget: bool = False
 
     def quantify(self, cutset: frozenset) -> McsQuantification:
@@ -406,6 +483,7 @@ class _QuantifyContext:
                 self.cache,
                 self.budget,
                 self.health,
+                self.obs,
             )
         except BudgetExceededError as error:
             self.health.budget("quantify", str(error), cutset=cutset)
@@ -559,6 +637,7 @@ def _quantify_parallel(
             state_allowance = max(
                 0, ctx.budget.max_total_states - ctx.budget.states_charged
             )
+    obs = ctx.obs
     groups = plan.groups
     tasks = [
         SolveTask(
@@ -572,6 +651,8 @@ def _quantify_parallel(
             wall_allowance=wall_allowance,
             state_allowance=state_allowance,
             estimated_states=estimate_chain_states(group.representative.model),
+            collect_obs=obs.enabled,
+            submitted_at=time.time() if obs.enabled else None,
         )
         for task_id, group in enumerate(groups)
     ]
@@ -615,9 +696,33 @@ def _quantify_parallel(
             group.result = result
             if not result.ok:
                 worker_faults += 1
+            if obs.enabled:
+                _merge_worker_obs(obs, result)
             fold_ready()
     fold_ready()
     return worker_faults
+
+
+def _merge_worker_obs(obs, result) -> None:
+    """Graft one worker's trace slice and metrics into the parent's.
+
+    Worker span ids are prefixed per task, so grafting cannot collide;
+    the shipped roots are re-parented under the currently open span
+    (the ``quantify`` phase).  The ``pool.*`` quantities are timing
+    metrics — informative, never part of the cross-``jobs`` determinism
+    guarantee (the analysis-derived ``transient.*`` counters shipped in
+    ``result.metrics`` are).
+    """
+    if result.spans:
+        obs.tracer.add_foreign(result.spans, parent_id=obs.tracer.current_id)
+    if result.metrics:
+        obs.metrics.merge_snapshot(result.metrics)
+    obs.metrics.count("pool.tasks")
+    if not result.ok:
+        obs.metrics.count("pool.worker_faults")
+    obs.metrics.observe("pool.queue_wait_seconds", result.queue_wait_seconds)
+    if result.ok:
+        obs.metrics.observe("pool.task_solve_seconds", result.solve_seconds)
 
 
 def _quantify_one(
@@ -628,6 +733,7 @@ def _quantify_one(
     cache: QuantificationCache,
     budget,
     health: HealthLog,
+    obs=NULL_OBS,
 ) -> McsQuantification:
     """Quantify one cutset, through the ladder when isolation is on."""
     if not opts.fault_isolation:
@@ -642,6 +748,7 @@ def _quantify_one(
             on_oversize=opts.on_oversize,
             lump_chains=opts.lump_chains,
             budget=budget,
+            obs=obs,
         )
         if record.bounded:
             health.degradation(
@@ -666,6 +773,7 @@ def _quantify_one(
         budget=budget,
         monte_carlo_runs=opts.monte_carlo_runs,
         monte_carlo_seed=opts.monte_carlo_seed,
+        obs=obs if obs.enabled else None,
     )
     for attempt in outcome.attempts:
         health.retry(

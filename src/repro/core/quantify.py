@@ -23,6 +23,7 @@ from repro.ctmc.lumping import lump
 from repro.ctmc.product import build_product
 from repro.ctmc.transient import reach_probability
 from repro.errors import AnalysisError
+from repro.obs.core import NULL_OBS
 from repro.perf.fingerprint import model_signature
 from repro.robust import faults
 
@@ -116,6 +117,7 @@ def quantify_cutset(
     on_oversize: str = "raise",
     lump_chains: bool = False,
     budget=None,
+    obs=None,
 ) -> McsQuantification:
     """Compute ``p̃(C)`` for one minimal cutset.
 
@@ -126,6 +128,9 @@ def quantify_cutset(
     interval approximation of :mod:`repro.core.bounds`.  ``budget`` is
     an optional :class:`repro.robust.budget.Budget` charged for the
     chain states solved and polled for the wall-clock deadline.
+    ``obs`` is an optional :class:`repro.obs.core.Observability`
+    bundle recording a span (and solver metrics) per actual chain
+    solve.
     """
     if on_oversize not in _OVERSIZE_MODES:
         raise ValueError(f"unknown on_oversize mode {on_oversize!r}")
@@ -139,6 +144,7 @@ def quantify_cutset(
         on_oversize,
         lump_chains,
         budget,
+        obs,
     )
 
 
@@ -151,6 +157,7 @@ def quantify_model(
     on_oversize: str = "raise",
     lump_chains: bool = False,
     budget=None,
+    obs=None,
 ) -> McsQuantification:
     """Quantify an already-built cutset model.
 
@@ -158,6 +165,11 @@ def quantify_model(
     lumping (:mod:`repro.ctmc.lumping`) before the transient solve —
     symmetric redundant components then collapse into counters.  The
     reported ``chain_states`` is the size actually solved.
+
+    When tracing is enabled (``obs``), each *actual* solve — a cache
+    miss on a dynamic model — records a ``quantify.solve`` span with
+    the cutset, chain size and resulting probability; static cutsets
+    and cache hits record nothing (they do no solver work).
     """
     if on_oversize not in _OVERSIZE_MODES:
         raise ValueError(f"unknown on_oversize mode {on_oversize!r}")
@@ -202,29 +214,35 @@ def quantify_model(
                 cache_hit=True,
             )
 
+    obs = obs if obs is not None else NULL_OBS
     started = time.perf_counter()
-    try:
-        faults.check("chain_build", cutset=model.cutset)
-        product = build_product(model.model, max_states=max_chain_states)
-    except AnalysisError:
-        if on_oversize != "bounds":
-            raise
-        # The single fallback mechanism: the same bound rung the
-        # degradation ladder ends on (repro.robust.ladder).
-        return bound_record(model, horizon, epsilon)
-    chain = product.chain
-    solved_states = product.n_states
-    if lump_chains:
-        faults.check("lump", cutset=model.cutset)
-        lumped = lump(chain.with_absorbing(chain.failed))
-        chain = lumped.chain
-        solved_states = chain.n_states
-    if budget is not None:
-        budget.charge_states(solved_states, "quantify")
-    faults.check("transient_solve", cutset=model.cutset)
-    dynamic_probability = reach_probability(
-        chain, horizon, epsilon=epsilon, budget=budget
-    )
+    with obs.tracer.span(
+        "quantify.solve", cutset="+".join(sorted(model.cutset))
+    ) as span:
+        try:
+            faults.check("chain_build", cutset=model.cutset)
+            product = build_product(model.model, max_states=max_chain_states)
+        except AnalysisError:
+            if on_oversize != "bounds":
+                raise
+            # The single fallback mechanism: the same bound rung the
+            # degradation ladder ends on (repro.robust.ladder).
+            span.set(rung="bound")
+            return bound_record(model, horizon, epsilon)
+        chain = product.chain
+        solved_states = product.n_states
+        if lump_chains:
+            faults.check("lump", cutset=model.cutset)
+            lumped = lump(chain.with_absorbing(chain.failed))
+            chain = lumped.chain
+            solved_states = chain.n_states
+        if budget is not None:
+            budget.charge_states(solved_states, "quantify")
+        faults.check("transient_solve", cutset=model.cutset)
+        dynamic_probability = reach_probability(
+            chain, horizon, epsilon=epsilon, budget=budget, metrics=obs.metrics
+        )
+        span.set(chain_states=solved_states, probability=dynamic_probability)
     elapsed = time.perf_counter() - started
     if cache is not None and key is not None:
         cache.put(key, dynamic_probability, solved_states)

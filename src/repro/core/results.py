@@ -101,6 +101,9 @@ class AnalysisResult:
     mcs_truncated: bool = False
     mcs_remainder_bound: float = 0.0
     perf: PerfStats = PerfStats()
+    #: Metrics snapshot of the run (``repro.obs``), present only when
+    #: the analysis collected metrics; never influences the values above.
+    metrics: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Aggregated views used by the experiment harnesses
@@ -242,4 +245,11 @@ class AnalysisResult:
                 f"fallback rungs; true value in [{lower:.3e}, {upper:.3e}]"
             )
             lines.append(self.health.summary())
+        if self.metrics is not None:
+            from repro.obs.report import metric_highlights
+
+            highlights = metric_highlights(self.metrics)
+            if highlights:
+                lines.append("metrics:")
+                lines.extend(f"  {line}" for line in highlights)
         return "\n".join(lines)

@@ -29,6 +29,7 @@ from scipy.special import gammaln
 
 from repro.ctmc.chain import Ctmc
 from repro.errors import NumericalError
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = [
     "transient_distribution",
@@ -51,6 +52,7 @@ def transient_distribution(
     method: str = "uniformization",
     epsilon: float = DEFAULT_EPSILON,
     budget=None,
+    metrics=None,
 ) -> np.ndarray:
     """Distribution over states at time ``horizon``.
 
@@ -58,7 +60,10 @@ def transient_distribution(
     bounds the truncation error of the uniformization series in total
     variation (ignored by the ``expm`` backend).  ``budget`` is an
     optional :class:`repro.robust.budget.Budget` whose wall-clock
-    deadline is polled cooperatively between series terms.
+    deadline is polled cooperatively between series terms.  ``metrics``
+    is an optional :class:`repro.obs.metrics.MetricsRegistry` that
+    receives the series-length histogram and early-exit counter (one
+    registry call per solve — never inside the series loop).
     """
     if horizon < 0.0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
@@ -66,7 +71,7 @@ def transient_distribution(
     if horizon == 0.0 or not chain.rates:
         return nu
     if method == "uniformization":
-        return _uniformization(chain, horizon, epsilon, budget)
+        return _uniformization(chain, horizon, epsilon, budget, metrics)
     if method == "expm":
         generator = chain.generator_matrix().toarray()
         return nu @ linalg.expm(generator * horizon)
@@ -80,18 +85,26 @@ def reach_probability(
     method: str = "uniformization",
     epsilon: float = DEFAULT_EPSILON,
     budget=None,
+    metrics=None,
 ) -> float:
     """``Pr[Reach^{<=t}(targets)]`` — visit a target before the horizon.
 
     ``targets`` defaults to the chain's failed states.  The computation
     makes the targets absorbing and reads off their transient mass.
+    The transient vector is indexed through the *absorbed* chain's own
+    index: today :meth:`~repro.ctmc.chain.Ctmc.with_absorbing`
+    preserves state order, but reading the absorbed distribution
+    through the original chain's index would silently misattribute
+    probability mass the day that ever changes.
     """
     target_set = frozenset(targets) if targets is not None else chain.failed
     if not target_set:
         return 0.0
     absorbed = chain.with_absorbing(target_set)
-    distribution = transient_distribution(absorbed, horizon, method, epsilon, budget)
-    indices = [chain.index[s] for s in target_set]
+    distribution = transient_distribution(
+        absorbed, horizon, method, epsilon, budget, metrics
+    )
+    indices = [absorbed.index[s] for s in target_set]
     return float(min(1.0, distribution[indices].sum()))
 
 
@@ -198,7 +211,7 @@ def steady_state(chain: Ctmc) -> np.ndarray:
 
 
 def _uniformization(
-    chain: Ctmc, horizon: float, epsilon: float, budget=None
+    chain: Ctmc, horizon: float, epsilon: float, budget=None, metrics=None
 ) -> np.ndarray:
     """Transient distribution by randomisation with adaptive truncation.
 
@@ -214,6 +227,8 @@ def _uniformization(
     # an already-expired budget should not start new solves at all.
     if budget is not None:
         budget.check_deadline("transient")
+    metrics = metrics if metrics is not None else NULL_METRICS
+    early_exit = False
     rate_matrix = chain.rate_matrix()
     exit_rates = np.asarray(rate_matrix.sum(axis=1)).ravel()
     q = float(exit_rates.max())
@@ -258,6 +273,7 @@ def _uniformization(
             # series contributes (1 - accumulated) * pi up to epsilon.
             result += (1.0 - accumulated) * pi
             accumulated = 1.0
+            early_exit = True
             break
         k += 1
         if k > _MAX_TERMS:
@@ -269,6 +285,11 @@ def _uniformization(
         if budget is not None and not (k & 255):
             budget.check_deadline("transient")
         pi = pi @ dtmc
+    # One registry call per solve, after the series loop: the traced
+    # quantities stay deterministic and the loop itself stays untouched.
+    metrics.observe("transient.series_terms", k + 1)
+    if early_exit:
+        metrics.count("transient.early_exit")
     # Renormalise by the accumulated weight: distributes the truncated
     # tail proportionally, keeping the result a distribution.
     return result / accumulated

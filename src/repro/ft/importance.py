@@ -45,6 +45,20 @@ def importance(cutsets: CutSetList) -> dict[str, EventImportance]:
     derivatives/ratios *of the rare-event approximation* — the standard
     industrial convention.  Events absent from every cutset have FV and
     Birnbaum zero and are not included in the result.
+
+    Boundary conventions:
+
+    * An event with probability zero *is* included when it appears in a
+      cutset: its FV is zero (its cutsets carry no probability) but its
+      Birnbaum — the probability of the rest of each containing cutset —
+      is generally positive, and its RAW reports the (possibly infinite)
+      growth factor of forcing it certain.
+    * An event contained in every positive-probability cutset has
+      ``RRW = inf``: making it perfect removes all quantified risk.
+    * When the whole top probability is zero, RAW is the ratio
+      ``achieved/0`` — ``inf`` when forcing the event certain creates
+      risk, and the neutral ``1.0`` when it does not; RRW is ``1.0``
+      (there is no risk to reduce).
     """
     probabilities = cutsets.probabilities
     total = cutsets.rare_event()
@@ -71,11 +85,13 @@ def importance(cutsets: CutSetList) -> dict[str, EventImportance]:
         # p(top | p(a)=1) = total - mass + birnbaum; p(top | p(a)=0) = total - mass.
         achieved = total - mass + birnbaum
         reduced = total - mass
-        raw = achieved / total if total > 0.0 else math.inf
-        if reduced > 0.0:
-            rrw = total / reduced
+        if total > 0.0:
+            raw = achieved / total
+            rrw = total / reduced if reduced > 0.0 else math.inf
         else:
-            rrw = math.inf
+            # Degenerate top: no risk to achieve against or to reduce.
+            raw = math.inf if achieved > 0.0 else 1.0
+            rrw = 1.0
         results[name] = EventImportance(name, fv, birnbaum, raw, rrw)
     return results
 

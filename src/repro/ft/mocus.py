@@ -137,6 +137,7 @@ def mocus(
     on_progress=None,
     progress_every: int = 100_000,
     resume: dict | None = None,
+    metrics=None,
 ) -> MocusResult:
     """Generate minimal cutsets of ``tree`` (or of the gate ``top``).
 
@@ -153,6 +154,10 @@ def mocus(
     ``on_progress`` is called every ``progress_every`` expansions with a
     zero-argument snapshot builder (checkpointing hook).  ``resume``
     restarts the search from a snapshot produced by either mechanism.
+    ``metrics`` is an optional
+    :class:`repro.obs.metrics.MetricsRegistry`; the search counters are
+    emitted once when the search finishes (also on budget truncation),
+    never from inside the expansion loop.
     """
     opts = options or MocusOptions()
     root = top if top is not None else tree.top
@@ -208,6 +213,15 @@ def mocus(
         cutsets = CutSetList.from_cutsets(named, probabilities, minimal=True)
         if use_cutoff:
             cutsets = cutsets.truncate(opts.cutoff)
+        if metrics is not None:
+            metrics.count("mocus.partials_expanded", stats.partials_expanded)
+            metrics.count("mocus.partials_cut_off", stats.partials_cut_off)
+            metrics.count(
+                "mocus.partials_deduplicated", stats.partials_deduplicated
+            )
+            metrics.count("mocus.partials_subsumed", stats.partials_subsumed)
+            metrics.count("mocus.cutsets_completed", stats.completed)
+            metrics.count("mocus.cutsets_minimal", stats.minimal)
         return MocusResult(cutsets, stats)
 
     next_progress = progress_every

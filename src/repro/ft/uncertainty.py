@@ -96,13 +96,21 @@ def propagate(
 
     ``distributions`` assigns a :class:`LogNormal` per event; events
     without an entry get a lognormal with their point probability as
-    median and ``default_error_factor``.  Returns summary statistics of
-    the sampled rare-event top probability.
+    median and ``default_error_factor``.  Every key of ``distributions``
+    must name an event occurring in the cutset list — a stray key is a
+    silent no-op (typically a typo'd event name) and raises
+    :class:`~repro.errors.ModelError` instead.  Returns summary
+    statistics of the sampled rare-event top probability.
     """
     if n_samples <= 1:
         raise ModelError(f"need at least 2 samples, got {n_samples}")
     rng = np.random.default_rng(seed)
     involved = sorted(cutsets.events_involved())
+    unknown = sorted(set(distributions) - set(involved))
+    if unknown:
+        raise ModelError(
+            f"distributions refer to events in no cutset: {', '.join(unknown)}"
+        )
     index = {name: i for i, name in enumerate(involved)}
 
     samples = np.empty((len(involved), n_samples))

@@ -1,0 +1,200 @@
+"""The JSONL trace format and its schema validator.
+
+A trace file is one JSON object per line:
+
+* line 1 — a ``meta`` header::
+
+      {"type": "meta", "schema": "repro-trace/1", "tool": "repro",
+       "attrs": {...}}
+
+* any number of ``span`` lines (see
+  :meth:`repro.obs.trace.SpanRecord.to_dict`)::
+
+      {"type": "span", "name": "quantify.solve", "t0": ..., "wall": ...,
+       "cpu": ..., "span_id": "7", "parent_id": "3", "depth": 2,
+       "attrs": {"cutset": "a+b", "chain_states": 12}}
+
+* any number of metric lines::
+
+      {"type": "counter", "name": "mocus.partials_expanded", "value": 4821}
+      {"type": "histogram", "name": "transient.series_terms",
+       "count": 31, "total": 812.0, "min": 9.0, "max": 64.0}
+
+The validator is hand-rolled (no external schema dependency) and is the
+one CI runs against every traced smoke analysis; it raises
+:class:`ValueError` naming the offending line.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "write_trace",
+]
+
+#: Schema identifier stamped into (and required of) the meta header.
+TRACE_SCHEMA = "repro-trace/1"
+
+_SPAN_FIELDS = {
+    "name": str,
+    "t0": (int, float),
+    "wall": (int, float),
+    "cpu": (int, float),
+    "span_id": str,
+    "depth": int,
+    "attrs": dict,
+}
+
+_HISTOGRAM_FIELDS = {
+    "name": str,
+    "count": int,
+    "total": (int, float),
+    "min": (int, float),
+    "max": (int, float),
+}
+
+
+def write_trace(path, span_records, metrics_snapshot, attrs=None) -> int:
+    """Write a schema-valid trace file; returns the number of lines.
+
+    ``span_records`` are :class:`~repro.obs.trace.SpanRecord` objects,
+    ``metrics_snapshot`` a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict, ``attrs`` optional run metadata embedded in the header.
+    """
+    lines = [
+        {
+            "type": "meta",
+            "schema": TRACE_SCHEMA,
+            "tool": "repro",
+            "attrs": dict(attrs or {}),
+        }
+    ]
+    lines.extend(record.to_dict() for record in span_records)
+    snapshot = metrics_snapshot or {}
+    for name in sorted(snapshot.get("counters", {})):
+        lines.append(
+            {"type": "counter", "name": name,
+             "value": snapshot["counters"][name]}
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        entry = snapshot["histograms"][name]
+        lines.append(
+            {"type": "histogram", "name": name, "count": entry["count"],
+             "total": entry["total"], "min": entry["min"], "max": entry["max"]}
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True))
+            handle.write("\n")
+    return len(lines)
+
+
+def validate_trace_lines(lines) -> dict:
+    """Validate parsed JSONL payloads against the trace schema.
+
+    Returns ``{"spans": n, "counters": n, "histograms": n}`` on
+    success; raises :class:`ValueError` describing the first violation.
+    Checks the header, per-type required fields and types, non-negative
+    durations, and that every ``parent_id`` names a span present in the
+    file (roots carry ``null``).
+    """
+    lines = list(lines)
+    if not lines:
+        raise ValueError("empty trace: missing meta header")
+    header = lines[0]
+    if not isinstance(header, dict) or header.get("type") != "meta":
+        raise ValueError("line 1: expected the meta header")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"line 1: unsupported schema {header.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA!r})"
+        )
+
+    span_ids: set[str] = set()
+    parents: list[tuple[int, str]] = []
+    counts = {"spans": 0, "counters": 0, "histograms": 0}
+    for number, line in enumerate(lines[1:], start=2):
+        if not isinstance(line, dict):
+            raise ValueError(f"line {number}: not a JSON object")
+        kind = line.get("type")
+        if kind == "span":
+            _require(line, _SPAN_FIELDS, number)
+            if line["wall"] < 0 or line["cpu"] < 0 or line["depth"] < 0:
+                raise ValueError(
+                    f"line {number}: negative duration or depth in span "
+                    f"{line['name']!r}"
+                )
+            if line["span_id"] in span_ids:
+                raise ValueError(
+                    f"line {number}: duplicate span_id {line['span_id']!r}"
+                )
+            span_ids.add(line["span_id"])
+            parent = line.get("parent_id")
+            if parent is not None:
+                if not isinstance(parent, str):
+                    raise ValueError(
+                        f"line {number}: parent_id must be a string or null"
+                    )
+                parents.append((number, parent))
+            counts["spans"] += 1
+        elif kind == "counter":
+            if not isinstance(line.get("name"), str):
+                raise ValueError(f"line {number}: counter needs a string name")
+            if not isinstance(line.get("value"), (int, float)):
+                raise ValueError(
+                    f"line {number}: counter {line.get('name')!r} needs a "
+                    f"numeric value"
+                )
+            counts["counters"] += 1
+        elif kind == "histogram":
+            _require(line, _HISTOGRAM_FIELDS, number)
+            if line["count"] < 0 or line["min"] > line["max"]:
+                raise ValueError(
+                    f"line {number}: inconsistent histogram "
+                    f"{line['name']!r}"
+                )
+            counts["histograms"] += 1
+        elif kind == "meta":
+            raise ValueError(f"line {number}: duplicate meta header")
+        else:
+            raise ValueError(f"line {number}: unknown line type {kind!r}")
+
+    for number, parent in parents:
+        if parent not in span_ids:
+            raise ValueError(
+                f"line {number}: parent_id {parent!r} names no span in "
+                f"this trace"
+            )
+    return counts
+
+
+def validate_trace_file(path) -> dict:
+    """Parse and validate a trace file; see :func:`validate_trace_lines`."""
+    lines = []
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {number}: invalid JSON ({error})") from None
+    return validate_trace_lines(lines)
+
+
+def _require(line: dict, fields: dict, number: int) -> None:
+    for name, types in fields.items():
+        if name not in line:
+            raise ValueError(
+                f"line {number}: {line.get('type')} line missing {name!r}"
+            )
+        if not isinstance(line[name], types):
+            raise ValueError(
+                f"line {number}: field {name!r} has wrong type "
+                f"{type(line[name]).__name__}"
+            )

@@ -78,6 +78,11 @@ class SolveTask:
     wall_allowance: float | None = None
     state_allowance: int | None = None
     estimated_states: int = 0
+    #: When set, the worker records a ``pool.task`` span plus solver
+    #: metrics and ships them back on the result (parent-side merge).
+    collect_obs: bool = False
+    #: Dispatch wall-clock (``time.time()``) for queue-wait accounting.
+    submitted_at: float | None = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,11 @@ class SolveResult:
     solve_seconds: float = 0.0
     error: str | None = None
     error_kind: str | None = None
+    #: Worker-recorded span payloads (dicts) and metrics snapshot,
+    #: shipped back for the parent trace when the task collected them.
+    spans: tuple = ()
+    metrics: dict | None = None
+    queue_wait_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -118,50 +128,95 @@ def solve_task(task: SolveTask) -> SolveResult:
     from repro.ctmc.product import build_product
     from repro.ctmc.transient import reach_probability
     from repro.errors import AnalysisError, BudgetExceededError, NumericalError
+    from repro.obs.core import NULL_OBS, Observability
     from repro.robust import faults
     from repro.robust.budget import Budget
+
+    obs = NULL_OBS
+    if task.collect_obs:
+        # A worker-local trace slice: span ids are prefixed with the
+        # task id so the parent can merge every worker's records into
+        # one trace without collisions.
+        obs = Observability.collecting(prefix=f"t{task.task_id}.")
+    queue_wait = 0.0
+    if task.submitted_at is not None:
+        queue_wait = max(0.0, time.time() - task.submitted_at)
+
+    def _shipped(result: SolveResult) -> SolveResult:
+        if not obs.enabled:
+            return result
+        import dataclasses
+
+        return dataclasses.replace(
+            result,
+            spans=tuple(r.to_dict() for r in obs.tracer.records()),
+            metrics=obs.metrics.snapshot(),
+            queue_wait_seconds=queue_wait,
+        )
 
     started = time.perf_counter()
     cutset = frozenset(task.cutset)
     try:
-        budget = None
-        if task.wall_allowance is not None or task.state_allowance is not None:
-            budget = Budget(
-                wall_seconds=task.wall_allowance,
-                max_total_states=task.state_allowance,
+        with obs.tracer.span(
+            "pool.task",
+            task_id=task.task_id,
+            pid=os.getpid(),
+            cutset="+".join(task.cutset),
+            queue_wait_seconds=queue_wait,
+        ) as span:
+            budget = None
+            if task.wall_allowance is not None or task.state_allowance is not None:
+                budget = Budget(
+                    wall_seconds=task.wall_allowance,
+                    max_total_states=task.state_allowance,
+                )
+            faults.check("chain_build", cutset=cutset)
+            product = build_product(task.model, max_states=task.max_chain_states)
+            chain = product.chain
+            solved_states = product.n_states
+            if task.lump_chains:
+                faults.check("lump", cutset=cutset)
+                lumped = lump(chain.with_absorbing(chain.failed))
+                chain = lumped.chain
+                solved_states = chain.n_states
+            if budget is not None:
+                budget.charge_states(solved_states, "quantify")
+            faults.check("transient_solve", cutset=cutset)
+            probability = reach_probability(
+                chain,
+                task.horizon,
+                epsilon=task.epsilon,
+                budget=budget,
+                metrics=obs.metrics,
             )
-        faults.check("chain_build", cutset=cutset)
-        product = build_product(task.model, max_states=task.max_chain_states)
-        chain = product.chain
-        solved_states = product.n_states
-        if task.lump_chains:
-            faults.check("lump", cutset=cutset)
-            lumped = lump(chain.with_absorbing(chain.failed))
-            chain = lumped.chain
-            solved_states = chain.n_states
-        if budget is not None:
-            budget.charge_states(solved_states, "quantify")
-        faults.check("transient_solve", cutset=cutset)
-        probability = reach_probability(
-            chain, task.horizon, epsilon=task.epsilon, budget=budget
-        )
+            span.set(chain_states=solved_states, probability=probability)
     except BudgetExceededError as error:
-        return SolveResult(task.task_id, error=str(error), error_kind="budget")
-    except NumericalError as error:
-        return SolveResult(task.task_id, error=str(error), error_kind="numerical")
-    except AnalysisError as error:
-        return SolveResult(task.task_id, error=str(error), error_kind="analysis")
-    except Exception as error:  # a worker must never raise across the pool
-        return SolveResult(
-            task.task_id,
-            error=f"{type(error).__name__}: {error}",
-            error_kind="crash",
+        return _shipped(
+            SolveResult(task.task_id, error=str(error), error_kind="budget")
         )
-    return SolveResult(
-        task.task_id,
-        probability=probability,
-        chain_states=solved_states,
-        solve_seconds=time.perf_counter() - started,
+    except NumericalError as error:
+        return _shipped(
+            SolveResult(task.task_id, error=str(error), error_kind="numerical")
+        )
+    except AnalysisError as error:
+        return _shipped(
+            SolveResult(task.task_id, error=str(error), error_kind="analysis")
+        )
+    except Exception as error:  # a worker must never raise across the pool
+        return _shipped(
+            SolveResult(
+                task.task_id,
+                error=f"{type(error).__name__}: {error}",
+                error_kind="crash",
+            )
+        )
+    return _shipped(
+        SolveResult(
+            task.task_id,
+            probability=probability,
+            chain_states=solved_states,
+            solve_seconds=time.perf_counter() - started,
+        )
     )
 
 

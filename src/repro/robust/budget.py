@@ -21,6 +21,7 @@ import time
 from typing import Callable
 
 from repro.errors import BudgetExceededError
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["Budget", "UNLIMITED"]
 
@@ -45,6 +46,10 @@ class Budget:
         cutset list.
     clock:
         Monotonic time source; injectable for deterministic tests.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; every
+        charge is mirrored into the ``budget.*`` counters so a traced
+        run shows where its budget went.
     """
 
     def __init__(
@@ -53,6 +58,7 @@ class Budget:
         max_total_states: int | None = None,
         max_cutsets: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics=None,
     ) -> None:
         if wall_seconds is not None and wall_seconds < 0.0:
             raise ValueError(f"wall_seconds must be non-negative, got {wall_seconds}")
@@ -63,6 +69,7 @@ class Budget:
         self._started = clock()
         self.states_charged = 0
         self.cutsets_charged = 0
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,6 +115,7 @@ class Budget:
     def charge_states(self, n_states: int, stage: str) -> None:
         """Account for a chain of ``n_states`` about to be solved."""
         self.states_charged += n_states
+        self.metrics.count("budget.states_charged", n_states)
         if (
             self.max_total_states is not None
             and self.states_charged > self.max_total_states
@@ -121,6 +129,7 @@ class Budget:
     def charge_cutset(self, stage: str) -> None:
         """Account for one completed cutset."""
         self.cutsets_charged += 1
+        self.metrics.count("budget.cutsets_charged")
         if self.max_cutsets is not None and self.cutsets_charged > self.max_cutsets:
             raise BudgetExceededError(
                 f"cutset budget of {self.max_cutsets} exhausted "

@@ -82,6 +82,7 @@ def quantify_with_ladder(
     budget: Budget | None = None,
     monte_carlo_runs: int = 4_000,
     monte_carlo_seed: int = 0,
+    obs=None,
 ) -> LadderOutcome:
     """Quantify one cutset, degrading through the ladder on failure.
 
@@ -89,11 +90,22 @@ def quantify_with_ladder(
     the cutset's static worst-case bound) or when model construction
     itself fails.  ``monte_carlo_seed`` is mixed with a stable hash of
     the cutset so fallback simulations are reproducible per cutset yet
-    independent across cutsets.
+    independent across cutsets.  ``obs`` optionally records the
+    ``ladder.*`` counters (descents, failed rungs, final rung) and is
+    threaded into the exact solves for their spans.
     """
     model = build_cutset_model(sdft, cutset, classes)
 
     attempts: list[LadderAttempt] = []
+
+    def _outcome(record: McsQuantification, rung: str) -> LadderOutcome:
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.count(f"ladder.rung.{rung}")
+            if attempts:
+                metrics.count("ladder.descents")
+                metrics.count("ladder.attempts_failed", len(attempts))
+        return LadderOutcome(record, rung, tuple(attempts))
 
     def _exact(lumped: bool) -> McsQuantification:
         return quantify_model(
@@ -105,13 +117,14 @@ def quantify_with_ladder(
             on_oversize="raise",
             lump_chains=lumped,
             budget=budget,
+            obs=obs,
         )
 
     # Rung 1: the solve as configured.
     first_rung = "lumped" if lump_chains else "exact"
     try:
         record = _exact(lump_chains)
-        return LadderOutcome(record, record.rung)
+        return _outcome(record, record.rung)
     except _RECOVERABLE as error:
         attempts.append(LadderAttempt(first_rung, str(error)))
 
@@ -121,7 +134,7 @@ def quantify_with_ladder(
     if not lump_chains:
         try:
             record = _exact(True)
-            return LadderOutcome(record, "lumped", tuple(attempts))
+            return _outcome(record, "lumped")
         except _RECOVERABLE as error:
             attempts.append(LadderAttempt("lumped", str(error)))
 
@@ -132,7 +145,7 @@ def quantify_with_ladder(
             record = _monte_carlo(
                 model, horizon, monte_carlo_runs, monte_carlo_seed
             )
-            return LadderOutcome(record, "monte_carlo", tuple(attempts))
+            return _outcome(record, "monte_carlo")
         except _RECOVERABLE as error:
             attempts.append(LadderAttempt("monte_carlo", str(error)))
     else:
@@ -142,7 +155,7 @@ def quantify_with_ladder(
 
     # Rung 4: the conservative interval bound — tiny per-event solves.
     record = bound_record(model, horizon, epsilon)
-    return LadderOutcome(record, "bound", tuple(attempts))
+    return _outcome(record, "bound")
 
 
 def _monte_carlo(

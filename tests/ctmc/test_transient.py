@@ -115,6 +115,52 @@ class TestProperties:
             transient_distribution(_birth(), -1.0)
 
 
+class TestAbsorbedIndexing:
+    """``reach_probability`` must read target mass through the *absorbed*
+    chain's index.  ``with_absorbing`` preserves state order today, so a
+    chain whose absorbing variant reorders its states is the regression
+    guard: indexing the transient vector through the original chain's
+    index would misattribute probability mass.
+    """
+
+    class _ReorderingCtmc(Ctmc):
+        def with_absorbing(self, absorbing):
+            plain = super().with_absorbing(absorbing)
+            return Ctmc(
+                tuple(reversed(plain.states)),
+                plain.initial,
+                plain.rates,
+                plain.failed,
+            )
+
+    def test_reordered_absorbed_chain_reads_correct_mass(self):
+        lam, t = 0.2, 5.0
+        chain = self._ReorderingCtmc(
+            ["ok", "fail"],
+            {"ok": 1.0},
+            {("ok", "fail"): lam, ("fail", "ok"): 50.0},
+            ["fail"],
+        )
+        # First-passage with the target absorbing: repair is irrelevant.
+        expected = 1 - math.exp(-lam * t)
+        assert reach_probability(chain, t) == pytest.approx(expected, abs=1e-9)
+
+    def test_reordering_matches_order_preserving_chain(self):
+        states = ["up", "degraded", "down"]
+        initial = {"up": 1.0}
+        rates = {
+            ("up", "degraded"): 0.4,
+            ("degraded", "up"): 0.1,
+            ("degraded", "down"): 0.7,
+        }
+        plain = Ctmc(states, initial, rates, ["down"])
+        reordering = self._ReorderingCtmc(states, initial, rates, ["down"])
+        for t in (0.5, 3.0, 25.0):
+            assert reach_probability(reordering, t) == pytest.approx(
+                reach_probability(plain, t), abs=1e-12
+            )
+
+
 class TestEpsilon:
     def test_tighter_epsilon_closer_to_expm(self):
         chain = _repairable(0.5, 3.0)

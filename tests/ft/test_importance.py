@@ -99,3 +99,61 @@ class TestRawRrw:
         cutsets = mocus(b.build("top")).cutsets
         measures = importance(cutsets)
         assert math.isinf(measures["a"].risk_reduction_worth)
+
+
+class TestBoundaries:
+    """The documented p=0 / p=1 / zero-top conventions."""
+
+    @staticmethod
+    def _cutsets(builder, top="top"):
+        from repro.ft.mocus import MocusOptions
+
+        return mocus(builder.build(top), MocusOptions(cutoff=0.0)).cutsets
+
+    def test_zero_probability_event_raw_is_ratio(self):
+        """p(z)=0: FV is 0 but RAW still reports the growth factor of
+        forcing z certain (the cutset's rest probability enters the top)."""
+        b = FaultTreeBuilder()
+        b.event("z", 0.0).event("x", 0.1).event("y", 0.3)
+        b.and_("zx", "z", "x")
+        b.or_("top", "zx", "y")
+        measures = importance(self._cutsets(b))
+        assert measures["z"].fussell_vesely == 0.0
+        assert math.isclose(measures["z"].birnbaum, 0.1, rel_tol=1e-12)
+        # achieved = 0.3 + 0.1, base = 0.3.
+        assert math.isclose(
+            measures["z"].risk_achievement_worth, 0.4 / 0.3, rel_tol=1e-12
+        )
+        assert measures["z"].risk_reduction_worth == pytest.approx(1.0)
+
+    def test_certain_event_raw_is_one(self):
+        """p(a)=1: the event is already certain, RAW cannot exceed 1."""
+        b = FaultTreeBuilder()
+        b.event("a", 1.0).event("x", 0.2)
+        b.and_("top", "a", "x")
+        measures = importance(self._cutsets(b))
+        assert measures["a"].risk_achievement_worth == pytest.approx(1.0)
+        assert measures["a"].fussell_vesely == pytest.approx(1.0)
+        assert math.isinf(measures["a"].risk_reduction_worth)
+
+    def test_zero_top_degenerate_measures_are_neutral(self):
+        """All-zero probabilities: nothing to achieve against or reduce —
+        RRW must be 1.0, and RAW 1.0 for an event whose forcing still
+        leaves the top at zero (not inf across the board)."""
+        b = FaultTreeBuilder()
+        b.event("z1", 0.0).event("z2", 0.0)
+        b.and_("top", "z1", "z2")
+        measures = importance(self._cutsets(b))
+        # Forcing z1 certain leaves p(top) = p(z2) = 0: truly neutral.
+        assert measures["z1"].risk_achievement_worth == pytest.approx(1.0)
+        assert measures["z1"].risk_reduction_worth == pytest.approx(1.0)
+        assert measures["z1"].fussell_vesely == 0.0
+
+    def test_zero_top_with_positive_achievement_is_inf(self):
+        """Zero top but forcing the event creates risk: RAW = inf."""
+        b = FaultTreeBuilder()
+        b.event("z", 0.0).event("x", 0.25)
+        b.and_("top", "z", "x")
+        measures = importance(self._cutsets(b))
+        assert math.isinf(measures["z"].risk_achievement_worth)
+        assert measures["z"].risk_reduction_worth == pytest.approx(1.0)

@@ -92,3 +92,27 @@ class TestPropagate:
         cutsets = mocus(cooling_tree).cutsets
         with pytest.raises(ModelError):
             propagate(cutsets, {}, n_samples=1)
+
+    def test_unknown_distribution_key_rejected(self, cooling_tree):
+        """A distributions key naming no cutset event is a typo, not a
+        silent no-op — it must raise and name the stray keys."""
+        cutsets = mocus(cooling_tree).cutsets
+        with pytest.raises(ModelError, match="no-such-event"):
+            propagate(
+                cutsets,
+                {"no-such-event": LogNormal(1e-3, 3.0)},
+                n_samples=100,
+                seed=6,
+            )
+
+    def test_unknown_key_error_lists_every_stray_key(self, cooling_tree):
+        cutsets = mocus(cooling_tree).cutsets
+        with pytest.raises(ModelError, match="typo-1, typo-2"):
+            propagate(
+                cutsets,
+                {
+                    "typo-2": LogNormal(1e-3, 3.0),
+                    "typo-1": LogNormal(1e-3, 3.0),
+                },
+                n_samples=100,
+            )

@@ -1,0 +1,108 @@
+"""Tests of the metrics registry: counters, histograms, snapshots, merging."""
+
+from repro.obs.core import NULL_OBS, Observability
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.count("anything", 5)
+        NULL_METRICS.observe("anything", 1.0)
+        NULL_METRICS.merge_snapshot({"counters": {"x": 1}, "histograms": {}})
+        assert NULL_METRICS.snapshot() == {"counters": {}, "histograms": {}}
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.count("hits")
+        metrics.count("hits", 4)
+        assert metrics.counter("hits") == 5
+        assert metrics.counter("never-touched") == 0
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.count("a", 2)
+        snapshot = metrics.snapshot()
+        metrics.count("a", 1)
+        assert snapshot["counters"]["a"] == 2
+
+
+class TestHistograms:
+    def test_observe_tracks_count_total_min_max(self):
+        metrics = MetricsRegistry()
+        for value in (3.0, 1.0, 7.0):
+            metrics.observe("terms", value)
+        entry = metrics.snapshot()["histograms"]["terms"]
+        assert entry == {"count": 3, "total": 11.0, "min": 1.0, "max": 7.0}
+
+    def test_single_observation(self):
+        metrics = MetricsRegistry()
+        metrics.observe("wait", 0.25)
+        entry = metrics.snapshot()["histograms"]["wait"]
+        assert entry == {"count": 1, "total": 0.25, "min": 0.25, "max": 0.25}
+
+
+class TestMergeSnapshot:
+    def test_merges_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.count("transient.early_exit", 2)
+        worker.observe("transient.series_terms", 10.0)
+        worker.observe("transient.series_terms", 30.0)
+
+        parent = MetricsRegistry()
+        parent.count("transient.early_exit")
+        parent.observe("transient.series_terms", 20.0)
+        parent.merge_snapshot(worker.snapshot())
+
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["transient.early_exit"] == 3
+        terms = snapshot["histograms"]["transient.series_terms"]
+        assert terms == {"count": 3, "total": 60.0, "min": 10.0, "max": 30.0}
+
+    def test_merge_order_is_irrelevant(self):
+        """The property the cross-jobs determinism guarantee rests on:
+        folding worker snapshots in any completion order yields the
+        same totals."""
+        snapshots = []
+        for values in ((1.0, 5.0), (2.0,), (9.0, 3.0)):
+            worker = MetricsRegistry()
+            for v in values:
+                worker.observe("h", v)
+                worker.count("c")
+            snapshots.append(worker.snapshot())
+
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for s in snapshots:
+            forward.merge_snapshot(s)
+        for s in reversed(snapshots):
+            backward.merge_snapshot(s)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_empty_snapshot_noop(self):
+        metrics = MetricsRegistry()
+        metrics.count("a")
+        metrics.merge_snapshot(None)
+        metrics.merge_snapshot({})
+        assert metrics.snapshot()["counters"] == {"a": 1}
+
+
+class TestObservabilityBundle:
+    def test_null_bundle_disabled(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.tracer.enabled is False
+        assert NULL_OBS.metrics.enabled is False
+
+    def test_collecting_enables_both(self):
+        obs = Observability.collecting(prefix="t3.")
+        assert obs.enabled
+        with obs.tracer.span("x"):
+            pass
+        assert obs.tracer.records()[0].span_id == "t3.1"
+
+    def test_from_options(self):
+        assert Observability.from_options(None, False) is NULL_OBS
+        assert Observability.from_options("/tmp/t.jsonl", False).enabled
+        assert Observability.from_options(None, True).enabled

@@ -1,0 +1,132 @@
+"""Tests of the span tracer: nesting, ids, null path, worker grafting."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", key="value") as span:
+            span.set(more="attrs")
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.current_id is None
+
+    def test_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_add_foreign_discards(self):
+        NULL_TRACER.add_foreign([{"name": "x"}], parent_id="1")
+        assert NULL_TRACER.records() == []
+
+
+class TestTracer:
+    def test_records_wall_and_cpu(self):
+        tracer = Tracer()
+        with tracer.span("work", label="outer"):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "work"
+        assert record.attrs == {"label": "outer"}
+        assert record.wall_seconds >= 0.0
+        assert record.cpu_seconds >= 0.0
+        assert record.parent_id is None
+        assert record.depth == 0
+
+    def test_nesting_links_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            outer_id = tracer.current_id
+            with tracer.span("inner"):
+                assert tracer.current_id != outer_id
+        inner, outer = tracer.records()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.depth == 0
+        assert tracer.current_id is None
+
+    def test_set_updates_attributes(self):
+        tracer = Tracer()
+        with tracer.span("solve", cutset="a+b") as span:
+            span.set(chain_states=12, probability=0.5)
+        (record,) = tracer.records()
+        assert record.attrs == {
+            "cutset": "a+b", "chain_states": 12, "probability": 0.5,
+        }
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = tracer.records()
+        assert record.attrs["error"] == "RuntimeError"
+        assert tracer.current_id is None
+
+    def test_prefix_namespaces_span_ids(self):
+        tracer = Tracer(prefix="t7.")
+        with tracer.span("a"):
+            pass
+        (record,) = tracer.records()
+        assert record.span_id == "t7.1"
+
+    def test_ids_unique_across_sequential_spans(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        ids = [r.span_id for r in tracer.records()]
+        assert len(set(ids)) == 3
+
+
+class TestSpanRecordRoundTrip:
+    def test_to_dict_from_dict(self):
+        record = SpanRecord(
+            "quantify.solve", 123.0, 0.5, 0.4, "3", "1", 2, {"k": "v"}
+        )
+        payload = record.to_dict()
+        assert payload["type"] == "span"
+        assert payload["wall"] == 0.5
+        rebuilt = SpanRecord.from_dict(payload)
+        assert rebuilt == record
+
+
+class TestAddForeign:
+    def test_grafts_roots_under_parent_with_depth_shift(self):
+        parent = Tracer()
+        with parent.span("quantify"):
+            worker = Tracer(prefix="t0.")
+            with worker.span("pool.task"):
+                with worker.span("solve"):
+                    pass
+            payloads = [r.to_dict() for r in worker.records()]
+            parent.add_foreign(payloads, parent_id=parent.current_id)
+        records = {r.name: r for r in parent.records()}
+        quantify = records["quantify"]
+        task = records["pool.task"]
+        solve = records["solve"]
+        assert task.parent_id == quantify.span_id
+        assert task.depth == 1
+        assert solve.parent_id == task.span_id
+        assert solve.depth == 2
+
+    def test_prefixes_avoid_id_collisions(self):
+        parent = Tracer()
+        with parent.span("quantify"):
+            for task_id in range(2):
+                worker = Tracer(prefix=f"t{task_id}.")
+                with worker.span("pool.task"):
+                    pass
+                parent.add_foreign(
+                    [r.to_dict() for r in worker.records()],
+                    parent_id=parent.current_id,
+                )
+        ids = [r.span_id for r in parent.records()]
+        assert len(set(ids)) == len(ids) == 3
+
+    def test_empty_payloads_noop(self):
+        tracer = Tracer()
+        tracer.add_foreign([], parent_id=None)
+        assert tracer.records() == []

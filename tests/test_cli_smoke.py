@@ -1,0 +1,114 @@
+"""CLI smoke tests: full subcommand flows in a temp dir, exit codes and
+artifacts checked — including the observability flags and the ``trace``
+subcommand over a real traced analysis.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.models.formats import save_model
+from repro.obs.export import TRACE_SCHEMA, validate_trace_file
+
+
+@pytest.fixture
+def sd_model_file(cooling_sdft, tmp_path):
+    path = tmp_path / "cooling.json"
+    save_model(cooling_sdft, path)
+    return str(path)
+
+
+class TestAnalyzeSmoke:
+    def test_plain_analyze(self, sd_model_file, capsys):
+        assert main(["analyze", sd_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "failure probability" in out
+        assert "metrics:" not in out  # observability off by default
+
+    def test_analyze_with_metrics(self, sd_model_file, capsys):
+        assert main(["analyze", sd_model_file, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "mocus:" in out
+        assert "dedup:" in out
+
+    def test_analyze_with_trace_writes_valid_jsonl(
+        self, sd_model_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main(["analyze", sd_model_file, "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        counts = validate_trace_file(trace)
+        assert counts["spans"] >= 4
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["attrs"]["model"] == "cooling-sd"
+        assert header["attrs"]["jobs"] == "1"
+
+    def test_traced_parallel_analyze(self, sd_model_file, tmp_path, capsys):
+        trace = tmp_path / "run2.jsonl"
+        assert main(
+            ["analyze", sd_model_file, "--jobs", "2",
+             "--trace", str(trace), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pool:" in out  # pool metrics rendered for parallel runs
+        validate_trace_file(trace)
+
+    def test_missing_model_is_an_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDemoSmoke:
+    def test_demo_save_then_analyze_then_trace(self, tmp_path, capsys):
+        """The full documented flow: build, save, analyse with a trace,
+        summarise the trace."""
+        model = tmp_path / "bwr.json"
+        trace = tmp_path / "bwr.jsonl"
+        assert main(["demo-bwr", "--save", str(model)]) == 0
+        assert model.exists()
+        assert main(
+            ["analyze", str(model), "--cutoff", "1e-10",
+             "--trace", str(trace), "--metrics"]
+        ) == 0
+        counts = validate_trace_file(trace)
+        assert counts["spans"] >= 4
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "analyze" in report
+        assert "quantify" in report
+
+    def test_demo_inline_analysis_with_metrics(self, capsys):
+        assert main(["demo-bwr", "--cutoff", "1e-8", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "failure probability" in out
+        assert "metrics:" in out
+
+
+class TestImportanceSmoke:
+    def test_importance_table(self, sd_model_file, capsys):
+        assert main(["importance", sd_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "FV" in out and "RRW" in out
+
+
+class TestTraceSubcommand:
+    def test_renders_cost_table_and_metrics(self, sd_model_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["analyze", sd_model_file, "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert TRACE_SCHEMA in report
+        assert "span" in report and "share" in report
+        for phase in ("analyze", "translate", "mocus", "quantify"):
+            assert phase in report
+        assert "mocus.partials_expanded" in report
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
