@@ -3,6 +3,7 @@
 Commands
 --------
 ``analyze``     Full SD analysis of a model file (static or SD).
+``lint``        Static diagnostics of a model, without analysing it.
 ``mcs``         Generate and list minimal cutsets.
 ``importance``  Fussell–Vesely / Birnbaum / RAW / RRW table.
 ``classify``    Trigger-gate classes (predicts quantification cost).
@@ -121,8 +122,56 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the --checkpoint file if it exists",
     )
+    analyze_cmd.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the model linter first: error-level diagnostics reject "
+        "the model before any analysis work; warnings ride on the "
+        "run summary",
+    )
     _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    lint_cmd = sub.add_parser(
+        "lint", help="static diagnostics of a model (no analysis is run)"
+    )
+    lint_cmd.add_argument(
+        "model", nargs="?", default=None, help="model JSON (or Open-PSA XML) file"
+    )
+    _add_analysis_arguments(lint_cmd)
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint_cmd.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="exit with code 1 when findings at or above this severity "
+        "exist (default error)",
+    )
+    lint_cmd.add_argument(
+        "--disable",
+        default="",
+        metavar="CODES",
+        help="comma-separated diagnostic codes to skip (e.g. SD103,SD402)",
+    )
+    lint_cmd.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help="override a rule's severity (e.g. --severity SD201=error); "
+        "repeatable",
+    )
+    lint_cmd.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     mcs_cmd = sub.add_parser("mcs", help="generate minimal cutsets")
     mcs_cmd.add_argument("model", help="model JSON file")
@@ -240,6 +289,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     options = AnalysisOptions(
         horizon=args.horizon,
         cutoff=args.cutoff,
+        lint=getattr(args, "lint", False),
         lump_chains=getattr(args, "lump", False),
         on_oversize="bounds" if getattr(args, "bounds", False) else "raise",
         fault_isolation=args.degrade,
@@ -271,6 +321,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         tag = "dynamic" if record.is_dynamic else "static"
         print(f"  {record.probability:.3e}  [{tag}]  {events}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintConfig, Severity, all_rules, lint
+
+    if args.list_rules:
+        print(f"{'code':7s} {'severity':8s} {'name':28s} description")
+        for registered in all_rules():
+            print(
+                f"{registered.code:7s} {registered.default_severity.value:8s} "
+                f"{registered.name:28s} {registered.description}"
+            )
+        return 0
+    if args.model is None:
+        print("error: a model file is required (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    disabled = frozenset(
+        code.strip().upper() for code in args.disable.split(",") if code.strip()
+    )
+    overrides: dict[str, Severity] = {}
+    for item in args.severity:
+        code, separator, level = item.partition("=")
+        if not separator or not code.strip() or not level.strip():
+            print(
+                f"error: --severity expects CODE=LEVEL, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            overrides[code.strip().upper()] = Severity.parse(level)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    report = lint(
+        _load_sdft(args.model),
+        LintConfig(
+            horizon=args.horizon,
+            cutoff=args.cutoff,
+            disabled=disabled,
+            severity_overrides=overrides,
+        ),
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    threshold = Severity.parse(args.fail_on)
+    return 1 if report.at_or_above(threshold) else 0
 
 
 def _cmd_mcs(args: argparse.Namespace) -> int:

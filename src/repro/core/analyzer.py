@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.classify import classification_report
 from repro.core.cutset_model import build_cutset_model
@@ -40,6 +41,16 @@ from repro.ft.probability import rare_event_probability
 from repro.obs.core import NULL_OBS, Observability
 from repro.robust.budget import Budget
 from repro.robust.health import HealthLog
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+
+    from repro.core.classify import ClassificationReport
+    from repro.core.cutset_model import CutsetModel
+    from repro.ft.tree import FaultTree
+    from repro.lint.engine import LintReport
+    from repro.perf.pool import SolveResult
+    from repro.robust.checkpoint import CheckpointManager
 
 __all__ = [
     "AnalysisOptions",
@@ -107,6 +118,17 @@ class AnalysisOptions:
       worker is recovered by re-running its cutsets in the parent
       through the usual degradation path.
 
+    Pre-flight linting (:mod:`repro.lint`):
+
+    * ``lint`` — run the static model linter before the pipeline.  A
+      model with error-level diagnostics (e.g. a top gate that can
+      never fail, or a cutoff guaranteed to empty the cutset list) is
+      rejected with :class:`~repro.errors.LintError` *before* any
+      translation, MOCUS or quantification work happens; warnings and
+      infos ride on :attr:`~repro.core.results.AnalysisResult.lint`,
+      appear in the run summary, and are noted in the run-health
+      report.  The lint pass gets its own ``lint`` span in the trace.
+
     Observability (:mod:`repro.obs`):
 
     * ``trace_path`` — write a JSONL trace of the run (phase and
@@ -127,6 +149,7 @@ class AnalysisOptions:
     horizon: float = 24.0
     cutoff: float = 1e-15
     epsilon: float = 1e-12
+    lint: bool = False
     max_chain_states: int = 200_000
     max_partials: int = 20_000_000
     on_oversize: str = "raise"
@@ -160,6 +183,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     obs = Observability.from_options(opts.trace_path, opts.collect_metrics)
     budget = _make_budget(opts, obs)
     health = HealthLog()
+    lint_report = _preflight_lint(sdft, opts, obs, health)
     manager, resumed = _open_checkpoint(sdft, opts, health)
 
     with obs.tracer.span(
@@ -261,6 +285,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         mcs_remainder_bound=mocus_result.remainder_bound,
         perf=perf,
         metrics=metrics_snapshot,
+        lint=lint_report,
     )
 
 
@@ -269,7 +294,71 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
 # ----------------------------------------------------------------------
 
 
-def _make_budget(opts: AnalysisOptions, obs=None) -> "Budget | None":
+def _preflight_lint(
+    sdft: SdFaultTree,
+    opts: AnalysisOptions,
+    obs: Observability,
+    health: HealthLog,
+) -> "LintReport | None":
+    """Run the model linter before the pipeline (``opts.lint``).
+
+    Error-level findings reject the model with
+    :class:`~repro.errors.LintError` before translate/MOCUS/quantify do
+    any work — the trace (when requested) is still written, containing
+    the ``lint`` span and *no* phase spans.  Warnings become run-health
+    notes and the report is returned to ride on the result.
+    """
+    if not opts.lint:
+        return None
+    from repro.errors import LintError
+    from repro.lint import LintConfig
+    from repro.lint import lint as run_lint
+
+    with obs.tracer.span(
+        "lint", model=getattr(sdft, "name", None) or ""
+    ) as lint_span:
+        report = run_lint(
+            sdft, LintConfig(horizon=opts.horizon, cutoff=opts.cutoff)
+        )
+        counts = report.counts()
+        lint_span.set(
+            errors=counts["error"],
+            warnings=counts["warning"],
+            infos=counts["info"],
+        )
+    for finding in report.warnings:
+        health.info(
+            "lint", f"{finding.code} {finding.node}: {finding.message}"
+        )
+    if report.has_errors:
+        if opts.trace_path:
+            from repro.obs.export import write_trace
+
+            write_trace(
+                opts.trace_path,
+                obs.tracer.records(),
+                obs.metrics.snapshot() if obs.enabled else None,
+                attrs={
+                    "model": getattr(sdft, "name", None) or "",
+                    "horizon": opts.horizon,
+                    "cutoff": opts.cutoff,
+                    "rejected_by_lint": True,
+                },
+            )
+        details = "; ".join(
+            f"{d.code} {d.node}: {d.message}" for d in report.errors
+        )
+        raise LintError(
+            f"model rejected by lint with {len(report.errors)} error-level "
+            f"diagnostic(s): {details}",
+            report=report,
+        )
+    return report
+
+
+def _make_budget(
+    opts: AnalysisOptions, obs: Observability | None = None
+) -> "Budget | None":
     """A cooperative budget, or ``None`` when every axis is unlimited."""
     if (
         opts.wall_seconds is None
@@ -285,7 +374,9 @@ def _make_budget(opts: AnalysisOptions, obs=None) -> "Budget | None":
     )
 
 
-def _open_checkpoint(sdft: SdFaultTree, opts: AnalysisOptions, health: HealthLog):
+def _open_checkpoint(
+    sdft: SdFaultTree, opts: AnalysisOptions, health: HealthLog
+) -> "tuple[CheckpointManager | None, dict | None]":
     """The run's checkpoint manager and, when resuming, its snapshot."""
     if not opts.checkpoint_path:
         return None, None
@@ -309,14 +400,14 @@ def _open_checkpoint(sdft: SdFaultTree, opts: AnalysisOptions, health: HealthLog
 
 
 def _generate_cutsets(
-    mocus_tree,
+    mocus_tree: "FaultTree",
     opts: AnalysisOptions,
-    budget,
+    budget: "Budget | None",
     health: HealthLog,
-    manager,
-    resumed,
-    obs=NULL_OBS,
-):
+    manager: "CheckpointManager | None",
+    resumed: dict | None,
+    obs: Observability = NULL_OBS,
+) -> "tuple[MocusResult, dict]":
     """Run (or restore) cutset generation, surviving budget exhaustion.
 
     Returns the MOCUS result plus the quantification records restored
@@ -375,15 +466,15 @@ def _generate_cutsets(
 
 def _quantify_cutsets(
     sdft: SdFaultTree,
-    translation_tree,
+    translation_tree: "FaultTree",
     mocus_result: MocusResult,
     opts: AnalysisOptions,
-    budget,
+    budget: "Budget | None",
     health: HealthLog,
-    manager,
+    manager: "CheckpointManager | None",
     restored: dict,
-    obs=NULL_OBS,
-):
+    obs: Observability = NULL_OBS,
+) -> "tuple[list[McsQuantification], bool]":
     """Quantify every cutset with isolation, budgets and checkpoints.
 
     ``opts.jobs`` selects the execution strategy: the serial in-process
@@ -501,14 +592,16 @@ class _QuantifyContext:
             )
             return self._skipped(cutset)
 
-    def fold_direct(self, model) -> McsQuantification:
+    def fold_direct(self, model: "CutsetModel") -> McsQuantification:
         """A static or trivially-zero cutset model (no chain solve)."""
         gated = self._budget_gate(model.cutset)
         if gated is not None:
             return gated
         return quantify_model(model, self.opts.horizon)
 
-    def fold_solved(self, model, key: tuple, result) -> McsQuantification:
+    def fold_solved(
+        self, model: "CutsetModel", key: tuple, result: "SolveResult"
+    ) -> McsQuantification:
         """Fold one pool-solved unique value onto one member cutset.
 
         Drives the shared cache exactly like the serial loop would: the
@@ -587,8 +680,8 @@ def _quantify_parallel(
     cutset_list: list,
     records: list,
     restored: dict,
-    manager,
-    state,
+    manager: "CheckpointManager | None",
+    state: "Callable[[], dict]",
     n_jobs: int,
 ) -> int:
     """Dedup + process-pool quantification (the :mod:`repro.perf` path).
@@ -703,7 +796,7 @@ def _quantify_parallel(
     return worker_faults
 
 
-def _merge_worker_obs(obs, result) -> None:
+def _merge_worker_obs(obs: Observability, result: "SolveResult") -> None:
     """Graft one worker's trace slice and metrics into the parent's.
 
     Worker span ids are prefixed per task, so grafting cannot collide;
@@ -729,11 +822,11 @@ def _quantify_one(
     sdft: SdFaultTree,
     cutset: frozenset,
     opts: AnalysisOptions,
-    classes,
+    classes: "ClassificationReport",
     cache: QuantificationCache,
-    budget,
+    budget: "Budget | None",
     health: HealthLog,
-    obs=NULL_OBS,
+    obs: Observability = NULL_OBS,
 ) -> McsQuantification:
     """Quantify one cutset, through the ladder when isolation is on."""
     if not opts.fault_isolation:
@@ -792,7 +885,9 @@ def _quantify_one(
     return outcome.record
 
 
-def _worst_case_probability(translation_tree, cutset: frozenset) -> float:
+def _worst_case_probability(
+    translation_tree: "FaultTree", cutset: frozenset
+) -> float:
     """The static worst-case ``p̄(C)`` — inequality (1)'s upper bound.
 
     Computed from the *translation* tree (never the MOCUS override

@@ -24,9 +24,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.sdft import SdFaultTree
 from repro.ft.tree import GateType
+
+if TYPE_CHECKING:
+    from repro.ft.tree import Gate
 
 __all__ = [
     "TriggerClass",
@@ -54,7 +58,7 @@ class TriggerClass(enum.Enum):
     GENERAL = "general"
 
 
-def _effective_type(gate) -> GateType:
+def _effective_type(gate: "Gate") -> GateType:
     """Treat degenerate ATLEAST gates as the AND/OR they equal."""
     if gate.gate_type is not GateType.ATLEAST:
         return gate.gate_type

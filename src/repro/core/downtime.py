@@ -98,7 +98,7 @@ def exact_expected_downtime(
     return expected_downtime(product.chain, horizon)
 
 
-def _signature(model, horizon: float) -> tuple:
+def _signature(model: "SdFaultTree", horizon: float) -> tuple:
     gates = tuple(
         (g.name, g.gate_type.value, g.children, g.k)
         for g in sorted(model.gates.values(), key=lambda g: g.name)

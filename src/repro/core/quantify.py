@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.cutset_model import CutsetModel, build_cutset_model
 from repro.core.sdft import SdFaultTree
@@ -26,6 +27,11 @@ from repro.errors import AnalysisError
 from repro.obs.core import NULL_OBS
 from repro.perf.fingerprint import model_signature
 from repro.robust import faults
+
+if TYPE_CHECKING:
+    from repro.core.classify import ClassificationReport
+    from repro.obs.core import Observability
+    from repro.robust.budget import Budget
 
 __all__ = [
     "McsQuantification",
@@ -110,14 +116,14 @@ def quantify_cutset(
     sdft: SdFaultTree,
     cutset: frozenset[str],
     horizon: float,
-    classes=None,
+    classes: "ClassificationReport | None" = None,
     cache: QuantificationCache | None = None,
     epsilon: float = 1e-12,
     max_chain_states: int = 200_000,
     on_oversize: str = "raise",
     lump_chains: bool = False,
-    budget=None,
-    obs=None,
+    budget: "Budget | None" = None,
+    obs: "Observability | None" = None,
 ) -> McsQuantification:
     """Compute ``p̃(C)`` for one minimal cutset.
 
@@ -156,8 +162,8 @@ def quantify_model(
     max_chain_states: int = 200_000,
     on_oversize: str = "raise",
     lump_chains: bool = False,
-    budget=None,
-    obs=None,
+    budget: "Budget | None" = None,
+    obs: "Observability | None" = None,
 ) -> McsQuantification:
     """Quantify an already-built cutset model.
 

@@ -9,10 +9,14 @@ events per cutset (Figure 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.classify import ClassificationReport
 from repro.core.quantify import McsQuantification
 from repro.robust.health import HealthReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps imports light)
+    from repro.lint.engine import LintReport
 
 __all__ = ["PerfStats", "Timings", "AnalysisResult"]
 
@@ -104,6 +108,10 @@ class AnalysisResult:
     #: Metrics snapshot of the run (``repro.obs``), present only when
     #: the analysis collected metrics; never influences the values above.
     metrics: "dict | None" = None
+    #: The pre-flight lint report, present only when the analysis ran
+    #: with ``AnalysisOptions(lint=True)``; a model with error-level
+    #: findings never reaches this container (``LintError`` is raised).
+    lint: "LintReport | None" = None
 
     # ------------------------------------------------------------------
     # Aggregated views used by the experiment harnesses
@@ -233,6 +241,8 @@ class AnalysisResult:
             f"MCS {self.timings.mcs_generation_seconds:.2f}s, "
             f"quantification {self.timings.quantification_seconds:.2f}s",
         ]
+        if self.lint is not None and self.lint.diagnostics:
+            lines.append(f"lint: {self.lint.summary_line()}")
         if self.mcs_truncated:
             lines.append(
                 f"cutset list TRUNCATED by budget; un-enumerated mass "

@@ -49,6 +49,21 @@ class TriggerError(ModelError):
     """
 
 
+class LintError(ModelError):
+    """The model linter rejected a model with error-level diagnostics.
+
+    Raised by :func:`repro.core.analyzer.analyze` when
+    ``AnalysisOptions(lint=True)`` finds error-level diagnostics before
+    the pipeline runs.  ``report`` carries the full
+    :class:`~repro.lint.engine.LintReport` so callers can render every
+    finding, not just the message.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class AnalysisError(ReproError):
     """An analysis algorithm cannot proceed on this (valid) model."""
 

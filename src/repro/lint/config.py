@@ -1,0 +1,63 @@
+"""Configuration of the model linter.
+
+:class:`LintConfig` carries the analysis parameters the probabilistic
+rules compare against (horizon, cutoff), the rule thresholds, and the
+per-rule policy: codes can be disabled outright and their severities
+overridden — the same shape every mainstream linter exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lint.diagnostic import Severity
+
+__all__ = ["LintConfig"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs of one lint run.
+
+    ``horizon`` and ``cutoff`` mirror the analysis that will follow so
+    the probabilistic rules judge the model against the run it is about
+    to get (``sdft lint --horizon --cutoff`` and
+    :class:`~repro.core.analyzer.AnalysisOptions` feed them through).
+
+    ``rare_event_threshold`` is the worst-case event probability above
+    which the rare-event sum of Section IV starts to degrade;
+    ``stiffness_threshold`` bounds ``max exit rate × horizon`` before a
+    chain is flagged as stiff (uniformization cost grows linearly with
+    it); ``negligible_exposure`` is the ``max exit rate × horizon``
+    below which a chain effectively never moves within the mission;
+    ``mcs_estimate_cap`` caps the combinatorial cutset-count estimate
+    of the classification preview.
+
+    ``disabled`` names codes to skip; ``severity_overrides`` maps codes
+    to replacement severities (e.g. promote ``SD201`` to an error for a
+    strict CI gate).
+    """
+
+    horizon: float = 24.0
+    cutoff: float = 1e-15
+    rare_event_threshold: float = 0.1
+    stiffness_threshold: float = 1e4
+    negligible_exposure: float = 1e-9
+    mcs_estimate_cap: int = 1_000_000
+    disabled: frozenset[str] = frozenset()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0.0:
+            raise ValueError(f"horizon must be non-negative, got {self.horizon}")
+        if self.cutoff < 0.0:
+            raise ValueError(f"cutoff must be non-negative, got {self.cutoff}")
+
+    def is_enabled(self, code: str) -> bool:
+        """Whether the rule with this code should run."""
+        return code not in self.disabled
+
+    def severity_for(self, code: str, default: Severity) -> Severity:
+        """The effective severity of ``code`` under the overrides."""
+        return self.severity_overrides.get(code, default)

@@ -1,0 +1,105 @@
+"""The diagnostic vocabulary of the model linter.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``SD101``), a severity, the offending node with its path from the top
+gate, a human-readable message and an optional fix hint.  Diagnostics
+are plain frozen data so reports can be sorted, serialised and compared
+in tests without ceremony.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make an analysis meaningless or guaranteed-empty
+    and should reject the model before any pool time is burned;
+    ``WARNING`` findings undermine accuracy or performance but the run
+    still computes something; ``INFO`` findings are modelling smells.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric order: higher is more severe."""
+        return _RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """The severity named by ``text`` (``error|warning|info``)."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.value for s in cls)}"
+            ) from None
+
+
+_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    ``node`` is the offending node's name and ``path`` the node names
+    from the top gate down to it (just ``(node,)`` when the node is not
+    reachable from the top); ``hint`` suggests a concrete fix when the
+    rule knows one.
+    """
+
+    code: str
+    severity: Severity
+    node: str
+    message: str
+    path: tuple[str, ...] = ()
+    hint: str | None = None
+
+    @property
+    def path_string(self) -> str:
+        """The path rendered ``top/…/node`` (or just the node name)."""
+        return "/".join(self.path) if self.path else self.node
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable payload of this diagnostic."""
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "node": self.node,
+            "path": list(self.path),
+            "message": self.message,
+        }
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def render(self) -> str:
+        """One text line (plus an indented hint line when present)."""
+        line = f"{self.severity.value:7s} {self.code}  {self.path_string}: {self.message}"
+        if self.hint:
+            line += f"\n        hint: {self.hint}"
+        return line
+
+    def sort_key(self) -> tuple[int, str, str]:
+        """Most severe first, then by code, then by node."""
+        return (-self.severity.rank, self.code, self.node)

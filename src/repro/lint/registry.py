@@ -1,0 +1,101 @@
+"""The rule registry of the model linter.
+
+A rule is a function from a :class:`~repro.lint.context.LintContext` to
+an iterable of :class:`~repro.lint.diagnostic.Diagnostic` findings,
+registered under a stable code with the :func:`rule` decorator::
+
+    @rule("SD101", "unreachable-gate", Severity.WARNING,
+          "Gate not reachable from the top gate.")
+    def check_unreachable_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+        ...
+
+The registry is what the engine iterates, what ``sdft lint
+--list-rules`` prints, and what keeps ``docs/linting.md`` honest (the
+doc test cross-checks the catalogue against it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.lint.diagnostic import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.context import LintContext
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule"]
+
+CheckFunction = Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered diagnostic rule.
+
+    ``code`` is the stable identifier (``SD<category><number>``),
+    ``name`` a short kebab-case slug, ``default_severity`` the severity
+    findings carry unless the config overrides it, and ``description``
+    the one-line rationale shown by ``--list-rules``.
+    """
+
+    code: str
+    name: str
+    default_severity: Severity
+    description: str
+    check: CheckFunction
+
+    def run(self, context: "LintContext") -> Iterator[Diagnostic]:
+        """All findings of this rule, at the config-effective severity."""
+        severity = context.config.severity_for(self.code, self.default_severity)
+        for finding in self.check(context):
+            if finding.severity is severity:
+                yield finding
+            else:
+                yield Diagnostic(
+                    code=finding.code,
+                    severity=severity,
+                    node=finding.node,
+                    message=finding.message,
+                    path=finding.path,
+                    hint=finding.hint,
+                )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    code: str, name: str, severity: Severity, description: str
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register the decorated function as the rule ``code``."""
+
+    def decorate(check: CheckFunction) -> CheckFunction:
+        if code in _REGISTRY:
+            raise ValueError(f"lint rule code {code!r} registered twice")
+        _REGISTRY[code] = Rule(code, name, severity, description, check)
+        return check
+
+    return decorate
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by code."""
+    _load_rule_modules()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code``."""
+    _load_rule_modules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules so their registrations run once."""
+    from repro.lint import rules  # noqa: F401  (import side effect)

@@ -1,0 +1,25 @@
+"""Rule modules of the model linter.
+
+Importing this package registers every built-in rule with
+:mod:`repro.lint.registry` (each module's ``@rule`` decorators run at
+import time).  The grouping mirrors the diagnostic-code ranges:
+
+* :mod:`repro.lint.rules.structural` — SD1xx, dead weight and
+  degenerate logic;
+* :mod:`repro.lint.rules.probabilistic` — SD2xx, numbers vs the
+  rare-event approximation, the cutoff and the horizon;
+* :mod:`repro.lint.rules.dynamic` — SD3xx, the trigger graph;
+* :mod:`repro.lint.rules.classification` — SD4xx, the Section V-A
+  quantification-cost preview.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import side effect: registration)
+    classification,
+    dynamic,
+    probabilistic,
+    structural,
+)
+
+__all__ = ["classification", "dynamic", "probabilistic", "structural"]

@@ -1,0 +1,122 @@
+"""Dynamic/trigger rules (SD3xx): the trigger graph beyond the builder.
+
+:class:`~repro.core.sdft.SdFaultTree` construction already rejects the
+hard trigger errors (unknown sources, double triggering, cyclic
+triggering).  These rules find the *soft* pathologies that build fine
+but cannot mean what the modeller intended: triggers that can never
+fire, triggered events that stay switched off forever, and cascades of
+triggers that stack switching delays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostic import Diagnostic, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+@rule(
+    "SD301",
+    "trigger-never-fires",
+    Severity.WARNING,
+    "Trigger source gate can never fail; its triggers never fire.",
+)
+def check_trigger_never_fires(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate_name in sorted(ctx.sdft.triggers):
+        if not ctx.never_fails[gate_name]:
+            continue
+        events = ", ".join(sorted(ctx.sdft.triggers[gate_name]))
+        yield Diagnostic(
+            "SD301",
+            Severity.WARNING,
+            gate_name,
+            f"the gate can never fail, so its trigger never fires and "
+            f"the triggered event(s) {events} stay switched off forever",
+            path=ctx.path_to(gate_name),
+            hint="fix the never-failing inputs of the gate or remove "
+            "the trigger",
+        )
+
+
+@rule(
+    "SD302",
+    "never-switched-on",
+    Severity.WARNING,
+    "Triggered dynamic event can never be switched on.",
+)
+def check_never_switched_on(ctx: LintContext) -> Iterator[Diagnostic]:
+    for event_name, gate_name in sorted(ctx.sdft.trigger_of.items()):
+        if not ctx.never_fails[gate_name]:
+            continue
+        yield Diagnostic(
+            "SD302",
+            Severity.WARNING,
+            event_name,
+            f"the event is only switched on by {gate_name!r}, which can "
+            f"never fail; the event never leaves its off-states and "
+            f"never fails",
+            path=ctx.path_to(event_name),
+            hint=f"fix gate {gate_name!r} or drop the event",
+        )
+
+
+@rule(
+    "SD303",
+    "trigger-cascade",
+    Severity.INFO,
+    "Chained triggering: one trigger's event enables the next trigger.",
+)
+def check_trigger_cascades(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Self-triggering chains ``g1 -(e1)-> g2 -(e2)-> ...``.
+
+    An edge means: ``g1`` triggers an event that lies in the subtree of
+    trigger gate ``g2`` — so ``g2``'s failure (and the switching of its
+    own targets) can hinge on ``g1`` having fired first.  The builder
+    guarantees the graph is acyclic; long chains are still worth
+    surfacing because every stage adds sequence-dependence that only
+    the general quantification case captures exactly.
+    """
+    follows: dict[str, set[str]] = {gate: set() for gate in ctx.sdft.triggers}
+    for gate_name, events in ctx.sdft.triggers.items():
+        for event_name in events:
+            for other in ctx.sdft.triggers:
+                if other == gate_name:
+                    continue
+                if event_name in ctx.tree.events_under(other):
+                    follows[gate_name].add(other)
+
+    # Longest chain starting at each gate (the graph is a DAG).
+    chain_from: dict[str, list[str]] = {}
+
+    def longest(gate: str) -> list[str]:
+        if gate in chain_from:
+            return chain_from[gate]
+        best: list[str] = []
+        for successor in sorted(follows[gate]):
+            candidate = longest(successor)
+            if len(candidate) > len(best):
+                best = candidate
+        chain_from[gate] = [gate] + best
+        return chain_from[gate]
+
+    heads = set(follows) - {g for targets in follows.values() for g in targets}
+    for gate in sorted(heads):
+        chain = longest(gate)
+        if len(chain) < 3:
+            continue  # direct handoffs (depth 2) are the normal pattern
+        yield Diagnostic(
+            "SD303",
+            Severity.INFO,
+            gate,
+            f"trigger cascade of depth {len(chain)}: "
+            + " -> ".join(chain)
+            + "; each stage can only switch on after the previous one "
+            "fails, stacking sequence-dependence",
+            path=ctx.path_to(gate),
+            hint="expect general-case quantification along the cascade; "
+            "verify the stages are genuinely sequential in the system",
+        )

@@ -1,0 +1,220 @@
+"""Structural rules (SD1xx): dead weight and degenerate logic.
+
+These rules look only at the gate graph and the constant-propagation
+fixpoints of :class:`~repro.lint.context.LintContext` — no probability
+is ever solved for.  Reachability is the *effective* kind: the static
+translation pulls every trigger gate's subtree into the cutsets of its
+triggered events, so a trigger-only subtree is alive, not dangling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ft.tree import GateType
+from repro.lint.context import LintContext
+from repro.lint.diagnostic import Diagnostic, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []  # rules register themselves; nothing to import by name
+
+
+@rule(
+    "SD101",
+    "unreachable-gate",
+    Severity.WARNING,
+    "Gate is not reachable from the top gate (nor through any trigger).",
+)
+def check_unreachable_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    for name in sorted(ctx.tree.gates):
+        if name not in ctx.effective_reachable:
+            yield Diagnostic(
+                "SD101",
+                Severity.WARNING,
+                name,
+                "gate is dead weight: no path from the top gate reaches it "
+                "and no trigger pulls it into any cutset",
+                path=ctx.path_to(name),
+                hint="wire the gate into the tree or delete it",
+            )
+
+
+@rule(
+    "SD102",
+    "unreachable-event",
+    Severity.WARNING,
+    "Basic event is not an input of any live gate (dangling input).",
+)
+def check_unreachable_events(ctx: LintContext) -> Iterator[Diagnostic]:
+    for name in sorted(ctx.sdft.all_event_names):
+        if name in ctx.effective_reachable:
+            continue
+        if ctx.tree.parents(name):
+            message = (
+                "basic event only feeds unreachable gates; it can never "
+                "contribute to a cutset"
+            )
+        else:
+            message = (
+                "basic event is declared but never used as a gate input"
+            )
+        yield Diagnostic(
+            "SD102",
+            Severity.WARNING,
+            name,
+            message,
+            path=ctx.path_to(name),
+            hint="connect the event to a live gate or delete it",
+        )
+
+
+@rule(
+    "SD103",
+    "single-child-gate",
+    Severity.INFO,
+    "Gate with one input acts as a pass-through.",
+)
+def check_single_child_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    for name, gate in sorted(ctx.tree.gates.items()):
+        if len(gate.children) != 1:
+            continue
+        yield Diagnostic(
+            "SD103",
+            Severity.INFO,
+            name,
+            f"{gate.gate_type.value.upper()} gate has a single input "
+            f"{gate.children[0]!r} and merely passes it through",
+            path=ctx.path_to(name),
+            hint=f"reference {gate.children[0]!r} directly and drop the gate",
+        )
+
+
+@rule(
+    "SD104",
+    "degenerate-atleast",
+    Severity.WARNING,
+    "ATLEAST gate with k=1 or k=n is an OR or AND in disguise.",
+)
+def check_degenerate_atleast(ctx: LintContext) -> Iterator[Diagnostic]:
+    for name, gate in sorted(ctx.tree.gates.items()):
+        if gate.gate_type is not GateType.ATLEAST or len(gate.children) < 2:
+            continue
+        assert gate.k is not None
+        if gate.k == 1:
+            equivalent = "OR"
+        elif gate.k == len(gate.children):
+            equivalent = "AND"
+        else:
+            continue
+        yield Diagnostic(
+            "SD104",
+            Severity.WARNING,
+            name,
+            f"ATLEAST gate with k={gate.k} of {len(gate.children)} inputs "
+            f"is exactly an {equivalent} gate",
+            path=ctx.path_to(name),
+            hint=f"declare the gate as {equivalent}: the trigger "
+            f"classification treats proper voting gates conservatively, "
+            f"so the disguise can cost the general case",
+        )
+
+
+@rule(
+    "SD105",
+    "vacuous-gate",
+    Severity.WARNING,
+    "Gate can never fail (a constant-false input makes it vacuous).",
+)
+def check_vacuous_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    never = ctx.never_fails
+    for name, gate in sorted(ctx.tree.gates.items()):
+        if name not in ctx.effective_reachable or not never[name]:
+            continue
+        # Report only where the constancy originates: a vacuous gate
+        # whose vacuity is inherited from a vacuous child gate adds
+        # noise, not information.
+        if any(ctx.tree.is_gate(c) and never[c] for c in gate.children):
+            continue
+        culprits = sorted(c for c in gate.children if never[c])
+        if gate.gate_type is GateType.AND:
+            reason = f"its input(s) {culprits} can never fail"
+        else:
+            reason = "none of its inputs can ever fail"
+        yield Diagnostic(
+            "SD105",
+            Severity.WARNING,
+            name,
+            f"gate can never fail: {reason}",
+            path=ctx.path_to(name),
+            hint="remove the gate or give the constant events a real "
+            "probability / a failable chain",
+        )
+
+
+@rule(
+    "SD106",
+    "constant-gate",
+    Severity.WARNING,
+    "Gate is certainly failed from time zero on.",
+)
+def check_constant_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    always = ctx.always_fails
+    for name, gate in sorted(ctx.tree.gates.items()):
+        if name not in ctx.effective_reachable or not always[name]:
+            continue
+        if any(ctx.tree.is_gate(c) and always[c] for c in gate.children):
+            continue
+        culprits = sorted(c for c in gate.children if always[c])
+        yield Diagnostic(
+            "SD106",
+            Severity.WARNING,
+            name,
+            f"gate is certainly failed at time zero: input(s) {culprits} "
+            f"are certain to be failed",
+            path=ctx.path_to(name),
+            hint="a constant gate hides all other inputs from OR logic; "
+            "check the probability-1 events feeding it",
+        )
+
+
+@rule(
+    "SD107",
+    "top-never-fails",
+    Severity.ERROR,
+    "The top gate can never fail: every analysis is trivially zero.",
+)
+def check_top_never_fails(ctx: LintContext) -> Iterator[Diagnostic]:
+    top = ctx.tree.top
+    if ctx.never_fails[top]:
+        yield Diagnostic(
+            "SD107",
+            Severity.ERROR,
+            top,
+            "the top gate can never fail; MOCUS would return an empty "
+            "cutset list and the failure probability is identically zero",
+            path=(top,),
+            hint="the model is vacuous: check for probability-0 events "
+            "and chains without reachable failed states on every path",
+        )
+
+
+@rule(
+    "SD108",
+    "top-always-fails",
+    Severity.ERROR,
+    "The top gate is certainly failed at time zero.",
+)
+def check_top_always_fails(ctx: LintContext) -> Iterator[Diagnostic]:
+    top = ctx.tree.top
+    if ctx.always_fails[top]:
+        yield Diagnostic(
+            "SD108",
+            Severity.ERROR,
+            top,
+            "the top gate is certainly failed from time zero on; the "
+            "failure probability is identically one and the rare-event "
+            "sum is meaningless",
+            path=(top,),
+            hint="check the probability-1 events and initially-failed "
+            "chains feeding the top gate",
+        )

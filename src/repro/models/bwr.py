@@ -80,7 +80,12 @@ def build_bwr(config: BwrConfig | None = None) -> SdFaultTree:
     # Basic events and per-system structure
     # ------------------------------------------------------------------
     for system, rate in _SYSTEMS:
-        _build_system(b, cfg, system, rate)
+        # CCW and SWS are support systems: only ever referenced per
+        # train by the systems they support, so a system-level gate
+        # would be unreachable dead weight.
+        _build_system(
+            b, cfg, system, rate, system_gate=system not in ("CCW", "SWS")
+        )
     _build_feed_and_bleed(b, cfg)
 
     # Water sources shared by the injection systems.
@@ -88,7 +93,6 @@ def build_bwr(config: BwrConfig | None = None) -> SdFaultTree:
     b.static_event("SP-PLUGGED", 3e-6, "suppression pool suction plugged")
     b.or_("ECC-FAILS", "ECC", "SP-PLUGGED")
     b.or_("EFW-FAILS", "EFW", "CST-EMPTY")
-    b.or_("RHR-FAILS", "RHR")
 
     # ------------------------------------------------------------------
     # Event tree of the general transient (delete-term compilation)
@@ -98,7 +102,7 @@ def build_bwr(config: BwrConfig | None = None) -> SdFaultTree:
         EventTreeBuilder("TRANSIENT", "IE-TRANSIENT", 1.0)
         .functional_event("EFW", "EFW-FAILS", "emergency feed water")
         .functional_event("ECC", "ECC-FAILS", "emergency core cooling")
-        .functional_event("RHR", "RHR-FAILS", "residual heat removal")
+        .functional_event("RHR", "RHR", "residual heat removal")
         .functional_event("FB", "FB-FAILS", "feed & bleed recovery")
         .sequence("S-INJECTION", "CD", EFW=True, ECC=True)
         .sequence("S-HEAT-REMOVAL", "CD", EFW=False, RHR=True, FB=True)
@@ -124,9 +128,22 @@ def build_bwr(config: BwrConfig | None = None) -> SdFaultTree:
 
 
 def _build_system(
-    b: SdFaultTreeBuilder, cfg: BwrConfig, system: str, rate: float
+    b: SdFaultTreeBuilder,
+    cfg: BwrConfig,
+    system: str,
+    rate: float,
+    system_gate: bool = True,
 ) -> None:
-    """One two-train system with suction, power and pump failures."""
+    """One two-train system with suction, power and pump failures.
+
+    With ``system_gate=False`` (support systems) no system-level gate
+    is built and the pump-CCF event becomes a child of every train gate
+    instead, so it stays effective for the per-train consumers.
+    """
+    ccf: str | None = None
+    if cfg.include_ccf:
+        ccf = f"{system}-PUMPS-CCF"
+        b.static_event(ccf, 1e-4, f"common cause failure of {system} pumps")
     for train in _TRAINS:
         prefix = f"{system}-{train}"
         b.static_event(f"{prefix}-PUMP-FTS", 3e-3, f"{prefix} pump fails to start")
@@ -151,15 +168,16 @@ def _build_system(
             children.append(f"CCW-TRAIN-{train}")
         elif system == "CCW":
             children.append(f"SWS-TRAIN-{train}")
+        if not system_gate and ccf is not None:
+            children.append(ccf)
         b.or_(f"{system}-TRAIN-{train}", *children)
 
+    if not system_gate:
+        return
     redundancy = f"{system}-BOTH-TRAINS"
     b.and_(redundancy, f"{system}-TRAIN-A", f"{system}-TRAIN-B")
-    if cfg.include_ccf:
-        b.static_event(
-            f"{system}-PUMPS-CCF", 1e-4, f"common cause failure of {system} pumps"
-        )
-        b.or_(system, redundancy, f"{system}-PUMPS-CCF")
+    if ccf is not None:
+        b.or_(system, redundancy, ccf)
     else:
         b.or_(system, redundancy)
 

@@ -148,15 +148,25 @@ def build_synthetic(
         _build_system(b, rng, config, f"FL-{i}", depends)
 
     # Accident sequences: per initiator, AND combinations of frontline
-    # system failures gated by the initiating event.
+    # system failures gated by the initiating event.  A shuffled deck of
+    # frontline indices is dealt out first, so — whenever the sequence
+    # slots suffice — every frontline system lands in at least one
+    # sequence (an undrawn system would be unreachable dead weight).
+    deck = [int(j) for j in rng.permutation(config.n_frontline)]
     sequence_gates: list[str] = []
     for i in range(config.n_initiators):
         ie_name = f"IE-{i}"
         b.event(ie_name, _draw_probability(rng, (1e-3, 5e-2)), f"initiating event {i}")
         for s in range(config.sequences_per_initiator):
             k = min(config.systems_per_sequence, config.n_frontline)
-            chosen = rng.choice(config.n_frontline, size=k, replace=False)
-            systems = [f"FL-{j}" for j in sorted(int(j) for j in chosen)]
+            chosen: list[int] = []
+            while deck and len(chosen) < k:
+                chosen.append(deck.pop())
+            if len(chosen) < k:
+                rest = [j for j in range(config.n_frontline) if j not in chosen]
+                extra = rng.choice(len(rest), size=k - len(chosen), replace=False)
+                chosen.extend(rest[int(e)] for e in extra)
+            systems = [f"FL-{j}" for j in sorted(chosen)]
             gate = f"SEQ-{i}-{s}"
             b.and_(gate, ie_name, *systems, description=f"sequence {s} of IE {i}")
             sequence_gates.append(gate)

@@ -10,8 +10,8 @@ more.
 
 from __future__ import annotations
 
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["NULL_OBS", "Observability"]
 
@@ -19,7 +19,11 @@ __all__ = ["NULL_OBS", "Observability"]
 class Observability:
     """A tracer plus a metrics registry, enabled or not as one unit."""
 
-    def __init__(self, tracer=NULL_TRACER, metrics=NULL_METRICS) -> None:
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+        metrics: MetricsRegistry | NullMetrics = NULL_METRICS,
+    ) -> None:
         self.tracer = tracer
         self.metrics = metrics
 
@@ -34,7 +38,9 @@ class Observability:
         return cls(Tracer(prefix=prefix), MetricsRegistry())
 
     @classmethod
-    def from_options(cls, trace_path, collect_metrics: bool) -> "Observability":
+    def from_options(
+        cls, trace_path: str | None, collect_metrics: bool
+    ) -> "Observability":
         """The bundle an analysis run needs for its options.
 
         Either knob enables both collectors: a trace file always embeds

@@ -28,6 +28,12 @@ one CI runs against every traced smoke analysis; it raises
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.obs.trace import SpanRecord
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -58,7 +64,12 @@ _HISTOGRAM_FIELDS = {
 }
 
 
-def write_trace(path, span_records, metrics_snapshot, attrs=None) -> int:
+def write_trace(
+    path: str,
+    span_records: "Iterable[SpanRecord]",
+    metrics_snapshot: dict | None,
+    attrs: dict | None = None,
+) -> int:
     """Write a schema-valid trace file; returns the number of lines.
 
     ``span_records`` are :class:`~repro.obs.trace.SpanRecord` objects,
@@ -93,7 +104,7 @@ def write_trace(path, span_records, metrics_snapshot, attrs=None) -> int:
     return len(lines)
 
 
-def validate_trace_lines(lines) -> dict:
+def validate_trace_lines(lines: list) -> dict:
     """Validate parsed JSONL payloads against the trace schema.
 
     Returns ``{"spans": n, "counters": n, "histograms": n}`` on
@@ -172,9 +183,9 @@ def validate_trace_lines(lines) -> dict:
     return counts
 
 
-def validate_trace_file(path) -> dict:
+def validate_trace_file(path: str) -> dict:
     """Parse and validate a trace file; see :func:`validate_trace_lines`."""
-    lines = []
+    lines: list = []
     with open(path, encoding="utf-8") as handle:
         for number, raw in enumerate(handle, start=1):
             raw = raw.strip()

@@ -34,15 +34,15 @@ class NullMetrics:
 
     enabled = False
 
-    def count(self, name: str, n=1) -> None:
+    def count(self, name: str, n: float = 1) -> None:
         """Discard a counter increment."""
         return None
 
-    def observe(self, name: str, value) -> None:
+    def observe(self, name: str, value: float) -> None:
         """Discard a histogram observation."""
         return None
 
-    def merge_snapshot(self, snapshot) -> None:
+    def merge_snapshot(self, snapshot: dict | None) -> None:
         """Discard a shipped worker snapshot."""
         return None
 
@@ -64,11 +64,11 @@ class MetricsRegistry:
         # name -> [count, total, min, max]
         self._histograms: dict[str, list[float]] = {}
 
-    def count(self, name: str, n=1) -> None:
+    def count(self, name: str, n: float = 1) -> None:
         """Add ``n`` to the counter ``name`` (created at zero)."""
         self._counters[name] = self._counters.get(name, 0) + n
 
-    def observe(self, name: str, value) -> None:
+    def observe(self, name: str, value: float) -> None:
         """Record one observation into the histogram ``name``."""
         value = float(value)
         entry = self._histograms.get(name)
@@ -82,7 +82,7 @@ class MetricsRegistry:
             if value > entry[3]:
                 entry[3] = value
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
         return self._counters.get(name, 0)
 
@@ -107,7 +107,7 @@ class MetricsRegistry:
             },
         }
 
-    def merge_snapshot(self, snapshot) -> None:
+    def merge_snapshot(self, snapshot: dict | None) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker) into this registry."""
         if not snapshot:
             return

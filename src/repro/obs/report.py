@@ -19,7 +19,9 @@ import json
 __all__ = ["metric_highlights", "render_trace_report", "summarize_spans"]
 
 
-def load_trace(path):
+def load_trace(
+    path: str,
+) -> tuple[dict, list[dict], dict[str, float], dict[str, dict]]:
     """Parse a JSONL trace into ``(meta, spans, counters, histograms)``."""
     meta: dict = {}
     spans: list[dict] = []
@@ -43,7 +45,7 @@ def load_trace(path):
     return meta, spans, counters, histograms
 
 
-def summarize_spans(spans) -> list[dict]:
+def summarize_spans(spans: list[dict]) -> list[dict]:
     """Aggregate spans by name: count and wall/CPU totals and extremes.
 
     Returned rows are sorted by descending total wall time; each row
@@ -73,7 +75,7 @@ def summarize_spans(spans) -> list[dict]:
     return rows
 
 
-def render_trace_report(path) -> str:
+def render_trace_report(path: str) -> str:
     """The full ``sdft trace`` output for one trace file."""
     meta, spans, counters, histograms = load_trace(path)
     lines = [f"trace: {path} ({meta.get('schema', '?')})"]
@@ -110,7 +112,7 @@ def render_trace_report(path) -> str:
     return "\n".join(lines)
 
 
-def metric_highlights(snapshot) -> list[str]:
+def metric_highlights(snapshot: dict | None) -> list[str]:
     """The metric lines the run summary prints for a metered run.
 
     Picks only the metrics that exist in the snapshot, so a serial run

@@ -88,13 +88,13 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         return None
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -106,11 +106,13 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, **attrs: object) -> _NullSpan:
         """A no-op span (shared singleton; enter/exit do nothing)."""
         return _NULL_SPAN
 
-    def add_foreign(self, payloads, parent_id: str | None = None) -> None:
+    def add_foreign(
+        self, payloads: list[dict], parent_id: str | None = None
+    ) -> None:
         """Discard shipped worker spans."""
         return None
 
@@ -138,7 +140,7 @@ class _Span:
         self._name = name
         self._attrs = attrs
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         """Attach (or overwrite) attributes on the span."""
         self._attrs.update(attrs)
 
@@ -153,7 +155,12 @@ class _Span:
         self._cpu0 = time.process_time()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
         tracer = self._tracer
         wall = time.perf_counter() - self._wall0
         cpu = time.process_time() - self._cpu0
@@ -202,7 +209,7 @@ class Tracer:
         """Id of the innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
-    def span(self, name: str, **attrs) -> _Span:
+    def span(self, name: str, **attrs: object) -> _Span:
         """A new span; use as a context manager around the timed region."""
         return _Span(self, name, dict(attrs))
 
@@ -210,7 +217,9 @@ class Tracer:
         """All finished spans, in completion order."""
         return list(self._records)
 
-    def add_foreign(self, payloads, parent_id: str | None = None) -> None:
+    def add_foreign(
+        self, payloads: list[dict], parent_id: str | None = None
+    ) -> None:
         """Graft spans shipped from another process into this trace.
 
         ``payloads`` are span dicts (:meth:`SpanRecord.to_dict`); roots

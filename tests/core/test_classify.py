@@ -146,6 +146,56 @@ class TestGeneralCase:
             classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_BRANCHING
         )
 
+    def test_atleast_n_of_n_degenerates_to_and(self):
+        """k == n is an AND: dynamic children are fine for branching."""
+        b = _builder()
+        b.atleast("trig", 2, "d1", "d2")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_branching(sdft, "trig")
+        assert (
+            classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_BRANCHING
+        )
+
+    def test_atleast_one_of_n_degenerates_to_or_for_joins(self):
+        """k == 1 is an OR: dynamic children make it a static join."""
+        b = _builder()
+        b.atleast("trig", 1, "d1", "d2")
+        b.and_("top", "trig", "t1", "s1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert not has_static_branching(sdft, "trig")
+        assert has_static_joins(sdft, "trig")
+
+    def test_proper_voting_over_statics_is_not_general(self):
+        """A 2-of-3 over static events constrains nothing dynamic, so
+        neither structural condition is violated."""
+        b = _builder()
+        b.static_event("s3", 0.01)
+        b.atleast("vote", 2, "s1", "s2", "s3")
+        b.or_("trig", "vote", "d1")
+        b.and_("top", "trig", "t1", "d2")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert has_static_branching(sdft, "trig")
+        assert (
+            classify_trigger_gate(sdft, "trig") is TriggerClass.STATIC_BRANCHING
+        )
+
+    def test_proper_voting_with_dynamic_child_breaks_both_conditions(self):
+        """1 < k < n with any dynamic child routes to the general case
+        conservatively — no OR/AND reading of the gate is sound."""
+        b = _builder()
+        b.atleast("vote", 2, "s1", "s2", "d1")
+        b.or_("trig", "vote", "d2")
+        b.or_("top", "trig", "t1")
+        b.trigger("trig", "t1")
+        sdft = b.build("top")
+        assert not has_static_branching(sdft, "trig")
+        assert not has_static_joins(sdft, "trig")
+        assert classify_trigger_gate(sdft, "trig") is TriggerClass.GENERAL
+
 
 class TestReport:
     def test_report_contents(self, cooling_sdft):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DuplicateNameError, ModelError
+from repro.errors import DuplicateNameError, ModelError, UnknownNodeError
 from repro.ft.builder import FaultTreeBuilder
 from repro.ft.tree import GateType
 from repro.ft.validate import tree_stats, validate
@@ -50,6 +50,20 @@ class TestBuilder:
         tree = b.atleast("top", 2, "a", "b", "c").build("top")
         assert tree.gates["top"].k == 2
 
+    def test_duplicate_gate_name_rejected(self):
+        b = FaultTreeBuilder().events([("a", 0.1), ("b", 0.1)])
+        b.or_("g", "a", "b")
+        with pytest.raises(DuplicateNameError):
+            b.and_("g", "a", "b")
+        with pytest.raises(DuplicateNameError):
+            b.event("g", 0.1)
+
+    def test_unknown_child_rejected_at_build(self):
+        b = FaultTreeBuilder().event("a", 0.1)
+        b.or_("top", "a", "ghost")
+        with pytest.raises(UnknownNodeError):
+            b.build("top")
+
 
 class TestValidate:
     def test_clean_tree_has_no_warnings(self, cooling_tree):
@@ -76,6 +90,25 @@ class TestValidate:
         assert severities["certain"] == "warning"
         assert severities["never"] == "info"
         assert severities["big"] == "info"
+
+    def test_single_input_atleast_is_not_a_pass_through(self):
+        """ATLEAST keeps its ``k`` semantics even with one child, so the
+        single-input info does not apply to it."""
+        b = FaultTreeBuilder().event("a", 0.01)
+        b.atleast("vote", 1, "a").or_("top", "vote", "a")
+        report = validate(b.build("top"))
+        assert not any(
+            i.node == "vote" and "single-input" in i.message
+            for i in report.issues
+        )
+
+    def test_boundary_probability_is_not_flagged_as_large(self):
+        """Exactly 0.1 sits on the rare-event boundary — not above it."""
+        b = FaultTreeBuilder().event("edge", 0.1).event("a", 0.01)
+        b.or_("top", "edge", "a")
+        report = validate(b.build("top"))
+        assert not any(i.node == "edge" for i in report.issues)
+        assert bool(report)
 
     def test_single_input_gate_is_info(self):
         b = FaultTreeBuilder().event("a", 0.1)

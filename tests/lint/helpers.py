@@ -1,0 +1,16 @@
+"""Helpers shared by the lint rule tests."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, lint
+
+
+def codes_of(model, **config_kwargs) -> set[str]:
+    """The set of diagnostic codes ``lint`` reports for ``model``."""
+    return set(lint(model, LintConfig(**config_kwargs)).codes())
+
+
+def findings_for(model, code: str, **config_kwargs):
+    """All diagnostics with ``code`` for ``model`` (possibly empty)."""
+    report = lint(model, LintConfig(**config_kwargs))
+    return [d for d in report.diagnostics if d.code == code]

@@ -1,0 +1,99 @@
+"""The analyzer's pre-flight lint gate (``AnalysisOptions(lint=True)``).
+
+An error-level model must be rejected *before* translate/MOCUS/quantify
+— asserted through the trace, which must contain the ``lint`` span and
+no phase spans at all.
+"""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.errors import LintError, ModelError
+from repro.ft.builder import FaultTreeBuilder
+
+PHASES = {"analyze", "translate", "mocus", "quantify"}
+
+
+def _error_model():
+    """Top gate can never fail (SD107): AND over a probability-0 event."""
+    b = SdFaultTreeBuilder("vacuous")
+    b.static_event("a", 0.0)
+    b.static_event("b", 0.01)
+    b.and_("top", "a", "b")
+    return b.build("top")
+
+
+class TestFailFast:
+    def test_error_model_is_rejected_with_lint_error(self):
+        with pytest.raises(LintError) as excinfo:
+            analyze(_error_model(), AnalysisOptions(lint=True))
+        assert "SD107" in str(excinfo.value)
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.has_errors
+
+    def test_lint_error_is_a_model_error(self):
+        """Callers that catch ModelError keep working."""
+        with pytest.raises(ModelError):
+            analyze(_error_model(), AnalysisOptions(lint=True))
+
+    def test_rejection_happens_before_any_phase(self, tmp_path):
+        trace = tmp_path / "rejected.jsonl"
+        with pytest.raises(LintError):
+            analyze(
+                _error_model(),
+                AnalysisOptions(lint=True, trace_path=str(trace)),
+            )
+        names = {
+            json.loads(line).get("name")
+            for line in trace.read_text().splitlines()
+        }
+        assert "lint" in names
+        assert not names & PHASES
+
+    def test_lint_off_runs_the_vacuous_model(self):
+        """Without the gate the pipeline still works (empty cutset list,
+        probability zero) — the gate adds the diagnosis, not new
+        behaviour."""
+        result = analyze(_error_model(), AnalysisOptions())
+        assert result.failure_probability == 0.0
+        assert result.lint is None
+
+
+class TestCleanRun:
+    def test_report_rides_on_the_result(self, cooling_sdft):
+        result = analyze(cooling_sdft, AnalysisOptions(lint=True))
+        assert result.lint is not None
+        assert not result.lint.has_errors
+
+    def test_warnings_reach_summary_and_health(self):
+        b = FaultTreeBuilder("warned")
+        b.event("a", 0.5).event("b", 1e-3)
+        b.or_("top", "a", "b")
+        from repro.core.sdft import SdFaultTree
+
+        tree = b.build("top")
+        sdft = SdFaultTree(
+            tree.top, tree.events.values(), [], tree.gates.values(), {},
+            name=tree.name,
+        )
+        result = analyze(sdft, AnalysisOptions(lint=True))
+        assert result.lint.warnings
+        assert "lint:" in result.summary()
+        lint_notes = [e for e in result.health.events if e.stage == "lint"]
+        assert any("SD201" in e.message for e in lint_notes)
+
+    def test_traced_clean_run_has_lint_and_phases(self, cooling_sdft, tmp_path):
+        trace = tmp_path / "clean.jsonl"
+        result = analyze(
+            cooling_sdft, AnalysisOptions(lint=True, trace_path=str(trace))
+        )
+        assert result.failure_probability > 0.0
+        names = {
+            json.loads(line).get("name")
+            for line in trace.read_text().splitlines()
+        }
+        assert "lint" in names
+        assert PHASES <= names

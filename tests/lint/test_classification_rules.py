@@ -1,0 +1,84 @@
+"""Positive and negative tests of the classification preview (SD4xx)."""
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from tests.lint.helpers import codes_of, findings_for
+
+
+def _general_case_model():
+    """A trigger gate violating both static branching and static joins:
+    an OR with two dynamic children, one of them under an AND."""
+    b = SdFaultTreeBuilder("t")
+    b.static_event("s1", 1e-3).static_event("s2", 1e-3)
+    b.dynamic_event("d1", repairable(0.01, 0.1))
+    b.dynamic_event("d2", repairable(0.01, 0.1))
+    b.dynamic_event("d3", triggered_repairable(0.01, 0.1))
+    b.and_("join", "d1", "s1")
+    b.or_("gt", "join", "d2", "s2")
+    b.trigger("gt", "d3")
+    b.or_("top", "gt", "d3")
+    return b.build("top")
+
+
+class TestGeneralCaseTrigger:  # SD401
+    def test_general_trigger_gate_is_flagged(self):
+        findings = findings_for(_general_case_model(), "SD401")
+        assert [d.node for d in findings] == ["gt"]
+        assert "cutset combinations" in findings[0].message
+
+    def test_static_branching_trigger_is_fine(self, cooling_sdft):
+        assert "SD401" not in codes_of(cooling_sdft)
+
+
+class TestNonuniformStaticJoins:  # SD402
+    def test_untriggered_dynamics_under_static_joins_are_flagged(self):
+        b = SdFaultTreeBuilder("t")
+        b.static_event("s1", 1e-3)
+        b.dynamic_event("d1", repairable(0.01, 0.1))
+        b.dynamic_event("d2", repairable(0.01, 0.1))
+        b.dynamic_event("d3", triggered_repairable(0.01, 0.1))
+        b.or_("gt", "d1", "d2", "s1")
+        b.trigger("gt", "d3")
+        b.or_("top", "gt", "d3")
+        findings = findings_for(b.build("top"), "SD402")
+        assert [d.node for d in findings] == ["gt"]
+        assert "not triggered at all" in findings[0].message
+
+    def test_uniformly_triggered_joins_are_fine(self):
+        b = SdFaultTreeBuilder("t")
+        b.static_event("s1", 1e-3).static_event("s2", 1e-3)
+        b.dynamic_event("d1", triggered_repairable(0.01, 0.1))
+        b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+        b.dynamic_event("d3", triggered_repairable(0.01, 0.1))
+        b.or_("g0", "s1", "s2")
+        b.trigger("g0", "d1")
+        b.trigger("g0", "d2")
+        b.or_("gt", "d1", "d2")
+        b.trigger("gt", "d3")
+        b.or_("top", "g0", "gt", "d3")
+        assert "SD402" not in codes_of(b.build("top"))
+
+
+class TestVotingOverDynamic:  # SD403
+    def test_proper_voting_gate_with_dynamic_input_is_flagged(self):
+        b = SdFaultTreeBuilder("t")
+        b.static_event("s1", 1e-3).static_event("s2", 1e-3).static_event("s3", 1e-3)
+        b.dynamic_event("d1", repairable(0.01, 0.1))
+        b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+        b.atleast("vote", 2, "d1", "s1", "s2")
+        b.or_("gt", "vote", "s3")
+        b.trigger("gt", "d2")
+        b.or_("top", "gt", "d2")
+        findings = findings_for(b.build("top"), "SD403")
+        assert [d.node for d in findings] == ["vote"]
+
+    def test_static_only_voting_gate_is_fine(self):
+        b = SdFaultTreeBuilder("t")
+        b.static_event("s1", 1e-3).static_event("s2", 1e-3).static_event("s3", 1e-3)
+        b.dynamic_event("d1", repairable(0.01, 0.1))
+        b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+        b.atleast("vote", 2, "s1", "s2", "s3")
+        b.or_("gt", "vote", "d1")
+        b.trigger("gt", "d2")
+        b.or_("top", "gt", "d2")
+        assert "SD403" not in codes_of(b.build("top"))

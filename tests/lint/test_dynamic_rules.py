@@ -1,0 +1,71 @@
+"""Positive and negative tests of the trigger rules (SD3xx)."""
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import triggered_repairable
+from tests.lint.helpers import codes_of, findings_for
+
+
+def _dead_trigger_model():
+    """A trigger whose source gate can never fail (probability-0 inputs)."""
+    b = SdFaultTreeBuilder("t")
+    b.static_event("a", 1e-3)
+    b.static_event("z1", 0.0).static_event("z2", 0.0)
+    b.dynamic_event("d", triggered_repairable(0.01, 0.1))
+    b.or_("source", "z1", "z2")
+    b.or_("top", "a", "d")
+    b.trigger("source", "d")
+    return b.build("top")
+
+
+class TestTriggerNeverFires:  # SD301
+    def test_never_failing_source_is_flagged(self):
+        findings = findings_for(_dead_trigger_model(), "SD301")
+        assert [d.node for d in findings] == ["source"]
+        assert "d" in findings[0].message
+
+    def test_live_trigger_is_fine(self, cooling_sdft):
+        assert "SD301" not in codes_of(cooling_sdft)
+
+
+class TestNeverSwitchedOn:  # SD302
+    def test_event_behind_dead_trigger_is_flagged(self):
+        findings = findings_for(_dead_trigger_model(), "SD302")
+        assert [d.node for d in findings] == ["d"]
+
+    def test_live_triggered_event_is_fine(self, cooling_sdft):
+        assert "SD302" not in codes_of(cooling_sdft)
+
+
+def _cascade_model(stages: int):
+    """``stages`` chained triggers: g1 -(d1)-> g2 -(d2)-> g3 ...
+
+    Gate ``g{i+1}`` contains the event triggered by ``g{i}``, so each
+    stage can only switch on after the previous one failed.
+    """
+    b = SdFaultTreeBuilder("t")
+    b.static_event("s0", 1e-3).static_event("s1", 1e-3)
+    b.or_("g1", "s0", "s1")
+    tops = ["g1"]
+    for i in range(1, stages):
+        b.static_event(f"x{i}", 1e-3)
+        b.dynamic_event(f"d{i}", triggered_repairable(0.01, 0.1))
+        b.trigger(f"g{i}", f"d{i}")
+        b.or_(f"g{i + 1}", f"d{i}", f"x{i}")
+        tops.append(f"g{i + 1}")
+    b.dynamic_event("last", triggered_repairable(0.01, 0.1))
+    b.trigger(f"g{stages}", "last")
+    b.or_("top", "last", *tops)
+    return b.build("top")
+
+
+class TestTriggerCascade:  # SD303
+    def test_three_stage_cascade_is_flagged(self):
+        findings = findings_for(_cascade_model(3), "SD303")
+        assert [d.node for d in findings] == ["g1"]
+        assert "g1 -> g2 -> g3" in findings[0].message
+
+    def test_two_stage_handoff_is_the_normal_pattern(self):
+        assert "SD303" not in codes_of(_cascade_model(2))
+
+    def test_single_trigger_is_fine(self, cooling_sdft):
+        assert "SD303" not in codes_of(cooling_sdft)

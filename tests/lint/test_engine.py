@@ -1,0 +1,185 @@
+"""Tests of the lint engine: report shape, config policy, registry,
+and the zero-errors guarantee over every bundled model.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    Severity,
+    all_rules,
+    get_rule,
+    lint,
+)
+
+
+class TestReportShape:
+    def test_sorted_most_severe_first(self):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("one", 1.0)
+        b.event("x", 1e-3)
+        b.or_("wrap", "x")
+        b.or_("top", "a", "one", "wrap")
+        report = lint(b.build("top"))
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks, reverse=True)
+        assert report.has_errors  # SD108: certain top
+        assert report.max_severity is Severity.ERROR
+
+    def test_clean_report(self, cooling_tree):
+        report = lint(cooling_tree)
+        assert report.diagnostics == ()
+        assert report.max_severity is None
+        assert report.counts() == {"error": 0, "warning": 0, "info": 0}
+        assert "no diagnostics" in report.render_text()
+
+    def test_json_round_trip(self, cooling_sdft):
+        report = lint(cooling_sdft)
+        payload = json.loads(report.to_json())
+        assert payload["model"] == "cooling-sd"
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+        for entry in payload["diagnostics"]:
+            assert set(entry) >= {"code", "severity", "node", "path", "message"}
+
+    def test_plain_fault_tree_is_promoted(self, cooling_tree):
+        report = lint(cooling_tree)
+        assert report.model == "cooling"
+
+    def test_at_or_above(self):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("t")
+        b.event("a", 0.5).event("x", 1e-3)
+        b.or_("wrap", "x")
+        b.or_("top", "a", "wrap")
+        report = lint(b.build("top"))  # SD201 warning + SD103 info
+        assert {d.code for d in report.at_or_above(Severity.WARNING)} == {"SD201"}
+        assert len(report.at_or_above(Severity.INFO)) == 2
+
+
+class TestConfigPolicy:
+    def test_disable_suppresses_a_rule(self):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("x", 1e-3)
+        b.or_("wrap", "x")
+        b.or_("top", "a", "wrap")
+        tree = b.build("top")
+        assert "SD103" in lint(tree).codes()
+        assert "SD103" not in lint(
+            tree, LintConfig(disabled=frozenset({"SD103"}))
+        ).codes()
+
+    def test_severity_override_changes_findings(self):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("x", 1e-3)
+        b.or_("wrap", "x")
+        b.or_("top", "a", "wrap")
+        report = lint(
+            b.build("top"),
+            LintConfig(severity_overrides={"SD103": Severity.ERROR}),
+        )
+        assert report.has_errors
+        assert report.errors[0].code == "SD103"
+
+    def test_invalid_config_is_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig(horizon=-1.0)
+        with pytest.raises(ValueError):
+            LintConfig(cutoff=-1e-9)
+
+
+class TestRegistry:
+    def test_every_code_range_is_populated(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        for prefix in ("SD1", "SD2", "SD3", "SD4"):
+            assert any(c.startswith(prefix) for c in codes)
+
+    def test_get_rule(self):
+        registered = get_rule("SD101")
+        assert registered.name == "unreachable-gate"
+        with pytest.raises(KeyError):
+            get_rule("SD999")
+
+    def test_duplicate_code_is_rejected(self):
+        from repro.lint.registry import rule
+
+        with pytest.raises(ValueError):
+
+            @rule("SD101", "duplicate", Severity.INFO, "duplicate code")
+            def duplicate(ctx):
+                return []
+
+    def test_every_rule_has_error_free_metadata(self):
+        for registered in all_rules():
+            assert registered.code.startswith("SD")
+            assert registered.name
+            assert registered.description
+            assert isinstance(registered.default_severity, Severity)
+
+
+class TestDiagnostic:
+    def test_render_includes_hint(self):
+        d = Diagnostic(
+            "SD999", Severity.WARNING, "n", "message", ("top", "n"), hint="fix it"
+        )
+        text = d.render()
+        assert "top/n" in text and "hint: fix it" in text
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.parse("Error") is Severity.ERROR
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestBundledModelsAreClean:
+    """Every bundled example/benchmark model lints with zero errors —
+    the acceptance bar of the linter itself.
+    """
+
+    def _assert_no_errors(self, model):
+        report = lint(model)
+        assert not report.has_errors, report.render_text()
+
+    def test_cooling_fixtures(self, cooling_tree, cooling_sdft):
+        assert lint(cooling_tree).diagnostics == ()
+        assert lint(cooling_sdft).diagnostics == ()
+
+    def test_bwr_variants(self):
+        from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+        for config in (
+            BwrConfig(),
+            BwrConfig(dynamic=False),
+            BwrConfig(triggers=TRIGGER_STAGES),
+            BwrConfig(triggers=("FEEDBLEED", "RHR")),
+        ):
+            self._assert_no_errors(build_bwr(config))
+
+    def test_bwr_has_no_structural_findings(self):
+        from repro.models.bwr import TRIGGER_STAGES, BwrConfig, build_bwr
+
+        report = lint(build_bwr(BwrConfig(triggers=TRIGGER_STAGES)))
+        assert not any(d.code.startswith("SD1") for d in report.diagnostics)
+
+    def test_sbo(self):
+        from repro.models.sbo import build_sbo
+
+        self._assert_no_errors(build_sbo())
+
+    def test_synthetic_presets(self):
+        from repro.models.synthetic import model_1, model_2
+
+        for model in (model_1(), model_2()):
+            report = lint(model)
+            assert report.diagnostics == (), report.render_text()

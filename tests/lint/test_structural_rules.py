@@ -1,0 +1,184 @@
+"""Positive and negative tests of the structural rules (SD1xx).
+
+Every rule gets a minimal model that trips it and a near-miss that must
+stay silent — the contract of a stable diagnostic catalogue.
+"""
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.ft.builder import FaultTreeBuilder
+from tests.lint.helpers import codes_of, findings_for
+
+
+class TestUnreachableGate:  # SD101
+    def test_disconnected_gate_is_flagged(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("a2", 1e-3)
+        b.event("x", 1e-3).event("y", 1e-3)
+        b.or_("dead", "x", "y")
+        b.or_("top", "a", "a2")
+        tree = b.build("top")
+        findings = findings_for(tree, "SD101")
+        assert [d.node for d in findings] == ["dead"]
+
+    def test_trigger_only_subtree_is_not_flagged(self):
+        """The static translation pulls a trigger gate's subtree into the
+        cutsets of its triggered events: not dead weight."""
+        b = SdFaultTreeBuilder("t")
+        b.static_event("a", 1e-3)
+        b.static_event("x", 1e-3).static_event("y", 1e-3)
+        b.dynamic_event("d", triggered_repairable(0.01, 0.1))
+        b.or_("source", "x", "y")
+        b.or_("top", "a", "d")
+        b.trigger("source", "d")
+        tree = b.build("top")
+        assert "SD101" not in codes_of(tree)
+        assert "SD102" not in codes_of(tree)
+
+
+class TestUnreachableEvent:  # SD102
+    def test_unused_event_is_flagged(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3).event("orphan", 1e-3)
+        b.or_("top", "a", "b")
+        findings = findings_for(b.build("top"), "SD102")
+        assert [d.node for d in findings] == ["orphan"]
+        assert "never used" in findings[0].message
+
+    def test_event_behind_dead_gate_gets_the_other_message(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3).event("x", 1e-3).event("y", 1e-3)
+        b.or_("dead", "x", "y")
+        b.or_("top", "a", "b")
+        findings = findings_for(b.build("top"), "SD102")
+        assert {d.node for d in findings} == {"x", "y"}
+        assert all("unreachable gates" in d.message for d in findings)
+
+    def test_fully_wired_tree_is_clean(self, cooling_tree):
+        assert "SD102" not in codes_of(cooling_tree)
+
+
+class TestSingleChildGate:  # SD103
+    def test_pass_through_gate_is_flagged(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3)
+        b.or_("wrap", "a")
+        b.or_("top", "wrap", "b")
+        findings = findings_for(b.build("top"), "SD103")
+        assert [d.node for d in findings] == ["wrap"]
+
+    def test_two_children_are_fine(self, cooling_tree):
+        assert "SD103" not in codes_of(cooling_tree)
+
+
+class TestDegenerateAtleast:  # SD104
+    def test_k_equals_one_is_an_or(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3).event("c", 1e-3)
+        b.atleast("top", 1, "a", "b", "c")
+        findings = findings_for(b.build("top"), "SD104")
+        assert [d.node for d in findings] == ["top"]
+        assert "OR" in findings[0].message
+
+    def test_k_equals_n_is_an_and(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3).event("c", 1e-3)
+        b.atleast("top", 3, "a", "b", "c")
+        findings = findings_for(b.build("top"), "SD104")
+        assert "AND" in findings[0].message
+
+    def test_proper_voting_gate_is_fine(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("b", 1e-3).event("c", 1e-3)
+        b.atleast("top", 2, "a", "b", "c")
+        assert "SD104" not in codes_of(b.build("top"))
+
+
+class TestVacuousGate:  # SD105
+    def test_and_with_impossible_input_is_flagged(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("z", 0.0).event("ok", 1e-3)
+        b.and_("vac", "a", "z")
+        b.or_("top", "vac", "ok")
+        findings = findings_for(b.build("top"), "SD105")
+        assert [d.node for d in findings] == ["vac"]
+
+    def test_vacuity_is_reported_at_its_origin_only(self):
+        """A parent gate that can never fail *because of* a vacuous
+        child gate is noise; only the origin is reported."""
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("z", 0.0).event("ok", 1e-3)
+        b.and_("vac", "a", "z")
+        b.and_("outer", "vac", "a")
+        b.or_("top", "outer", "ok")
+        findings = findings_for(b.build("top"), "SD105")
+        assert [d.node for d in findings] == ["vac"]
+
+    def test_normal_and_gate_is_fine(self, cooling_tree):
+        assert "SD105" not in codes_of(cooling_tree)
+
+
+class TestConstantGate:  # SD106
+    def test_or_with_certain_input_is_flagged(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("one", 1.0).event("b", 1e-3)
+        b.or_("const", "a", "one")
+        b.and_("top", "const", "b")
+        findings = findings_for(b.build("top"), "SD106")
+        assert [d.node for d in findings] == ["const"]
+
+    def test_normal_or_gate_is_fine(self, cooling_tree):
+        assert "SD106" not in codes_of(cooling_tree)
+
+
+class TestTopNeverFails:  # SD107
+    def test_vacuous_top_is_an_error(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("z", 0.0)
+        b.and_("top", "a", "z")
+        findings = findings_for(b.build("top"), "SD107")
+        assert len(findings) == 1
+        assert findings[0].severity.value == "error"
+
+    def test_inert_dynamic_top_is_an_error(self):
+        """A top gate exclusively over chains that cannot reach a failed
+        state is just as vacuous as a probability-0 one."""
+        from repro.ctmc.chain import Ctmc
+
+        stuck = Ctmc(["up", "down"], {"up": 1.0}, {}, ["down"])
+        b = SdFaultTreeBuilder("t")
+        b.static_event("a", 1e-3)
+        b.dynamic_event("d", stuck)
+        b.and_("top", "a", "d")
+        findings = findings_for(b.build("top"), "SD107")
+        assert len(findings) == 1
+
+    def test_failable_top_is_fine(self, cooling_sdft):
+        assert "SD107" not in codes_of(cooling_sdft)
+
+
+class TestTopAlwaysFails:  # SD108
+    def test_certain_top_is_an_error(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("one", 1.0)
+        b.or_("top", "a", "one")
+        findings = findings_for(b.build("top"), "SD108")
+        assert len(findings) == 1
+        assert findings[0].severity.value == "error"
+
+    def test_near_certain_top_is_not_an_sd108(self):
+        b = FaultTreeBuilder("t")
+        b.event("a", 1e-3).event("big", 0.99)
+        b.or_("top", "a", "big")
+        assert "SD108" not in codes_of(b.build("top"))
+
+
+class TestDynamicNeverFails:
+    def test_repairable_chain_is_not_never_failing(self):
+        """Constant propagation must treat a repairable chain (which can
+        reach its failed state) as failable."""
+        b = SdFaultTreeBuilder("t")
+        b.static_event("a", 1e-3)
+        b.dynamic_event("d", repairable(0.01, 0.5))
+        b.and_("top", "a", "d")
+        assert "SD107" not in codes_of(b.build("top"))

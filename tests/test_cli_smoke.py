@@ -89,6 +89,91 @@ class TestDemoSmoke:
         assert "metrics:" in out
 
 
+class TestLintSmoke:
+    def test_clean_model_exits_zero(self, sd_model_file, capsys):
+        assert main(["lint", sd_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "no diagnostics" in out
+
+    def test_json_format(self, sd_model_file, capsys):
+        assert main(["lint", sd_model_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "cooling-sd"
+        assert payload["counts"] == {"error": 0, "warning": 0, "info": 0}
+
+    def test_bundled_bwr_demo_lints_clean(self, tmp_path, capsys):
+        model = tmp_path / "bwr.json"
+        assert main(["demo-bwr", "--save", str(model)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(model)]) == 0
+
+    @pytest.fixture
+    def warned_model_file(self, tmp_path):
+        """A model with a warning (SD201: probability 0.5) but no error."""
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("warned")
+        b.event("a", 0.5).event("b", 1e-3)
+        b.or_("top", "a", "b")
+        path = tmp_path / "warned.json"
+        save_model(b.build("top"), path)
+        return str(path)
+
+    def test_fail_on_threshold_controls_exit_code(self, warned_model_file, capsys):
+        assert main(["lint", warned_model_file]) == 0  # default: --fail-on error
+        assert main(["lint", warned_model_file, "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "SD201" in out
+
+    def test_error_model_exits_one(self, tmp_path, capsys):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("vacuous")
+        b.event("a", 0.0).event("b", 1e-3)
+        b.and_("top", "a", "b")
+        path = tmp_path / "vacuous.json"
+        save_model(b.build("top"), path)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SD107" in out
+
+    def test_disable_suppresses_codes(self, warned_model_file, capsys):
+        assert main(
+            ["lint", warned_model_file, "--fail-on", "warning",
+             "--disable", "SD201"]
+        ) == 0
+
+    def test_severity_override_promotes_to_error(self, warned_model_file, capsys):
+        assert main(
+            ["lint", warned_model_file, "--severity", "SD201=error"]
+        ) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SD101" in out and "SD401" in out
+
+    def test_usage_errors_exit_two(self, sd_model_file, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", sd_model_file, "--severity", "SD201"]) == 2
+        assert main(["lint", sd_model_file, "--severity", "SD201=fatal"]) == 2
+
+    def test_analyze_lint_gate_rejects_error_model(self, tmp_path, capsys):
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("vacuous")
+        b.event("a", 0.0).event("b", 1e-3)
+        b.and_("top", "a", "b")
+        path = tmp_path / "vacuous.json"
+        save_model(b.build("top"), path)
+        assert main(["analyze", str(path), "--lint"]) == 1
+        err = capsys.readouterr().err
+        assert "SD107" in err
+        # Without the gate the same model analyzes (to zero).
+        assert main(["analyze", str(path)]) == 0
+
+
 class TestImportanceSmoke:
     def test_importance_table(self, sd_model_file, capsys):
         assert main(["importance", sd_model_file]) == 0
