@@ -121,6 +121,7 @@ def run_case(name: str, sdft, jobs_list, options_kwargs) -> dict:
     states_solved = sum(
         r.chain_states for r in baseline.records if not r.cache_hit
     )
+    verify = measure_verify_overhead(name, sdft, options_kwargs)
     return {
         "model": name,
         "n_cutsets": baseline.n_cutsets,
@@ -132,6 +133,56 @@ def run_case(name: str, sdft, jobs_list, options_kwargs) -> dict:
         "failure_probability": baseline.failure_probability,
         "identical_across_jobs": True,
         "runs": runs,
+        "verify_overhead": verify,
+    }
+
+
+def measure_verify_overhead(
+    name: str, sdft, options_kwargs, repeats: int = 3
+) -> dict:
+    """Cost of ``verify="cheap"`` relative to ``verify="off"`` (serial).
+
+    The invariant guards run on the hot per-record path, so their cost
+    must stay in the noise (the acceptance budget is 5 %).  Runs are
+    interleaved and the minimum wall time of each mode is compared —
+    the standard way to suppress scheduler noise in a micro-ish
+    benchmark.  Also asserts the observer property: cheap verification
+    must not change a single analysis value.
+    """
+    from repro.core.analyzer import AnalysisOptions, analyze
+
+    timings = {"off": [], "cheap": []}
+    results = {}
+    for _ in range(repeats):
+        for mode in ("off", "cheap"):
+            started = time.perf_counter()
+            result = analyze(
+                sdft, AnalysisOptions(jobs=1, verify=mode, **options_kwargs)
+            )
+            timings[mode].append(time.perf_counter() - started)
+            results[mode] = result
+    assert (
+        results["cheap"].failure_probability
+        == results["off"].failure_probability
+    ), f"{name}: verify='cheap' changed the failure probability"
+    assert _masked_records(results["cheap"]) == _masked_records(
+        results["off"]
+    ), f"{name}: verify='cheap' changed the per-cutset records"
+    off_best = min(timings["off"])
+    cheap_best = min(timings["cheap"])
+    overhead_pct = (
+        100.0 * (cheap_best - off_best) / off_best if off_best > 0.0 else 0.0
+    )
+    print(
+        f"[{name}] verify overhead: off {off_best:.3f}s, "
+        f"cheap {cheap_best:.3f}s ({overhead_pct:+.1f}%)",
+        flush=True,
+    )
+    return {
+        "off_seconds": round(off_best, 4),
+        "cheap_seconds": round(cheap_best, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "identical_to_off": True,
     }
 
 
@@ -186,6 +237,20 @@ def validate_payload(payload: dict) -> None:
             f"case {case['model']!r}: more unique solves than dynamic solves",
         )
         expect(len(case["runs"]) >= 1, f"case {case['model']!r}: no runs")
+        verify = case.get("verify_overhead")
+        expect(
+            isinstance(verify, dict),
+            f"case {case['model']!r}: verify_overhead must be an object",
+        )
+        for key in ("off_seconds", "cheap_seconds", "overhead_pct"):
+            expect(
+                isinstance(verify.get(key), (int, float)),
+                f"case {case['model']!r}: verify_overhead.{key} missing",
+            )
+        expect(
+            verify["identical_to_off"] is True,
+            f"case {case['model']!r}: verify='cheap' changed results",
+        )
         for run in case["runs"]:
             for key in ("jobs", "wall_seconds", "quantification_seconds"):
                 expect(

@@ -11,6 +11,8 @@ Commands
 ``simulate``    Monte-Carlo cross-check of an SD model.
 ``demo-bwr``    Build the fictive BWR study, save or analyse it.
 ``trace``       Summarise a JSONL trace written by ``analyze --trace``.
+``chaos``       Seeded fault-injection campaign asserting runs fail
+                loudly or stay bracketed (see ``docs/robustness.md``).
 
 Models are JSON files in the format of :mod:`repro.models.formats`;
 files ending in ``.xml``/``.mef`` are read as Open-PSA fault trees
@@ -129,6 +131,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "the model before any analysis work; warnings ride on the "
         "run summary",
     )
+    analyze_cmd.add_argument(
+        "--verify",
+        choices=("off", "cheap", "full"),
+        default="off",
+        help="runtime self-verification: 'cheap' asserts invariants "
+        "(probabilities in range, intervals ordered, worst-case "
+        "dominance) at every stage boundary; 'full' additionally "
+        "cross-checks a sample of results through independent code "
+        "paths (default off)",
+    )
+    analyze_cmd.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall deadline on the process-pool farm (with "
+        "--jobs > 1); an overrunning task is terminated and its "
+        "cutsets recovered conservatively in the parent",
+    )
     _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
@@ -234,6 +255,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_cmd.add_argument("trace_file", help="JSONL trace file")
     trace_cmd.set_defaults(handler=_cmd_trace)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: prove runs fail loudly, never wrongly",
+    )
+    chaos_cmd.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="model JSON (or Open-PSA XML) file; omitted = built-in BWR demo",
+    )
+    chaos_cmd.add_argument(
+        "--runs", type=int, default=20, help="faulted runs (default 20)"
+    )
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    chaos_cmd.add_argument("--horizon", type=float, default=24.0)
+    chaos_cmd.add_argument(
+        "--cutoff",
+        type=float,
+        default=1e-10,
+        help="MCS cutoff c* (default 1e-10: fast campaign runs)",
+    )
+    chaos_cmd.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes; > 1 adds process-level faults "
+        "(worker kill, task hang) to the schedule (default 1)",
+    )
+    chaos_cmd.add_argument(
+        "--verify",
+        choices=("cheap", "full"),
+        default="cheap",
+        help="verification mode armed during faulted runs (default cheap)",
+    )
+    chaos_cmd.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write the JSON campaign report to FILE",
+    )
+    chaos_cmd.set_defaults(handler=_cmd_chaos)
     return parser
 
 
@@ -300,7 +365,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval_seconds=args.checkpoint_interval,
         resume=args.resume,
+        verify=args.verify,
         jobs=args.jobs,
+        pool_task_timeout_seconds=args.task_timeout,
         trace_path=args.trace,
         collect_metrics=args.metrics,
     )
@@ -513,6 +580,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     print(render_trace_report(args.trace_file))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.robust.chaos import run_campaign
+
+    if args.model is not None:
+        sdft = _load_sdft(args.model)
+    else:
+        from repro.models.bwr import build_bwr
+
+        sdft = build_bwr()
+    report = run_campaign(
+        sdft,
+        runs=args.runs,
+        seed=args.seed,
+        options=AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff),
+        verify=args.verify,
+        jobs=args.jobs,
+    )
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"campaign report written to {args.report}")
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

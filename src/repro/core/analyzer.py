@@ -20,7 +20,7 @@ evaluates the tree with all timing ignored.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.classify import classification_report
@@ -34,13 +34,19 @@ from repro.core.quantify import (
 from repro.core.results import AnalysisResult, PerfStats, Timings
 from repro.core.sdft import SdFaultTree
 from repro.core.to_static import to_static
-from repro.errors import AnalysisError, BudgetExceededError, NumericalError
+from repro.errors import (
+    AnalysisError,
+    BudgetExceededError,
+    InvariantViolation,
+    NumericalError,
+)
 from repro.ft.cutsets import CutSetList
 from repro.ft.mocus import MocusOptions, MocusResult, mocus
 from repro.ft.probability import rare_event_probability
 from repro.obs.core import NULL_OBS, Observability
 from repro.robust.budget import Budget
 from repro.robust.health import HealthLog
+from repro.robust.verify import Verifier, resolve_mode
 
 if TYPE_CHECKING:
     from collections.abc import Callable
@@ -49,7 +55,7 @@ if TYPE_CHECKING:
     from repro.core.cutset_model import CutsetModel
     from repro.ft.tree import FaultTree
     from repro.lint.engine import LintReport
-    from repro.perf.pool import SolveResult
+    from repro.perf.pool import SolveResult, SolverFarm
     from repro.robust.checkpoint import CheckpointManager
 
 __all__ = [
@@ -104,6 +110,22 @@ class AnalysisOptions:
       :class:`~repro.errors.CheckpointError`).
     * ``monte_carlo_runs`` / ``monte_carlo_seed`` control the ladder's
       simulation rung (seeded deterministically per cutset).
+    * ``verify`` — runtime self-verification (:mod:`repro.robust.verify`):
+      ``"off"`` (default) does nothing; ``"cheap"`` asserts the invariant
+      catalogue (probabilities in range, intervals ordered, per-cutset
+      worst-case dominance) at every stage boundary; ``"full"``
+      additionally runs the differential cross-checks of
+      :mod:`repro.robust.crosscheck` (seeded re-quantification, the BDD
+      oracle on small trees, ladder-rung bracketing).  A per-cutset
+      violation degrades that cutset conservatively under
+      ``fault_isolation`` (with a health event) and raises
+      :class:`~repro.errors.InvariantViolation` otherwise; violations at
+      stage boundaries always raise.  Verification never changes a
+      clean run's records.
+    * ``pool_task_timeout_seconds`` — per-task wall deadline on the
+      process-pool farm (``jobs > 1``): a task running longer is
+      terminated, its cutsets are recovered in the parent through the
+      degradation path, and the event is recorded in the health report.
 
     Parallelism (:mod:`repro.perf`):
 
@@ -164,7 +186,9 @@ class AnalysisOptions:
     checkpoint_path: str | None = None
     checkpoint_interval_seconds: float = 30.0
     resume: bool = False
+    verify: str = "off"
     jobs: "int | str" = 1
+    pool_task_timeout_seconds: float | None = None
     trace_path: str | None = None
     collect_metrics: bool = False
 
@@ -180,9 +204,18 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     :attr:`~repro.core.results.AnalysisResult.health` report.
     """
     opts = options or AnalysisOptions()
+    resolve_mode(opts.verify)
     obs = Observability.from_options(opts.trace_path, opts.collect_metrics)
     budget = _make_budget(opts, obs)
     health = HealthLog()
+    verifier = Verifier(
+        opts.verify,
+        health=health,
+        metrics=obs.metrics if obs.enabled else None,
+        # The per-chain truncation error compounds into every quantified
+        # value, so the float slack must dominate a coarse epsilon.
+        tolerance=max(1e-9, 100.0 * opts.epsilon),
+    )
     lint_report = _preflight_lint(sdft, opts, obs, health)
     manager, resumed = _open_checkpoint(sdft, opts, health)
 
@@ -233,6 +266,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                 manager,
                 restored_records,
                 obs,
+                verifier,
             )
             quantify_span.set(
                 records=len(records),
@@ -241,6 +275,20 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
             )
         total = sum(r.probability for r in records if r.probability > opts.cutoff)
         quantification_seconds = time.perf_counter() - started
+
+        if verifier.enabled:
+            _final_verification(
+                sdft,
+                mocus_tree,
+                mocus_result,
+                records,
+                total,
+                opts,
+                verifier,
+                health,
+                obs,
+            )
+            health.info("verify", verifier.summary())
 
     if obs.enabled:
         # The dedup counters come from the shared cache totals (not the
@@ -354,6 +402,54 @@ def _preflight_lint(
             report=report,
         )
     return report
+
+
+def _final_verification(
+    sdft: SdFaultTree,
+    mocus_tree: "FaultTree",
+    mocus_result: MocusResult,
+    records: "list[McsQuantification]",
+    total: float,
+    opts: AnalysisOptions,
+    verifier: Verifier,
+    health: HealthLog,
+    obs: Observability,
+) -> None:
+    """End-of-quantification invariant checks (P1/P3 at run scope).
+
+    Mirrors :meth:`AnalysisResult.failure_probability_interval` to
+    assert the final interval brackets the rare-event sum, then — in
+    ``full`` mode — runs the differential cross-checks.  Raises
+    :class:`~repro.errors.InvariantViolation` on failure: a run-scope
+    violation means the whole result is suspect, so no degradation path
+    applies.
+    """
+    with obs.tracer.span("verify", mode=verifier.mode):
+        verifier.check_value(
+            mocus_result.remainder_bound, "MOCUS remainder bound"
+        )
+        verifier.check_value(total, "rare-event failure probability sum")
+        lower = 0.0
+        upper = 0.0
+        for record in records:
+            if record.probability > opts.cutoff:
+                upper += record.probability
+                if record.bounded and record.lower_bound is not None:
+                    lower += record.lower_bound
+                else:
+                    lower += record.probability
+        verifier.check_interval(
+            lower,
+            total,
+            upper + mocus_result.remainder_bound,
+            "failure probability interval",
+        )
+        if verifier.full:
+            from repro.robust.crosscheck import run_crosschecks
+
+            run_crosschecks(
+                sdft, mocus_tree, mocus_result, records, opts, health
+            )
 
 
 def _make_budget(
@@ -474,6 +570,7 @@ def _quantify_cutsets(
     manager: "CheckpointManager | None",
     restored: dict,
     obs: Observability = NULL_OBS,
+    verifier: Verifier | None = None,
 ) -> "tuple[list[McsQuantification], bool]":
     """Quantify every cutset with isolation, budgets and checkpoints.
 
@@ -494,6 +591,7 @@ def _quantify_cutsets(
         budget,
         health,
         obs=obs,
+        verifier=verifier if verifier is not None else Verifier(),
     )
     records: list[McsQuantification] = []
     cutset_list = list(mocus_result.cutsets)
@@ -521,7 +619,7 @@ def _quantify_cutsets(
         for cutset in cutset_list:
             reused = restored.get(cutset)
             if reused is not None:
-                records.append(reused)
+                records.append(ctx.checked(reused))
                 continue
             records.append(ctx.quantify(cutset))
             if manager is not None:
@@ -558,6 +656,7 @@ class _QuantifyContext:
     budget: "Budget | None"
     health: HealthLog
     obs: object = NULL_OBS
+    verifier: Verifier = field(default_factory=Verifier)
     out_of_budget: bool = False
 
     def quantify(self, cutset: frozenset) -> McsQuantification:
@@ -566,15 +665,17 @@ class _QuantifyContext:
         if gated is not None:
             return gated
         try:
-            return _quantify_one(
-                self.sdft,
-                cutset,
-                self.opts,
-                self.classes,
-                self.cache,
-                self.budget,
-                self.health,
-                self.obs,
+            return self.checked(
+                _quantify_one(
+                    self.sdft,
+                    cutset,
+                    self.opts,
+                    self.classes,
+                    self.cache,
+                    self.budget,
+                    self.health,
+                    self.obs,
+                )
             )
         except BudgetExceededError as error:
             self.health.budget("quantify", str(error), cutset=cutset)
@@ -592,12 +693,40 @@ class _QuantifyContext:
             )
             return self._skipped(cutset)
 
+    def checked(self, record: McsQuantification) -> McsQuantification:
+        """Apply the per-record invariants (``opts.verify``) to a record.
+
+        A clean record (or any record with verification off) passes
+        through untouched.  A violating record either raises
+        :class:`~repro.errors.InvariantViolation` or — under fault
+        isolation — is replaced by the conservative skipped record, with
+        a health event naming the violated invariant.  Skipped records
+        are exempt: they *are* the conservative substitute.
+        """
+        if not self.verifier.enabled or record.rung == "skipped":
+            return record
+        violation = self.verifier.record_violation(
+            record, _worst_case_probability(self.translation_tree, record.cutset)
+        )
+        if violation is None:
+            return record
+        if not self.opts.fault_isolation:
+            raise InvariantViolation(violation)
+        self.health.degradation(
+            "verify",
+            f"invariant violation: {violation}; static worst-case bound "
+            f"substituted",
+            cutset=record.cutset,
+            rung="skipped",
+        )
+        return self._skipped(record.cutset)
+
     def fold_direct(self, model: "CutsetModel") -> McsQuantification:
         """A static or trivially-zero cutset model (no chain solve)."""
         gated = self._budget_gate(model.cutset)
         if gated is not None:
             return gated
-        return quantify_model(model, self.opts.horizon)
+        return self.checked(quantify_model(model, self.opts.horizon))
 
     def fold_solved(
         self, model: "CutsetModel", key: tuple, result: "SolveResult"
@@ -614,17 +743,33 @@ class _QuantifyContext:
         found = self.cache.get(key)
         if found is not None:
             probability, chain_states = found
-            return McsQuantification(
-                model.cutset,
-                probability * model.static_factor,
-                True,
-                model.n_dynamic_in_cutset,
-                model.n_dynamic_in_model,
-                model.n_added_dynamic,
-                chain_states,
-                0.0,
-                cache_hit=True,
+            return self.checked(
+                McsQuantification(
+                    model.cutset,
+                    probability * model.static_factor,
+                    True,
+                    model.n_dynamic_in_cutset,
+                    model.n_dynamic_in_model,
+                    model.n_added_dynamic,
+                    chain_states,
+                    0.0,
+                    cache_hit=True,
+                )
             )
+        violation = self.verifier.value_violation(
+            result.probability,
+            f"pool-solved probability for {'+'.join(sorted(model.cutset))}",
+        )
+        if violation is not None:
+            # The pool shipped an impossible value.  Treat it like a
+            # failed task — do not poison the shared cache; recover this
+            # member in the parent through the standard path.
+            self.health.warning(
+                "verify",
+                f"{violation}; re-solving in the parent",
+                cutset=model.cutset,
+            )
+            return self.quantify(model.cutset)
         if self.budget is not None:
             limit = self.budget.max_total_states
             if (
@@ -638,16 +783,18 @@ class _QuantifyContext:
                 return self.quantify(model.cutset)
             self.budget.charge_states(result.chain_states, "quantify")
         self.cache.put(key, result.probability, result.chain_states)
-        return McsQuantification(
-            model.cutset,
-            result.probability * model.static_factor,
-            True,
-            model.n_dynamic_in_cutset,
-            model.n_dynamic_in_model,
-            model.n_added_dynamic,
-            result.chain_states,
-            result.solve_seconds,
-            rung="lumped" if self.opts.lump_chains else "exact",
+        return self.checked(
+            McsQuantification(
+                model.cutset,
+                result.probability * model.static_factor,
+                True,
+                model.n_dynamic_in_cutset,
+                model.n_dynamic_in_model,
+                model.n_added_dynamic,
+                result.chain_states,
+                result.solve_seconds,
+                rung="lumped" if self.opts.lump_chains else "exact",
+            )
         )
 
     def _budget_gate(self, cutset: frozenset) -> "McsQuantification | None":
@@ -756,7 +903,7 @@ def _quantify_parallel(
     def fold_entry(entry: tuple) -> None:
         kind = entry[0]
         if kind == "done":
-            records.append(entry[1])
+            records.append(ctx.checked(entry[1]))
             return
         if kind == "serial":
             records.append(ctx.quantify(entry[1]))
@@ -784,7 +931,10 @@ def _quantify_parallel(
             next_index += 1
 
     if tasks:
-        for result in SolverFarm(n_jobs).run(tasks):
+        farm = SolverFarm(
+            n_jobs, task_timeout=opts.pool_task_timeout_seconds
+        )
+        for result in farm.run(tasks):
             group = groups[result.task_id]
             group.result = result
             if not result.ok:
@@ -792,8 +942,39 @@ def _quantify_parallel(
             if obs.enabled:
                 _merge_worker_obs(obs, result)
             fold_ready()
+        _surface_farm_events(farm, ctx.health, obs)
     fold_ready()
     return worker_faults
+
+
+def _surface_farm_events(
+    farm: "SolverFarm", health: HealthLog, obs: Observability
+) -> None:
+    """Turn the farm's recovery actions into health entries and metrics.
+
+    Pool rebuilds, watchdog timeouts, crash retries and quarantines are
+    operational facts about *this* run's environment — they appear in
+    the health report (so a crash-scarred run is never indistinguishable
+    from a clean one) but never change analysis values: the affected
+    cutsets were re-answered through the standard degradation path.
+    """
+    for event in farm.events:
+        cutset = frozenset(event.cutset) if event.cutset else None
+        if event.kind == "retry":
+            health.retry("pool", event.message, cutset=cutset)
+        else:
+            health.warning("pool", event.message, cutset=cutset)
+    if obs.enabled:
+        for kind, metric in (
+            ("rebuild", "pool.rebuilds"),
+            ("timeout", "pool.timeouts"),
+            ("retry", "pool.retries"),
+            ("quarantine", "pool.quarantined"),
+            ("probe", "pool.probes"),
+        ):
+            count = sum(1 for e in farm.events if e.kind == kind)
+            if count:
+                obs.metrics.count(metric, count)
 
 
 def _merge_worker_obs(obs: Observability, result: "SolveResult") -> None:

@@ -248,6 +248,9 @@ def quantify_model(
         dynamic_probability = reach_probability(
             chain, horizon, epsilon=epsilon, budget=budget, metrics=obs.metrics
         )
+        dynamic_probability = faults.corrupt(
+            "solve_value", dynamic_probability, cutset=model.cutset
+        )
         span.set(chain_states=solved_states, probability=dynamic_probability)
     elapsed = time.perf_counter() - started
     if cache is not None and key is not None:

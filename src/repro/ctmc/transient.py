@@ -45,6 +45,53 @@ DEFAULT_EPSILON = 1e-12
 #: Series length guard: horizons needing more terms indicate a mis-scaled model.
 _MAX_TERMS = 4_000_000
 
+#: Always-on output guard: tolerated drift of probability mass (the
+#: solver's own truncation error compounds over the series, so this is
+#: looser than the truncation epsilon).
+_MASS_TOLERANCE = 1e-6
+
+
+def _reject_nonfinite_rates(chain: Ctmc, what: str) -> None:
+    """Fail fast on inf/NaN rates instead of solving with garbage.
+
+    The :class:`Ctmc` constructor rejects *negative* rates but lets
+    non-finite ones through (``NaN < 0`` is false), and a single inf
+    poisons the uniformization constant ``q`` silently.  Raising
+    :class:`~repro.errors.NumericalError` here routes the failure into
+    the degradation ladder like any other solver breakdown.
+    """
+    for (source, destination), rate in chain.rates.items():
+        if not math.isfinite(rate):
+            raise NumericalError(
+                f"{what}: non-finite rate {rate!r} on transition "
+                f"{source!r} -> {destination!r}"
+            )
+
+
+def _checked_distribution(distribution: np.ndarray, what: str) -> np.ndarray:
+    """Assert a solver output is a probability distribution.
+
+    Entrywise finite and non-negative, total mass ``1 ± tol`` — the
+    always-on counterpart of the opt-in verify layer
+    (:mod:`repro.robust.verify`), raising
+    :class:`~repro.errors.NumericalError` so existing recovery paths
+    apply.  Vectorised: costs two passes over a dense vector.
+    """
+    if not np.isfinite(distribution).all():
+        raise NumericalError(f"{what} contains non-finite entries")
+    if float(distribution.min(initial=0.0)) < -_MASS_TOLERANCE:
+        raise NumericalError(
+            f"{what} contains negative entries "
+            f"(min {float(distribution.min()):.3e})"
+        )
+    total = float(distribution.sum())
+    if abs(total - 1.0) > _MASS_TOLERANCE:
+        raise NumericalError(
+            f"{what} does not conserve probability mass: sums to {total!r} "
+            f"(drift {total - 1.0:.3e})"
+        )
+    return distribution
+
 
 def transient_distribution(
     chain: Ctmc,
@@ -70,11 +117,15 @@ def transient_distribution(
     nu = chain.initial_vector()
     if horizon == 0.0 or not chain.rates:
         return nu
+    _reject_nonfinite_rates(chain, "transient solve")
+    what = f"transient distribution ({chain.n_states} states, t={horizon:g})"
     if method == "uniformization":
-        return _uniformization(chain, horizon, epsilon, budget, metrics)
+        return _checked_distribution(
+            _uniformization(chain, horizon, epsilon, budget, metrics), what
+        )
     if method == "expm":
         generator = chain.generator_matrix().toarray()
-        return nu @ linalg.expm(generator * horizon)
+        return _checked_distribution(nu @ linalg.expm(generator * horizon), what)
     raise ValueError(f"unknown transient method {method!r}")
 
 
@@ -140,6 +191,7 @@ def occupancy_integrals(
     n = chain.n_states
     if horizon == 0.0:
         return np.zeros(n)
+    _reject_nonfinite_rates(chain, "occupancy solve")
     rate_matrix = chain.rate_matrix()
     exit_rates = np.asarray(rate_matrix.sum(axis=1)).ravel()
     q = float(exit_rates.max())
@@ -173,7 +225,24 @@ def occupancy_integrals(
                 f"q*t = {qt:.3g}); rescale the model"
             )
         pi = pi @ dtmc
-    return total / q
+    occupancy = total / q
+    # Same always-on guard as the transient output, rescaled: the
+    # occupancy entries are times, their mass is the horizon itself.
+    if not np.isfinite(occupancy).all():
+        raise NumericalError(
+            f"occupancy vector contains non-finite entries "
+            f"(chain of {n} states, horizon {horizon:g})"
+        )
+    mass = float(occupancy.sum())
+    if (
+        float(occupancy.min(initial=0.0)) < -_MASS_TOLERANCE * horizon
+        or abs(mass - horizon) > _MASS_TOLERANCE * max(1.0, horizon)
+    ):
+        raise NumericalError(
+            f"occupancy vector does not conserve time mass: sums to "
+            f"{mass!r} over horizon {horizon:g}"
+        )
+    return occupancy
 
 
 def steady_state(chain: Ctmc) -> np.ndarray:

@@ -97,6 +97,33 @@ class CheckpointError(AnalysisError):
     """A checkpoint file is unreadable or does not match the model."""
 
 
+class InvariantViolation(AnalysisError):
+    """A runtime self-check of the pipeline found an impossible value.
+
+    Raised by the stage-boundary guards of :mod:`repro.robust.verify`
+    (``AnalysisOptions(verify="cheap"|"full")``) when an internal
+    invariant fails: a non-finite or out-of-range probability, a
+    transient distribution that lost mass, an interval whose ends are
+    out of order, or a per-cutset value above its static worst-case
+    bound.  Deliberately a subclass of :class:`AnalysisError`, so a
+    per-cutset violation routes into the degradation ladder (the cutset
+    is re-answered conservatively) instead of propagating garbage —
+    while a violation at a stage boundary fails the run loudly.
+    """
+
+
+class CrosscheckError(InvariantViolation):
+    """Two independent computations of the same quantity disagree.
+
+    Raised by :mod:`repro.robust.crosscheck` (``verify="full"``) when a
+    differential check fails: an in-process re-quantification disagrees
+    with a pool result, the static MCS sum disagrees with the exact BDD
+    engine, or a ladder rung's interval does not bracket the rung above
+    it.  Always loud — a failed cross-check means the engine is
+    internally inconsistent, not that one cutset is hard.
+    """
+
+
 class InjectedFaultError(ReproError):
     """Default error raised by the fault-injection hook in tests.
 

@@ -9,7 +9,8 @@ Two consumers:
 * the run summary and health report —
   :func:`metric_highlights` picks the handful of metric lines worth
   printing after every traced/metered run (MOCUS work, dedup ratio,
-  series terms, pool queue waits, ladder descents, budget charges).
+  series terms, pool queue waits and recovery actions, verification
+  checks, ladder descents, budget charges).
 """
 
 from __future__ import annotations
@@ -157,6 +158,21 @@ def metric_highlights(snapshot: dict | None) -> list[str]:
             f"pool: {queue['count']} tasks, queue wait mean {mean:.3f}s "
             f"(max {queue['max']:.3f}s), "
             f"{counters.get('pool.worker_faults', 0):g} worker faults"
+        )
+    recovery = {
+        kind: counters.get(f"pool.{kind}", 0)
+        for kind in ("rebuilds", "timeouts", "retries", "quarantined", "probes")
+    }
+    if any(recovery.values()):
+        lines.append(
+            "pool recovery: "
+            + ", ".join(f"{count:g} {kind}" for kind, count in recovery.items())
+        )
+    checks = counters.get("verify.checks")
+    if checks is not None:
+        lines.append(
+            f"verify: {checks:g} invariant checks, "
+            f"{counters.get('verify.violations', 0):g} violations"
         )
     descents = counters.get("ladder.descents")
     if descents:

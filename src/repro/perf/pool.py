@@ -12,9 +12,15 @@ Failures never escape a worker as exceptions: every error is captured
 into the returned :class:`SolveResult`, and the parent decides how to
 recover (the analyzer re-runs the affected cutsets through the PR-1
 degradation ladder).  A worker that dies outright (a crashed process
-breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`) is
-likewise converted into per-task failure results, so one crash costs a
-serial re-run of the affected cutsets, never the analysis.
+breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`) no
+longer costs the rest of the batch: the farm rebuilds the pool with
+exponential backoff and requeues the unfinished tasks, striking the
+task the dead worker was running — a task that kills its worker
+repeatedly is *quarantined* (returned as a failure so the parent
+re-solves it in-process), and a task that overruns an optional per-task
+wall deadline is terminated by a watchdog and returned as a
+``"timeout"`` failure.  Every recovery is recorded as a
+:class:`FarmEvent` for the run-health report.
 """
 
 from __future__ import annotations
@@ -23,18 +29,25 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.perf.schedule import order_largest_first
 
 __all__ = [
+    "FarmEvent",
     "SolveResult",
     "SolveTask",
     "SolverFarm",
     "resolve_jobs",
     "solve_task",
 ]
+
+#: Watchdog poll period when no per-task deadline is set: frequent
+#: enough to observe which futures are *running* (crash attribution),
+#: rare enough to cost nothing next to a chain solve.
+_WATCH_TICK_SECONDS = 0.1
 
 
 def resolve_jobs(jobs) -> int:
@@ -93,7 +106,9 @@ class SolveResult:
     model (not yet multiplied by any cutset's static factor, which is
     member-specific).  ``error_kind`` classifies captured failures:
     ``"analysis"``/``"numerical"`` for solver errors, ``"budget"`` for
-    an exhausted per-task allowance, ``"crash"`` for anything else
+    an exhausted per-task allowance, ``"timeout"`` for a task the
+    watchdog terminated, ``"quarantined"`` for a task that killed its
+    worker too many times, and ``"crash"`` for anything else
     (including a broken pool).
     """
 
@@ -164,6 +179,10 @@ def solve_task(task: SolveTask) -> SolveResult:
             cutset="+".join(task.cutset),
             queue_wait_seconds=queue_wait,
         ) as span:
+            # Process-level fault stage: a chaos campaign's ``when``
+            # predicate may SIGKILL this very process here, simulating
+            # the hard worker death the farm must survive.
+            faults.check("worker_kill", cutset=cutset)
             budget = None
             if task.wall_allowance is not None or task.state_allowance is not None:
                 budget = Budget(
@@ -188,6 +207,9 @@ def solve_task(task: SolveTask) -> SolveResult:
                 epsilon=task.epsilon,
                 budget=budget,
                 metrics=obs.metrics,
+            )
+            probability = faults.corrupt(
+                "solve_value", probability, cutset=cutset
             )
             span.set(chain_states=solved_states, probability=probability)
     except BudgetExceededError as error:
@@ -220,21 +242,84 @@ def solve_task(task: SolveTask) -> SolveResult:
     )
 
 
+@dataclass(frozen=True)
+class FarmEvent:
+    """One recovery action of the farm, for health/metrics surfacing.
+
+    ``kind`` is one of ``"rebuild"`` (the pool was recreated after a
+    breakage), ``"retry"`` (a crash victim was requeued), ``"timeout"``
+    (the watchdog terminated an overrunning task), ``"quarantine"``
+    (a task that kills workers was taken off the pool for good) or
+    ``"probe"`` (a breakage could not be attributed to a task, so the
+    next round runs one task at a time to identify the killer).
+    """
+
+    kind: str
+    message: str
+    task_id: int | None = None
+    cutset: tuple[str, ...] | None = None
+
+
 class SolverFarm:
     """Run solve tasks on a process pool, yielding results as they land.
 
     Tasks are dispatched largest-estimated-chain-first (pool tail
     latency); results stream back in completion order — the caller is
     responsible for folding them deterministically.  Every task yields
-    exactly one :class:`SolveResult`: a worker-process death surfaces as
-    ``error_kind="crash"`` results for the tasks it took down, never as
-    an exception.
+    exactly one :class:`SolveResult`, whatever happens to its worker:
+
+    * **Worker crash** — a dead worker (SIGKILL, OOM, segfault) breaks
+      the whole :class:`~concurrent.futures.ProcessPoolExecutor`; the
+      farm rebuilds the pool with exponential backoff and requeues the
+      unfinished tasks.  The task a dead worker was running collects a
+      *strike* (when the death is too fast to attribute, the suspects
+      are probed one per round until it is); at ``max_task_crashes``
+      strikes a task is quarantined —
+      returned as an ``error_kind="quarantined"`` failure so the parent
+      re-solves it in-process — instead of killing pool after pool.
+    * **Hung task** — with ``task_timeout`` set, a watchdog terminates
+      the workers once a task overruns the deadline; the task is
+      returned as an ``error_kind="timeout"`` failure (never retried: a
+      task that blew its deadline would blow it again) and the innocent
+      tasks are requeued on the rebuilt pool without penalty.
+    * **Repeated misfortune** — a task is retried at most
+      ``max_task_attempts`` times before it is returned as a
+      ``"crash"`` failure.
+
+    Recovery actions are appended to :attr:`events`; the analyzer turns
+    them into run-health entries and ``pool.*`` metrics.
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        task_timeout: float | None = None,
+        max_task_attempts: int = 3,
+        max_task_crashes: int = 2,
+        backoff_seconds: float = 0.05,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
         self.jobs = jobs
+        self.task_timeout = task_timeout
+        self.max_task_attempts = max_task_attempts
+        self.max_task_crashes = max_task_crashes
+        self.backoff_seconds = backoff_seconds
+        self.events: list[FarmEvent] = []
+        self.rebuilds = 0
+        self._probe_requested = False
+
+    @property
+    def timeouts(self) -> int:
+        """Tasks the watchdog terminated."""
+        return sum(1 for e in self.events if e.kind == "timeout")
+
+    @property
+    def quarantined(self) -> int:
+        """Tasks taken off the pool for repeatedly killing workers."""
+        return sum(1 for e in self.events if e.kind == "quarantine")
 
     @staticmethod
     def _context():
@@ -246,23 +331,236 @@ class SolverFarm:
 
     def run(self, tasks: Iterable[SolveTask]) -> Iterator[SolveResult]:
         """Yield one result per task, in completion order."""
-        ordered = order_largest_first(tasks)
-        if not ordered:
+        queue = order_largest_first(tasks)
+        if not queue:
             return
-        workers = min(self.jobs, len(ordered))
-        with ProcessPoolExecutor(
+        attempts: dict[int, int] = {}
+        strikes: dict[int, int] = {}
+        while queue:
+            # After an unattributable breakage, probe: run a single task
+            # on the next pool so a repeat breakage names its killer.
+            probe = self._probe_requested
+            self._probe_requested = False
+            batch = queue[:1] if probe else queue
+            deferred = queue[1:] if probe else []
+            requeue: list[SolveTask] = []
+            for item in self._round(batch, attempts, strikes):
+                if isinstance(item, SolveResult):
+                    yield item
+                else:
+                    requeue.append(item)
+            requeue.extend(deferred)
+            if requeue and len(requeue) > len(deferred):
+                self.rebuilds += 1
+                self.events.append(
+                    FarmEvent(
+                        "rebuild",
+                        f"process pool rebuilt (rebuild {self.rebuilds}); "
+                        f"{len(requeue)} task(s) requeued",
+                    )
+                )
+                if self.backoff_seconds > 0:
+                    time.sleep(
+                        min(
+                            1.0,
+                            self.backoff_seconds
+                            * (2 ** min(self.rebuilds - 1, 6)),
+                        )
+                    )
+            queue = order_largest_first(requeue)
+
+    def _round(
+        self,
+        batch: list[SolveTask],
+        attempts: dict[int, int],
+        strikes: dict[int, int],
+    ) -> "Iterator[SolveResult | SolveTask]":
+        """One pool lifetime: terminal results and tasks to requeue.
+
+        Polls :func:`~concurrent.futures.wait` on a short tick so it can
+        observe which futures are *running* — the only portable way to
+        attribute a pool breakage to the task that killed the worker —
+        and, when ``task_timeout`` is set, to spot overrunning tasks.
+        """
+        workers = min(self.jobs, len(batch))
+        if self.task_timeout is not None:
+            tick = max(0.01, min(_WATCH_TICK_SECONDS, self.task_timeout / 4.0))
+        else:
+            tick = _WATCH_TICK_SECONDS
+        dispatch_order = {task.task_id: i for i, task in enumerate(batch)}
+        pool = ProcessPoolExecutor(
             max_workers=workers, mp_context=self._context()
-        ) as pool:
-            pending = {pool.submit(solve_task, task): task for task in ordered}
+        )
+        try:
+            pending = {pool.submit(solve_task, task): task for task in batch}
+            running_since: dict = {}
+            timeout_killed = False
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    pending, timeout=tick, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in pending:
+                    if (
+                        future not in done
+                        and future not in running_since
+                        and future.running()
+                    ):
+                        running_since[future] = now
+                if self.task_timeout is not None and not timeout_killed:
+                    overdue = [
+                        future
+                        for future, since in running_since.items()
+                        if future in pending
+                        and future not in done
+                        and now - since > self.task_timeout
+                    ]
+                    if overdue:
+                        timeout_killed = True
+                        for future in overdue:
+                            task = pending.pop(future)
+                            self.events.append(
+                                FarmEvent(
+                                    "timeout",
+                                    f"task exceeded its "
+                                    f"{self.task_timeout:g}s wall deadline; "
+                                    f"workers terminated",
+                                    task.task_id,
+                                    task.cutset,
+                                )
+                            )
+                            yield SolveResult(
+                                task.task_id,
+                                error=f"task exceeded its "
+                                f"{self.task_timeout:g}s wall deadline",
+                                error_kind="timeout",
+                            )
+                        # Terminating the workers breaks the pool; every
+                        # remaining future resolves with
+                        # BrokenProcessPool and is requeued unpenalised.
+                        running_since.clear()
+                        for process in list(
+                            getattr(pool, "_processes", {}).values()
+                        ):
+                            process.terminate()
+                        continue
+                broken: list[tuple[SolveTask, bool]] = []
                 for future in done:
-                    task = pending.pop(future)
-                    try:
+                    task = pending.pop(future, None)
+                    if task is None:  # already resolved (timed out)
+                        continue
+                    error = future.exception()
+                    if error is None:
                         yield future.result()
-                    except Exception as error:  # pool broke under the task
+                    elif isinstance(error, BrokenProcessPool):
+                        broken.append((task, future in running_since))
+                    else:
                         yield SolveResult(
                             task.task_id,
-                            error=f"worker died: {type(error).__name__}: {error}",
+                            error=f"worker died: "
+                            f"{type(error).__name__}: {error}",
                             error_kind="crash",
                         )
+                if broken:
+                    # The pool is gone: sweep everything still pending —
+                    # a result that landed just before the breakage is
+                    # kept, the rest joins the casualty list.
+                    for future, task in pending.items():
+                        if future.done() and future.exception() is None:
+                            yield future.result()
+                        else:
+                            broken.append((task, future in running_since))
+                    pending.clear()
+                    yield from self._casualties(
+                        broken,
+                        dispatch_order,
+                        workers,
+                        timeout_killed,
+                        attempts,
+                        strikes,
+                    )
+        finally:
+            pool.shutdown(wait=True)
+
+    def _casualties(
+        self,
+        broken: list[tuple[SolveTask, bool]],
+        dispatch_order: dict[int, int],
+        workers: int,
+        innocent: bool,
+        attempts: dict[int, int],
+        strikes: dict[int, int],
+    ) -> "Iterator[SolveResult | SolveTask]":
+        """Classify every task lost with the pool: requeue or give up.
+
+        ``innocent=True`` (a deliberate watchdog termination) requeues
+        everything without penalty.  Otherwise tasks observed running on
+        the dead worker collect a strike.  If the death was too fast to
+        observe any running future, a lone casualty is charged (it is
+        the only candidate); with several, nobody is — the runner is
+        asked to probe them one per pool round instead, so the next
+        breakage identifies its killer without striking innocents, and
+        a kill-on-arrival task still can never requeue forever.
+        """
+        if innocent:
+            for task, _ in broken:
+                yield task
+            return
+        if not any(was_running for _, was_running in broken):
+            if len(broken) > 1:
+                # More casualties than certainty: blaming the first
+                # ``workers`` by dispatch order would strike innocents,
+                # so nobody is charged — the runner probes tasks one at
+                # a time instead, and the next breakage is definitive.
+                self._probe_requested = True
+                self.events.append(
+                    FarmEvent(
+                        "probe",
+                        f"pool broke before any task was observed "
+                        f"running; probing {len(broken)} suspect task(s) "
+                        f"one at a time",
+                    )
+                )
+                for task, _ in broken:
+                    yield task
+                return
+            broken = [(task, True) for task, _ in broken]
+        for task, was_running in broken:
+            tid = task.task_id
+            if was_running:
+                strikes[tid] = strikes.get(tid, 0) + 1
+                attempts[tid] = attempts.get(tid, 0) + 1
+            if strikes.get(tid, 0) >= self.max_task_crashes:
+                self.events.append(
+                    FarmEvent(
+                        "quarantine",
+                        f"worker died {strikes[tid]} times under this "
+                        f"task; quarantined to the in-process path",
+                        tid,
+                        task.cutset,
+                    )
+                )
+                yield SolveResult(
+                    tid,
+                    error=f"quarantined after {strikes[tid]} worker crashes",
+                    error_kind="quarantined",
+                )
+            elif attempts.get(tid, 0) >= self.max_task_attempts:
+                yield SolveResult(
+                    tid,
+                    error=f"worker died on all {attempts[tid]} attempts",
+                    error_kind="crash",
+                )
+            elif was_running:
+                self.events.append(
+                    FarmEvent(
+                        "retry",
+                        f"worker died under this task; requeued "
+                        f"(attempt {attempts[tid] + 1})",
+                        tid,
+                        task.cutset,
+                    )
+                )
+                yield task
+            else:
+                yield task

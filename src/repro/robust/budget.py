@@ -21,7 +21,7 @@ import time
 from typing import Callable
 
 from repro.errors import BudgetExceededError
-from repro.obs.metrics import NULL_METRICS
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 
 __all__ = ["Budget", "UNLIMITED"]
 
@@ -58,7 +58,7 @@ class Budget:
         max_total_states: int | None = None,
         max_cutsets: int | None = None,
         clock: Callable[[], float] = time.monotonic,
-        metrics=None,
+        metrics: MetricsRegistry | NullMetrics | None = None,
     ) -> None:
         if wall_seconds is not None and wall_seconds < 0.0:
             raise ValueError(f"wall_seconds must be non-negative, got {wall_seconds}")

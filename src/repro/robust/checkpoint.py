@@ -29,11 +29,14 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.quantify import McsQuantification
 from repro.errors import CheckpointError
 from repro.robust import faults
+
+if TYPE_CHECKING:
+    from repro.core.sdft import SdFaultTree
 
 __all__ = [
     "CheckpointManager",
@@ -46,7 +49,7 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def model_fingerprint(sdft, horizon: float, cutoff: float) -> str:
+def model_fingerprint(sdft: SdFaultTree, horizon: float, cutoff: float) -> str:
     """A stable digest of the analysis problem a checkpoint belongs to."""
     from repro.models.formats import sdft_to_dict
 

@@ -1,0 +1,284 @@
+"""Differential cross-checks: compute key quantities twice, independently.
+
+Invariant guards (:mod:`repro.robust.verify`) catch values that are
+*impossible*; this module catches values that are merely *wrong*.  In
+``verify="full"`` mode the analyzer re-derives a sample of its own
+answers through independent code paths and fails loudly — with
+:class:`~repro.errors.CrosscheckError` — when the two derivations
+disagree beyond floating-point slack.  The same cross-method-agreement
+idea rare-event Monte-Carlo DFT estimators lean on to trust their
+numbers, applied to the pipeline's own internals:
+
+1. **Re-quantification** — a seeded sample of exactly-quantified
+   dynamic cutsets is re-solved in-process with a fresh cache and
+   compared against the recorded value.  This is the check that
+   catches a corrupted pool result, a poisoned cache entry, or a
+   fold bug: the pool and the serial loop promise bit-identical
+   values, so any disagreement is a defect, not noise.
+2. **BDD oracle** — on small trees the static rare-event sum of the
+   full (cutoff-free) MOCUS cutset list must dominate the *exact* top
+   probability from the BDD engine (:mod:`repro.bdd`), and the
+   analysis cutset list must be a subset of the exact minimal cutsets.
+3. **Ladder-rung bracketing** — for sampled cutsets, the interval the
+   ``bound`` rung would report must bracket the exact rung's value:
+   adjacent ladder rungs agree, so a degraded answer elsewhere in the
+   run is trustworthy.
+
+Checks are deterministic (the sample seed derives from the model name
+and record count), side-effect free on results, and skip — with a
+health note, never silently — when a precondition does not hold
+(tree too large for the BDD oracle, re-solve fails under an armed
+fault, nothing to sample).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import AnalysisError, CrosscheckError, NumericalError
+
+if TYPE_CHECKING:
+    from repro.core.analyzer import AnalysisOptions
+    from repro.core.quantify import McsQuantification
+    from repro.core.sdft import SdFaultTree
+    from repro.ft.mocus import MocusResult
+    from repro.ft.tree import FaultTree
+    from repro.robust.health import HealthLog
+
+__all__ = ["CrosscheckSummary", "run_crosschecks"]
+
+#: How many records the re-quantification pass re-solves.
+RECHECK_SAMPLE = 5
+
+#: How many records the ladder-rung bracket check covers.
+BRACKET_SAMPLE = 3
+
+#: Event-count ceiling for the (exponential-in-principle) BDD oracle.
+BDD_MAX_EVENTS = 24
+
+#: Relative agreement required between two solves of the same model.
+RECHECK_RTOL = 1e-8
+
+
+@dataclass(frozen=True)
+class CrosscheckSummary:
+    """What the differential pass actually covered (for the health log)."""
+
+    rechecked: int = 0
+    bdd_checked: bool = False
+    bracketed: int = 0
+    skipped: tuple[str, ...] = ()
+
+    def message(self) -> str:
+        parts = [
+            f"{self.rechecked} cutsets re-quantified",
+            f"BDD oracle {'checked' if self.bdd_checked else 'skipped'}",
+            f"{self.bracketed} ladder brackets verified",
+        ]
+        if self.skipped:
+            parts.append(f"skipped: {'; '.join(self.skipped)}")
+        return "crosscheck: " + ", ".join(parts)
+
+
+def run_crosschecks(
+    sdft: "SdFaultTree",
+    mocus_tree: "FaultTree",
+    mocus_result: "MocusResult",
+    records: "Sequence[McsQuantification]",
+    opts: "AnalysisOptions",
+    health: "HealthLog",
+) -> CrosscheckSummary:
+    """Run every differential check; raise :class:`CrosscheckError` on disagreement.
+
+    Called by the analyzer at the end of the quantification phase when
+    ``verify="full"``.  Never mutates ``records``.
+    """
+    rng = random.Random(
+        zlib.crc32(
+            f"{getattr(sdft, 'name', '')}\x00{len(records)}".encode()
+        )
+    )
+    skipped: list[str] = []
+    rechecked = _recheck_sample(sdft, records, opts, rng, skipped)
+    bdd_checked = _bdd_oracle(mocus_tree, mocus_result, skipped)
+    bracketed = _bracket_sample(sdft, records, opts, rng, skipped)
+    summary = CrosscheckSummary(
+        rechecked, bdd_checked, bracketed, tuple(skipped)
+    )
+    health.info("verify", summary.message())
+    return summary
+
+
+# ----------------------------------------------------------------------
+# 1. Re-quantification of a seeded sample
+# ----------------------------------------------------------------------
+
+
+def _exact_candidates(
+    records: "Sequence[McsQuantification]",
+) -> "list[McsQuantification]":
+    return [
+        r
+        for r in records
+        if r.is_dynamic
+        and not r.bounded
+        and not r.trivially_zero
+        and r.rung in ("exact", "lumped")
+    ]
+
+
+def _recheck_sample(
+    sdft: "SdFaultTree",
+    records: "Sequence[McsQuantification]",
+    opts: "AnalysisOptions",
+    rng: random.Random,
+    skipped: list[str],
+) -> int:
+    from repro.core.classify import classification_report
+    from repro.core.quantify import QuantificationCache, quantify_cutset
+
+    candidates = _exact_candidates(records)
+    if not candidates:
+        skipped.append("recheck: no exactly-quantified dynamic cutsets")
+        return 0
+    sample = rng.sample(candidates, min(RECHECK_SAMPLE, len(candidates)))
+    classes = classification_report(sdft).by_gate
+    checked = 0
+    for record in sample:
+        try:
+            again = quantify_cutset(
+                sdft,
+                record.cutset,
+                opts.horizon,
+                classes=classes,
+                cache=QuantificationCache(),
+                epsilon=opts.epsilon,
+                max_chain_states=opts.max_chain_states,
+                on_oversize="raise",
+                lump_chains=opts.lump_chains,
+            )
+        except (NumericalError, AnalysisError) as error:
+            # The re-solve itself failed (e.g. an armed fault is still
+            # tripping) — that is a *skip*, not a disagreement; the
+            # original record already went through its own recovery.
+            skipped.append(
+                f"recheck of {'+'.join(sorted(record.cutset))} failed: {error}"
+            )
+            continue
+        if not math.isclose(
+            again.probability,
+            record.probability,
+            rel_tol=RECHECK_RTOL,
+            abs_tol=1e-300,
+        ):
+            raise CrosscheckError(
+                f"re-quantification disagrees for cutset "
+                f"{'+'.join(sorted(record.cutset))}: recorded "
+                f"{record.probability!r}, recomputed {again.probability!r}"
+            )
+        checked += 1
+    return checked
+
+
+# ----------------------------------------------------------------------
+# 2. BDD oracle on small trees
+# ----------------------------------------------------------------------
+
+
+def _bdd_oracle(
+    mocus_tree: "FaultTree",
+    mocus_result: "MocusResult",
+    skipped: list[str],
+) -> bool:
+    if len(mocus_tree.events) > BDD_MAX_EVENTS:
+        skipped.append(
+            f"BDD oracle: tree has {len(mocus_tree.events)} events "
+            f"(> {BDD_MAX_EVENTS})"
+        )
+        return False
+    if mocus_result.truncated:
+        skipped.append("BDD oracle: cutset list was budget-truncated")
+        return False
+    from repro.bdd import compile_tree
+    from repro.ft.mocus import MocusOptions, mocus
+
+    try:
+        compiled = compile_tree(mocus_tree)
+        exact_p = compiled.probability()
+        exact_sets = set(compiled.minimal_cutsets())
+    except Exception as error:  # unsupported structure — skip, don't fail
+        skipped.append(f"BDD oracle: compile failed ({error})")
+        return False
+    full = mocus(mocus_tree, MocusOptions(cutoff=0.0)).cutsets
+    full_sum = full.rare_event()
+    slack = 1e-9 * max(1.0, full_sum)
+    if exact_p > full_sum + slack:
+        raise CrosscheckError(
+            f"exact BDD probability {exact_p!r} exceeds the static MCS "
+            f"rare-event sum {full_sum!r} — the union bound is violated, "
+            f"so the cutset generation lost cutsets"
+        )
+    if set(full) != exact_sets:
+        missing = exact_sets - set(full)
+        extra = set(full) - exact_sets
+        raise CrosscheckError(
+            f"MOCUS and the BDD engine disagree on the minimal cutsets: "
+            f"{len(missing)} missing, {len(extra)} spurious"
+        )
+    analysis_sets = set(mocus_result.cutsets)
+    if not analysis_sets <= exact_sets:
+        spurious = analysis_sets - exact_sets
+        raise CrosscheckError(
+            f"the analysis cutset list contains {len(spurious)} cutsets "
+            f"the exact BDD engine does not recognise as minimal"
+        )
+    return True
+
+
+# ----------------------------------------------------------------------
+# 3. Adjacent ladder rungs bracket each other
+# ----------------------------------------------------------------------
+
+
+def _bracket_sample(
+    sdft: "SdFaultTree",
+    records: "Sequence[McsQuantification]",
+    opts: "AnalysisOptions",
+    rng: random.Random,
+    skipped: list[str],
+) -> int:
+    from repro.core.classify import classification_report
+    from repro.core.cutset_model import build_cutset_model
+    from repro.core.quantify import bound_record
+
+    candidates = _exact_candidates(records)
+    if not candidates:
+        skipped.append("bracket: no exactly-quantified dynamic cutsets")
+        return 0
+    sample = rng.sample(candidates, min(BRACKET_SAMPLE, len(candidates)))
+    classes = classification_report(sdft).by_gate
+    checked = 0
+    for record in sample:
+        try:
+            model = build_cutset_model(sdft, record.cutset, classes)
+            bound = bound_record(model, opts.horizon, opts.epsilon)
+        except (NumericalError, AnalysisError) as error:
+            skipped.append(
+                f"bracket of {'+'.join(sorted(record.cutset))} failed: {error}"
+            )
+            continue
+        lower = bound.lower_bound if bound.lower_bound is not None else 0.0
+        slack = 1e-9 * max(1.0, bound.probability)
+        if not (lower - slack <= record.probability <= bound.probability + slack):
+            raise CrosscheckError(
+                f"ladder rungs disagree for cutset "
+                f"{'+'.join(sorted(record.cutset))}: exact value "
+                f"{record.probability!r} outside the bound rung's interval "
+                f"[{lower!r}, {bound.probability!r}]"
+            )
+        checked += 1
+    return checked

@@ -15,27 +15,54 @@ Stages wired into the pipeline:
 * ``"monte_carlo"``    — before the Monte-Carlo fallback rung,
 * ``"bound"``          — before the interval-bound fallback rung,
 * ``"mocus"``          — inside the MOCUS expansion loop,
-* ``"checkpoint"``     — before writing a checkpoint snapshot.
+* ``"checkpoint"``     — before writing a checkpoint snapshot,
+* ``"worker_kill"``    — inside a pool worker, before it starts solving
+  (process-level faults: a ``when`` predicate may ``os.kill`` the
+  worker to simulate a hard crash — see :mod:`repro.robust.chaos`).
+
+Besides raising, a fault can silently *corrupt a value*: production
+code passes candidate results through :func:`corrupt`, and a test (or a
+chaos campaign) arms a replacement with :func:`inject_value` — e.g.
+swap a solved probability for ``NaN`` at the ``"solve_value"`` stage to
+prove the verification layer catches it.  Value stages wired in:
+
+* ``"solve_value"`` — the dynamic reachability probability of one
+  cutset model, right after the transient solve (both the in-process
+  path and the pool worker).
 
 Usage in tests::
 
     with faults.inject("transient_solve", NumericalError("forced")):
         result = analyze(sdft, options)   # first solve fails, ladder degrades
 
+    with faults.inject_value("solve_value", float("nan"), times=1):
+        result = analyze(sdft, options)   # verify layer must catch the NaN
+
 ``times`` limits how many calls trip (default: every call while armed);
 ``when`` optionally gates on the call's context (e.g. only a specific
 cutset).  Injection state is process-global and **not** thread-safe —
-it is a test facility, not a production feature.
+it is a test facility, not a production feature.  Armed faults are
+inherited by forked pool workers, which is exactly what lets one test
+fault serial and parallel runs identically.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Iterator, TypeVar, cast
 
 from repro.errors import InjectedFaultError
 
-__all__ = ["inject", "check", "clear", "trip_count"]
+_T = TypeVar("_T")
+
+__all__ = [
+    "check",
+    "clear",
+    "corrupt",
+    "inject",
+    "inject_value",
+    "trip_count",
+]
 
 
 class _Fault:
@@ -52,7 +79,7 @@ class _Fault:
         self.when = when
         self.trips = 0
 
-    def should_trip(self, context: dict) -> bool:
+    def should_trip(self, context: dict[str, object]) -> bool:
         if self.remaining is not None and self.remaining <= 0:
             return False
         if self.when is not None and not self.when(**context):
@@ -73,7 +100,7 @@ class _Fault:
 _armed: dict[str, list[_Fault]] = {}
 
 
-def check(stage: str, **context) -> None:
+def check(stage: str, **context: object) -> None:
     """Raise the armed fault for ``stage``, if any.  No-op otherwise.
 
     ``context`` keywords (e.g. ``cutset=...``) are passed to the fault's
@@ -113,11 +140,92 @@ def inject(
             _armed.pop(stage, None)
 
 
+class _ValueFault:
+    """One armed value corruption: the replacement, how often, for whom."""
+
+    def __init__(
+        self,
+        replacement: object,
+        times: int | None,
+        when: Callable[..., bool] | None,
+    ) -> None:
+        self.replacement = replacement
+        self.remaining = times
+        self.when = when
+        self.trips = 0
+
+    def should_trip(self, context: dict[str, object]) -> bool:
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.when is not None and not self.when(**context):
+            return False
+        return True
+
+    def trip(self, value: object) -> object:
+        self.trips += 1
+        if self.remaining is not None:
+            self.remaining -= 1
+        if callable(self.replacement):
+            return self.replacement(value)
+        return self.replacement
+
+
+#: Armed value corruptions by stage name (same lifecycle as ``_armed``).
+_armed_values: dict[str, list[_ValueFault]] = {}
+
+
+def corrupt(stage: str, value: _T, **context: object) -> _T:
+    """Return ``value``, or its armed replacement for ``stage``.
+
+    The value-returning sibling of :func:`check`: production code passes
+    candidate results through and receives them back unchanged unless a
+    test armed a corruption with :func:`inject_value`.  The fast path is
+    a single falsy-dict test.  (The replacement is *declared* to share
+    the genuine value's type — arming a mistyped replacement is the
+    test's own deliberate corruption.)
+    """
+    if not _armed_values:
+        return value
+    for fault in _armed_values.get(stage, ()):
+        if fault.should_trip(context):
+            return cast(_T, fault.trip(value))
+    return value
+
+
+@contextmanager
+def inject_value(
+    stage: str,
+    replacement: object,
+    times: int | None = None,
+    when: Callable[..., bool] | None = None,
+) -> Iterator[_ValueFault]:
+    """Arm a silent value corruption for ``stage`` within the block.
+
+    ``replacement`` may be a plain value (substituted as-is) or a
+    callable receiving the genuine value (e.g. ``lambda p: p * 1e12``).
+    This simulates the failure mode the verification layer exists for:
+    a *silently wrong* number, with no exception anywhere near it.
+    """
+    fault = _ValueFault(replacement, times, when)
+    _armed_values.setdefault(stage, []).append(fault)
+    try:
+        yield fault
+    finally:
+        stack = _armed_values.get(stage, [])
+        if fault in stack:
+            stack.remove(fault)
+        if not stack:
+            _armed_values.pop(stage, None)
+
+
 def clear() -> None:
     """Disarm every fault (safety net for test teardown)."""
     _armed.clear()
+    _armed_values.clear()
 
 
 def trip_count(stage: str) -> int:
     """Total trips of the currently armed faults for ``stage``."""
-    return sum(fault.trips for fault in _armed.get(stage, ()))
+    return sum(fault.trips for fault in _armed.get(stage, ())) + sum(
+        fault.trips for fault in _armed_values.get(stage, ())
+    )

@@ -124,25 +124,55 @@ class HealthLog:
             )
         )
 
-    def info(self, stage: str, message: str, **kw) -> None:
+    def info(
+        self,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
         """Record a neutral fact (e.g. a checkpoint resume)."""
-        self._record(KIND_INFO, stage, message, **kw)
+        self._record(KIND_INFO, stage, message, cutset=cutset, rung=rung)
 
-    def warning(self, stage: str, message: str, **kw) -> None:
+    def warning(
+        self,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
         """Record an anomaly that did not change any result."""
-        self._record(KIND_WARNING, stage, message, **kw)
+        self._record(KIND_WARNING, stage, message, cutset=cutset, rung=rung)
 
-    def retry(self, stage: str, message: str, **kw) -> None:
+    def retry(
+        self,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
         """Record a failed attempt that the ladder retried lower."""
-        self._record(KIND_RETRY, stage, message, **kw)
+        self._record(KIND_RETRY, stage, message, cutset=cutset, rung=rung)
 
-    def degradation(self, stage: str, message: str, **kw) -> None:
+    def degradation(
+        self,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
         """Record a value produced by a fallback rung."""
-        self._record(KIND_DEGRADATION, stage, message, **kw)
+        self._record(KIND_DEGRADATION, stage, message, cutset=cutset, rung=rung)
 
-    def budget(self, stage: str, message: str, **kw) -> None:
+    def budget(
+        self,
+        stage: str,
+        message: str,
+        cutset: frozenset[str] | None = None,
+        rung: str | None = None,
+    ) -> None:
         """Record a budget exhaustion converted to a partial result."""
-        self._record(KIND_BUDGET, stage, message, **kw)
+        self._record(KIND_BUDGET, stage, message, cutset=cutset, rung=rung)
 
     def freeze(self) -> HealthReport:
         """The immutable report for the finished run."""

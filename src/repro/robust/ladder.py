@@ -29,8 +29,9 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.cutset_model import build_cutset_model
+from repro.core.cutset_model import CutsetModel, build_cutset_model
 from repro.core.quantify import (
     McsQuantification,
     QuantificationCache,
@@ -41,6 +42,10 @@ from repro.core.sdft import SdFaultTree
 from repro.errors import AnalysisError, BudgetExceededError, NumericalError
 from repro.robust import faults
 from repro.robust.budget import Budget
+
+if TYPE_CHECKING:
+    from repro.core.classify import TriggerClass
+    from repro.obs.core import Observability
 
 __all__ = ["LadderAttempt", "LadderOutcome", "quantify_with_ladder"]
 
@@ -74,7 +79,7 @@ def quantify_with_ladder(
     sdft: SdFaultTree,
     cutset: frozenset[str],
     horizon: float,
-    classes=None,
+    classes: dict[str, TriggerClass] | None = None,
     cache: QuantificationCache | None = None,
     epsilon: float = 1e-12,
     max_chain_states: int = 200_000,
@@ -82,7 +87,7 @@ def quantify_with_ladder(
     budget: Budget | None = None,
     monte_carlo_runs: int = 4_000,
     monte_carlo_seed: int = 0,
-    obs=None,
+    obs: Observability | None = None,
 ) -> LadderOutcome:
     """Quantify one cutset, degrading through the ladder on failure.
 
@@ -159,7 +164,7 @@ def quantify_with_ladder(
 
 
 def _monte_carlo(
-    model, horizon: float, n_runs: int, seed: int
+    model: CutsetModel, horizon: float, n_runs: int, seed: int
 ) -> McsQuantification:
     """Simulate the cutset's ``FT_C`` and report a generous interval.
 

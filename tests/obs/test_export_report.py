@@ -176,3 +176,28 @@ class TestMetricHighlights:
         assert "pool: 4 tasks" in lines
         assert "1 worker faults" in lines
         assert "ladder: 2 descents" in lines
+
+    def test_verify_and_pool_recovery_lines(self):
+        snapshot = {
+            "counters": {
+                "verify.checks": 1200,
+                "verify.violations": 2,
+                "pool.rebuilds": 1,
+                "pool.retries": 1,
+                "pool.quarantined": 1,
+            },
+            "histograms": {},
+        }
+        lines = "\n".join(metric_highlights(snapshot))
+        assert "verify: 1200 invariant checks, 2 violations" in lines
+        assert "pool recovery: 1 rebuilds" in lines
+        assert "1 quarantined" in lines
+
+    def test_clean_run_shows_no_recovery_line(self):
+        snapshot = {
+            "counters": {"verify.checks": 10, "verify.violations": 0},
+            "histograms": {},
+        }
+        lines = "\n".join(metric_highlights(snapshot))
+        assert "verify: 10 invariant checks, 0 violations" in lines
+        assert "pool recovery" not in lines

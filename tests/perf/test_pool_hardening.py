@@ -1,0 +1,195 @@
+"""Farm hardening: worker death, quarantine, watchdog timeouts, events."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.perf.pool import FarmEvent, SolverFarm
+from repro.robust import faults
+from tests.perf.test_pool import make_task
+
+
+def _kill_once(latch_path):
+    """SIGKILL the calling worker the first time any task reaches it.
+
+    The latch file provides cross-process once-semantics: every forked
+    worker inherits its own copy of the armed fault, so an in-memory
+    flag could not stop the second worker from also dying.
+    """
+
+    def predicate(**_context):
+        try:
+            open(latch_path, "x").close()
+        except FileExistsError:
+            return False
+        os.kill(os.getpid(), signal.SIGKILL)
+        return False  # unreachable
+
+    return predicate
+
+
+def _hang_in_worker(parent_pid, latch_path, seconds=5.0):
+    """Stall one worker past the watchdog deadline; never the parent."""
+
+    def predicate(**_context):
+        if os.getpid() == parent_pid:
+            return False
+        try:
+            open(latch_path, "x").close()
+        except FileExistsError:
+            return False
+        time.sleep(seconds)
+        return False
+
+    return predicate
+
+
+@pytest.fixture
+def three_tasks(cooling_sdft):
+    cutsets = [
+        frozenset({"a", "d"}),
+        frozenset({"b", "c"}),
+        frozenset({"b", "d"}),
+    ]
+    models, tasks = [], []
+    for i, cutset in enumerate(cutsets):
+        model, task = make_task(cooling_sdft, cutset, task_id=i)
+        models.append(model)
+        tasks.append(task)
+    return models, tasks
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_survived(self, three_tasks, tmp_path):
+        """Regression: a worker dying mid-task used to break the whole
+        run with BrokenProcessPool; the farm must rebuild and finish."""
+        models, tasks = three_tasks
+        farm = SolverFarm(jobs=2, backoff_seconds=0.0)
+        with faults.inject(
+            "worker_kill", when=_kill_once(str(tmp_path / "kill.latch"))
+        ):
+            results = {r.task_id: r for r in farm.run(tasks)}
+        assert sorted(results) == [0, 1, 2]
+        assert all(r.ok for r in results.values())
+        assert farm.rebuilds >= 1
+        kinds = {event.kind for event in farm.events}
+        assert "rebuild" in kinds
+        # A one-shot kill is usually too fast to attribute: the farm
+        # either retries an observed victim or probes the suspects.
+        assert kinds & {"retry", "probe"}
+
+    def test_repeat_killer_is_quarantined(self, three_tasks, tmp_path):
+        """A task that kills its worker every time is isolated after
+        ``max_task_crashes`` strikes instead of looping forever."""
+        models, tasks = three_tasks
+        target = frozenset({"b", "d"})
+
+        def kill_for_target(cutset=None, **_):
+            if cutset == target:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return False
+
+        farm = SolverFarm(jobs=2, backoff_seconds=0.0)
+        with faults.inject("worker_kill", when=kill_for_target):
+            results = {r.task_id: r for r in farm.run(tasks)}
+        assert sorted(results) == [0, 1, 2]
+        doomed = results[2]
+        assert not doomed.ok
+        assert doomed.error_kind == "quarantined"
+        assert results[0].ok and results[1].ok
+        assert any(e.kind == "quarantine" for e in farm.events)
+        assert farm.quarantined == 1
+
+    def test_charged_events_carry_the_cutset(self, three_tasks):
+        """retry/quarantine events name the task so health can cite it."""
+        _, tasks = three_tasks
+        target = frozenset({"b", "d"})
+
+        def kill_for_target(cutset=None, **_):
+            if cutset == target:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return False
+
+        farm = SolverFarm(jobs=2, backoff_seconds=0.0)
+        with faults.inject("worker_kill", when=kill_for_target):
+            list(farm.run(tasks))
+        charged = [
+            e for e in farm.events if e.kind in ("retry", "quarantine")
+        ]
+        assert charged
+        assert all(e.cutset == ("b", "d") for e in charged)
+
+
+class TestWatchdog:
+    def test_hung_task_times_out(self, three_tasks, tmp_path):
+        """A stalled worker is reaped by the wall deadline: its task comes
+        back as a timeout result, everyone else still finishes."""
+        _, tasks = three_tasks
+        farm = SolverFarm(jobs=2, task_timeout=0.5, backoff_seconds=0.0)
+        with faults.inject(
+            "transient_solve",
+            when=_hang_in_worker(os.getpid(), str(tmp_path / "hang.latch")),
+        ):
+            results = {r.task_id: r for r in farm.run(tasks)}
+        assert sorted(results) == [0, 1, 2]
+        timed_out = [r for r in results.values() if r.error_kind == "timeout"]
+        assert len(timed_out) == 1
+        assert farm.timeouts == 1
+        finished = [r for r in results.values() if r.ok]
+        assert len(finished) == 2
+
+    def test_no_timeout_without_deadline(self, three_tasks):
+        _, tasks = three_tasks
+        farm = SolverFarm(jobs=2)
+        results = list(farm.run(tasks))
+        assert all(r.ok for r in results)
+        assert farm.timeouts == 0
+        assert farm.events == []
+
+
+class TestAnalyzerIntegration:
+    def test_analysis_survives_a_killed_worker(self, cooling_sdft, tmp_path):
+        """End to end: jobs=2 with a one-shot worker kill still produces
+        the serial answer, and the health report records the recovery."""
+        baseline = analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+        with faults.inject(
+            "worker_kill", when=_kill_once(str(tmp_path / "kill.latch"))
+        ):
+            survived = analyze(
+                cooling_sdft, AnalysisOptions(horizon=24.0, jobs=2)
+            )
+        assert survived.failure_probability == baseline.failure_probability
+        assert any(e.stage == "pool" for e in survived.health.events)
+
+    def test_analysis_survives_a_hung_task(self, cooling_sdft, tmp_path):
+        """The watchdog reaps the hang; the parent re-solves the victim
+        in-process, so the final answer is still the serial one."""
+        baseline = analyze(cooling_sdft, AnalysisOptions(horizon=24.0))
+        with faults.inject(
+            "transient_solve",
+            when=_hang_in_worker(os.getpid(), str(tmp_path / "hang.latch")),
+        ):
+            survived = analyze(
+                cooling_sdft,
+                AnalysisOptions(
+                    horizon=24.0, jobs=2, pool_task_timeout_seconds=0.5
+                ),
+            )
+        assert survived.failure_probability == baseline.failure_probability
+        assert any(
+            "timeout" in e.message or "deadline" in e.message
+            for e in survived.health.events
+        )
+
+
+class TestFarmEvent:
+    def test_is_plain_frozen_data(self):
+        event = FarmEvent(kind="rebuild", message="pool rebuilt")
+        assert event.task_id is None and event.cutset is None
+        with pytest.raises(AttributeError):
+            event.kind = "other"

@@ -1,0 +1,133 @@
+"""Chaos campaigns: classification, determinism, the no-silent-corruption bar."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions
+from repro.robust.chaos import CampaignReport, RunOutcome, run_campaign
+
+HORIZON = 24.0
+
+
+@pytest.fixture
+def campaign(cooling_sdft):
+    return run_campaign(
+        cooling_sdft,
+        runs=20,
+        seed=11,
+        options=AnalysisOptions(horizon=HORIZON),
+    )
+
+
+class TestRunCampaign:
+    def test_twenty_runs_no_silent_corruption(self, campaign):
+        """The acceptance bar: every faulted run fails loudly or brackets."""
+        assert campaign.runs == 20
+        assert len(campaign.outcomes) == 20
+        assert campaign.ok
+        counts = campaign.counts()
+        assert counts.get("silent", 0) == 0
+        assert counts.get("contract", 0) == 0
+        # The schedule must actually bite: not every run stays clean.
+        assert counts.get("loud", 0) + counts.get("bracketed", 0) >= 1
+
+    def test_same_seed_reproduces_the_campaign(self, cooling_sdft, campaign):
+        again = run_campaign(
+            cooling_sdft,
+            runs=20,
+            seed=11,
+            options=AnalysisOptions(horizon=HORIZON),
+        )
+        assert [o.faults for o in again.outcomes] == [
+            o.faults for o in campaign.outcomes
+        ]
+        assert [o.outcome for o in again.outcomes] == [
+            o.outcome for o in campaign.outcomes
+        ]
+        assert again.clean_probability == campaign.clean_probability
+
+    def test_different_seeds_draw_different_schedules(self, cooling_sdft):
+        a = run_campaign(
+            cooling_sdft, runs=6, seed=1, options=AnalysisOptions(horizon=HORIZON)
+        )
+        b = run_campaign(
+            cooling_sdft, runs=6, seed=2, options=AnalysisOptions(horizon=HORIZON)
+        )
+        assert [o.faults for o in a.outcomes] != [o.faults for o in b.outcomes]
+
+    def test_bracketed_runs_keep_every_cutset(self, campaign):
+        for outcome in campaign.outcomes:
+            if outcome.outcome == "bracketed":
+                lower, upper = outcome.interval
+                assert lower <= campaign.clean_probability <= upper
+
+    def test_report_json_round_trips(self, campaign, tmp_path):
+        data = json.loads(campaign.to_json())
+        assert data["ok"] is True
+        assert data["runs"] == 20
+        assert len(data["outcomes"]) == 20
+        assert data["clean_probability"] == campaign.clean_probability
+        assert sum(data["counts"].values()) == 20
+
+    def test_summary_names_the_verdict(self, campaign):
+        text = campaign.summary()
+        assert "20 runs" in text
+        assert "no silent corruption" in text
+
+    def test_parallel_campaign_with_process_faults(self, cooling_sdft):
+        """jobs > 1 arms worker-kill and hang faults; the farm absorbs them."""
+        report = run_campaign(
+            cooling_sdft,
+            runs=4,
+            seed=5,
+            options=AnalysisOptions(horizon=HORIZON),
+            jobs=2,
+        )
+        assert report.ok
+        assert report.jobs == 2
+
+    def test_rejects_zero_runs(self, cooling_sdft):
+        with pytest.raises(ValueError, match="runs"):
+            run_campaign(cooling_sdft, runs=0)
+
+    def test_rejects_unknown_verify_mode(self, cooling_sdft):
+        with pytest.raises(ValueError, match="verify mode"):
+            run_campaign(cooling_sdft, runs=1, verify="sometimes")
+
+
+class TestClassification:
+    def test_silent_outcomes_fail_the_report(self):
+        good = RunOutcome(0, ("f",), "loud", "ok")
+        bad = RunOutcome(1, ("f",), "silent", "missed")
+        report = CampaignReport(
+            model="m",
+            runs=2,
+            seed=0,
+            jobs=1,
+            verify="cheap",
+            clean_probability=1e-5,
+            clean_interval=(1e-5, 1e-5),
+            clean_cutsets=3,
+            outcomes=(good, bad),
+            elapsed_seconds=0.1,
+        )
+        assert not report.ok
+        assert report.counts() == {"loud": 1, "silent": 1}
+        assert "FAILED" in report.summary()
+        assert "missed" in report.summary()
+
+    @pytest.mark.parametrize(
+        "outcome, ok",
+        [
+            ("clean", True),
+            ("loud", True),
+            ("bracketed", True),
+            ("silent", False),
+            ("contract", False),
+        ],
+    )
+    def test_outcome_acceptability(self, outcome, ok):
+        assert RunOutcome(0, (), outcome, "").ok is ok

@@ -173,6 +173,39 @@ def test_restored_records_are_not_requantified(cooling_sdft, tmp_path):
     assert resumed.n_cutsets >= n_saved
 
 
+def test_chaos_interrupted_run_resumes_bit_identical(cooling_sdft, tmp_path):
+    """Chaos x verify x checkpoint: a silently-corrupted value trips the
+    invariant guard (loud abort), and the resumed run — corruption gone —
+    reproduces the uninterrupted answer bit for bit."""
+    from repro.errors import InvariantViolation
+
+    clean = analyze(
+        cooling_sdft, AnalysisOptions(horizon=HORIZON, verify="cheap")
+    )
+    opts = _checkpointed(tmp_path, verify="cheap")
+
+    target = frozenset({"b", "c"})
+    with faults.inject_value(
+        "solve_value",
+        float("nan"),
+        when=lambda cutset=None, **_: cutset == target,
+    ):
+        with pytest.raises(InvariantViolation):
+            analyze(cooling_sdft, opts)
+    assert (tmp_path / "run.ckpt").exists()
+
+    resumed = analyze(cooling_sdft, dataclasses.replace(opts, resume=True))
+    assert resumed.failure_probability == clean.failure_probability
+    def essence(result):
+        return sorted(
+            (tuple(sorted(r.cutset)), r.probability, r.rung)
+            for r in result.records
+        )
+
+    assert essence(resumed) == essence(clean)
+    assert not (tmp_path / "run.ckpt").exists()
+
+
 def test_resume_refuses_a_different_problem(cooling_sdft, tmp_path):
     opts = _checkpointed(tmp_path)
     with faults.inject("transient_solve"):

@@ -174,6 +174,57 @@ class TestLintSmoke:
         assert main(["analyze", str(path)]) == 0
 
 
+class TestVerifySmoke:
+    def test_analyze_with_verify_cheap(self, sd_model_file, capsys):
+        assert main(["analyze", sd_model_file, "--verify", "cheap"]) == 0
+        assert "failure probability" in capsys.readouterr().out
+
+    def test_analyze_with_verify_full(self, sd_model_file, capsys):
+        assert main(["analyze", sd_model_file, "--verify", "full"]) == 0
+        assert "failure probability" in capsys.readouterr().out
+
+    def test_verify_modes_agree_with_off(self, sd_model_file, capsys):
+        outputs = []
+        for mode in ("off", "cheap", "full"):
+            assert main(["analyze", sd_model_file, "--verify", mode]) == 0
+            summary = capsys.readouterr().out
+            outputs.append(
+                next(
+                    line
+                    for line in summary.splitlines()
+                    if "failure probability" in line
+                )
+            )
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestChaosSmoke:
+    def test_campaign_on_model_file(self, sd_model_file, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", sd_model_file, "--runs", "5", "--seed", "7",
+             "--report", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "5 runs" in out
+        assert "no silent corruption" in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["seed"] == 7
+        assert len(payload["outcomes"]) == 5
+
+    def test_campaign_defaults_to_the_bwr_demo(self, capsys):
+        assert main(["chaos", "--runs", "2", "--cutoff", "1e-8"]) == 0
+        out = capsys.readouterr().out
+        assert "bwr" in out
+
+    def test_full_verify_campaign(self, sd_model_file, capsys):
+        assert main(
+            ["chaos", sd_model_file, "--runs", "3", "--verify", "full"]
+        ) == 0
+        assert "verify full" in capsys.readouterr().out
+
+
 class TestImportanceSmoke:
     def test_importance_table(self, sd_model_file, capsys):
         assert main(["importance", sd_model_file]) == 0
