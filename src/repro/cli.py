@@ -108,6 +108,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="runs per Monte-Carlo fallback simulation (with --degrade)",
     )
     analyze_cmd.add_argument(
+        "--mc-max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on total trajectories per rare-event estimate "
+        "(defaults to --mc-runs)",
+    )
+    analyze_cmd.add_argument(
+        "--mc-target-re",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="target 95%% relative half-width of the Monte-Carlo rung's "
+        "rare-event estimator (default 0.10); the health report states "
+        "the precision actually achieved",
+    )
+    analyze_cmd.add_argument(
+        "--mc-engine",
+        choices=("auto", "crude", "is", "splitting"),
+        default="auto",
+        help="estimator of the Monte-Carlo rung: crude sampling, "
+        "failure-biased importance sampling ('is'), importance "
+        "splitting, or 'auto' (a pilot batch decides; default)",
+    )
+    analyze_cmd.add_argument(
         "--checkpoint",
         metavar="PATH",
         default=None,
@@ -361,7 +386,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         wall_seconds=args.wall_seconds,
         max_total_states=args.max_total_states,
         budget_cutsets=args.budget_cutsets,
-        monte_carlo_runs=args.mc_runs,
+        monte_carlo_runs=(
+            args.mc_max_runs if args.mc_max_runs is not None else args.mc_runs
+        ),
+        mc_target_rel_error=args.mc_target_re,
+        mc_engine=args.mc_engine,
         checkpoint_path=args.checkpoint,
         checkpoint_interval_seconds=args.checkpoint_interval,
         resume=args.resume,

@@ -110,6 +110,15 @@ class AnalysisOptions:
       :class:`~repro.errors.CheckpointError`).
     * ``monte_carlo_runs`` / ``monte_carlo_seed`` control the ladder's
       simulation rung (seeded deterministically per cutset).
+    * ``mc_target_rel_error`` / ``mc_engine`` tune the simulation
+      rung's rare-event controller (:mod:`repro.ctmc.rare`):
+      ``mc_engine`` is ``"auto"`` (a crude pilot batch picks between
+      crude sampling, failure-biased importance sampling and
+      importance splitting), ``"crude"``, ``"is"`` or ``"splitting"``;
+      the controller iterates until the 95 % relative half-width drops
+      below ``mc_target_rel_error``, ``monte_carlo_runs`` trajectories
+      are spent, or the budget expires — the health report then names
+      the engine used and the precision actually achieved.
     * ``verify`` — runtime self-verification (:mod:`repro.robust.verify`):
       ``"off"`` (default) does nothing; ``"cheap"`` asserts the invariant
       catalogue (probabilities in range, intervals ordered, per-cutset
@@ -183,6 +192,8 @@ class AnalysisOptions:
     budget_cutsets: int | None = None
     monte_carlo_runs: int = 4_000
     monte_carlo_seed: int = 0
+    mc_target_rel_error: float = 0.10
+    mc_engine: str = "auto"
     checkpoint_path: str | None = None
     checkpoint_interval_seconds: float = 30.0
     resume: bool = False
@@ -448,7 +459,13 @@ def _final_verification(
             from repro.robust.crosscheck import run_crosschecks
 
             run_crosschecks(
-                sdft, mocus_tree, mocus_result, records, opts, health
+                sdft,
+                mocus_tree,
+                mocus_result,
+                records,
+                opts,
+                health,
+                metrics=obs.metrics if obs.enabled else None,
             )
 
 
@@ -1047,6 +1064,8 @@ def _quantify_one(
         budget=budget,
         monte_carlo_runs=opts.monte_carlo_runs,
         monte_carlo_seed=opts.monte_carlo_seed,
+        monte_carlo_target_rel_error=opts.mc_target_rel_error,
+        monte_carlo_engine=opts.mc_engine,
         obs=obs if obs.enabled else None,
     )
     for attempt in outcome.attempts:
@@ -1057,9 +1076,12 @@ def _quantify_one(
             rung=attempt.rung,
         )
     if outcome.degraded:
+        detail = "fallback value substituted"
+        if outcome.note:
+            detail = f"{detail} ({outcome.note})"
         health.degradation(
             "quantify",
-            "fallback value substituted",
+            detail,
             cutset=cutset,
             rung=outcome.rung,
         )

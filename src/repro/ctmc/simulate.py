@@ -13,6 +13,13 @@ instead of enumerating product states it samples trajectories —
 
 The estimator of ``Pr[Reach^{<=t}(F)]`` is the fraction of failing runs,
 reported with its standard error and a 95 % confidence interval.
+
+The state bookkeeping lives in :class:`TrajectoryKernel`, a lazily
+tabulated view of the consistent product states a batch of trajectories
+actually visits.  The crude estimator here and the rare-event engines of
+:mod:`repro.ctmc.rare` (failure-biased importance sampling, fixed-effort
+splitting) share it, so all of them agree on the semantics — only the
+sampling measure differs.
 """
 
 from __future__ import annotations
@@ -24,7 +31,15 @@ import numpy as np
 
 from repro.ctmc.product import SdSemantics
 
-__all__ = ["SimulationResult", "simulate_failure_probability"]
+__all__ = [
+    "SimulationResult",
+    "TrajectoryKernel",
+    "simulate_failure_probability",
+]
+
+#: Rule-of-three numerator: with zero observed failures in ``n`` runs the
+#: one-sided 95 % Clopper–Pearson upper bound is ``-ln(0.05)/n ~= 3/n``.
+_RULE_OF_THREE = 3.0
 
 
 @dataclass(frozen=True)
@@ -38,7 +53,21 @@ class SimulationResult:
 
     @property
     def confidence_interval(self) -> tuple[float, float]:
-        """Normal-approximation 95 % confidence interval, clipped to [0, 1]."""
+        """Normal-approximation 95 % confidence interval, clipped to [0, 1].
+
+        Degenerate tallies never produce an empty interval: with zero
+        observed failures the upper end is the rule-of-three bound
+        ``3/n`` (the ~95 % Clopper–Pearson upper limit), and with zero
+        observed survivals the lower end is its mirror ``1 - 3/n`` —
+        the same ``1/n`` scale :meth:`consistent_with` already floors
+        its acceptance band with.
+        """
+        if self.n_runs <= 0:
+            return (0.0, 1.0)
+        if self.n_failures == 0:
+            return (0.0, min(1.0, _RULE_OF_THREE / self.n_runs))
+        if self.n_failures == self.n_runs:
+            return (max(0.0, 1.0 - _RULE_OF_THREE / self.n_runs), 1.0)
         delta = 1.96 * self.standard_error
         return (max(0.0, self.estimate - delta), min(1.0, self.estimate + delta))
 
@@ -51,6 +80,197 @@ class SimulationResult:
         """
         slack = sigmas * max(self.standard_error, 1.0 / self.n_runs)
         return abs(value - self.estimate) <= slack
+
+
+class TrajectoryKernel:
+    """Lazily tabulated trajectory kernel over consistent product states.
+
+    Interns every *consistent* product state a trajectory visits to an
+    integer id and tabulates, per state, the exit rate and the enabled
+    local moves (destination ids, rates, cumulative rates, and whether
+    each move leaves a failed local state — a "repair-directed" move,
+    the distinction the failure-biasing sampler of
+    :mod:`repro.ctmc.rare` needs).  Nothing is enumerated up front:
+    unlike :func:`repro.ctmc.product.build_product` the kernel only ever
+    pays for states that are actually sampled, which is what makes the
+    simulation rungs usable exactly when the product space is too big
+    to build.
+    """
+
+    def __init__(self, sdft) -> None:
+        self.sdft = sdft
+        self.semantics = SdSemantics(sdft)
+        order = self.semantics.order
+        self._static_names = [n for n in order if sdft.is_static(n)]
+        self._static_p = np.array(
+            [sdft.static_events[n].probability for n in self._static_names]
+        )
+        self._dynamic_names = [n for n in order if sdft.is_dynamic(n)]
+        self._dynamic_initial: list[tuple[list, np.ndarray]] = []
+        for name in self._dynamic_names:
+            items = sorted(
+                sdft.chain_of(name).initial.items(), key=lambda x: str(x[0])
+            )
+            locals_ = [local for local, _ in items]
+            weights = np.array([p for _, p in items], dtype=float)
+            self._dynamic_initial.append((locals_, np.cumsum(weights)))
+        self._slots = {
+            name: self.semantics.position[name]
+            for name in self._static_names + self._dynamic_names
+        }
+        # Interning tables, grown lazily as trajectories discover states.
+        self._intern: dict[tuple, int] = {}
+        self._states: list[tuple] = []
+        self._fails: list[bool] = []
+        self._failed_counts: list[int] = []
+        self._exit_rates: list[float] = []
+        # Per-state move table: (dest ids, rates, cumulative rates,
+        # repair-directed flags); None for absorbing states.
+        self._moves: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ] = []
+
+    # ------------------------------------------------------------------
+    # State interning
+    # ------------------------------------------------------------------
+
+    def intern(self, raw_state: tuple) -> int:
+        """The id of ``make_consistent(raw_state)``, tabulating on first visit."""
+        found = self._intern.get(raw_state)
+        if found is not None:
+            return found
+        semantics = self.semantics
+        state = semantics.make_consistent(raw_state)
+        sid = self._intern.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._intern[state] = sid
+            self._states.append(state)
+            self._fails.append(semantics.fails_top(state))
+            self._failed_counts.append(
+                sum(
+                    state[i] in semantics.failed_local[name]
+                    for i, name in enumerate(semantics.order)
+                )
+            )
+            self._exit_rates.append(-1.0)  # move table built on demand
+            self._moves.append(None)
+        if state != raw_state:
+            self._intern[raw_state] = sid
+        return sid
+
+    def state(self, sid: int) -> tuple:
+        """The product-state tuple behind an id."""
+        return self._states[sid]
+
+    def fails(self, sid: int) -> bool:
+        """Whether the state fails the top gate."""
+        return self._fails[sid]
+
+    def failed_count(self, sid: int) -> int:
+        """How many basic events are in a failed local state.
+
+        The level function of the importance-splitting engine: failures
+        accumulate towards the top event, so the count is a cheap
+        monotone proxy for "how close to the top failure" a state is.
+        """
+        return self._failed_counts[sid]
+
+    # ------------------------------------------------------------------
+    # Move tables
+    # ------------------------------------------------------------------
+
+    def exit_rate(self, sid: int) -> float:
+        """Total rate out of the state (0.0 for absorbing states)."""
+        rate = self._exit_rates[sid]
+        if rate < 0.0:
+            rate = self._build_moves(sid)
+        return rate
+
+    def moves(
+        self, sid: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(dest ids, rates, cumulative rates, repair flags)`` or ``None``.
+
+        ``None`` marks an absorbing state — no enabled moves, or every
+        enabled move rated zero (possible in principle after trigger
+        updates); the race has no winner and the trajectory just sits
+        out the rest of the horizon.
+        """
+        if self._exit_rates[sid] < 0.0:
+            self._build_moves(sid)
+        return self._moves[sid]
+
+    def _build_moves(self, sid: int) -> float:
+        semantics = self.semantics
+        state = self._states[sid]
+        raw_moves = semantics.local_transitions(state)
+        total = math.fsum(rate for _, _, rate in raw_moves)
+        if not raw_moves or total <= 0.0:
+            # Absorbing: treat an all-zero race like no race at all
+            # instead of dividing by the zero total rate.
+            self._exit_rates[sid] = 0.0
+            self._moves[sid] = None
+            return 0.0
+        dests = np.empty(len(raw_moves), dtype=np.int64)
+        rates = np.empty(len(raw_moves), dtype=float)
+        repair = np.empty(len(raw_moves), dtype=bool)
+        for k, (event_name, destination, rate) in enumerate(raw_moves):
+            moved = list(state)
+            moved[semantics.position[event_name]] = destination
+            dests[k] = self.intern(tuple(moved))
+            rates[k] = rate
+            # A move out of a failed local state undoes failure progress;
+            # everything else (first failures, phase advances, switch-ons)
+            # is failure-directed for the biasing sampler.
+            position = semantics.position[event_name]
+            repair[k] = state[position] in semantics.failed_local[event_name]
+        self._exit_rates[sid] = total
+        self._moves[sid] = (dests, rates, np.cumsum(rates), repair)
+        return total
+
+    # ------------------------------------------------------------------
+    # Initial sampling
+    # ------------------------------------------------------------------
+
+    def sample_initial_ids(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Ids of ``n`` sampled (consistent) initial states.
+
+        Static coin flips and dynamic initial draws are vectorised over
+        the batch; the per-trajectory tuple assembly hits the interning
+        cache, so repeated draws of the same raw combination cost one
+        dict lookup.
+        """
+        order_len = len(self.semantics.order)
+        static_draws = (
+            rng.random((n, len(self._static_names))) < self._static_p
+            if self._static_names
+            else None
+        )
+        dynamic_draws = (
+            rng.random((n, len(self._dynamic_names)))
+            if self._dynamic_names
+            else None
+        )
+        ids = np.empty(n, dtype=np.int64)
+        template: list = [None] * order_len
+        for i in range(n):
+            raw = list(template)
+            for j, name in enumerate(self._static_names):
+                raw[self._slots[name]] = (
+                    "fail" if static_draws[i, j] else "ok"  # type: ignore[index]
+                )
+            for j, name in enumerate(self._dynamic_names):
+                locals_, cum = self._dynamic_initial[j]
+                if len(locals_) == 1:
+                    raw[self._slots[name]] = locals_[0]
+                else:
+                    pick = int(
+                        np.searchsorted(cum, dynamic_draws[i, j] * cum[-1])  # type: ignore[index]
+                    )
+                    raw[self._slots[name]] = locals_[min(pick, len(locals_) - 1)]
+            ids[i] = self.intern(tuple(raw))
+        return ids
 
 
 def simulate_failure_probability(
@@ -69,69 +289,41 @@ def simulate_failure_probability(
     if horizon < 0.0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
     rng = np.random.default_rng(seed)
-    semantics = SdSemantics(sdft)
-    order = semantics.order
+    kernel = TrajectoryKernel(sdft)
     n_failures = 0
-
-    static_probabilities = {
-        name: sdft.static_events[name].probability
-        for name in order
-        if sdft.is_static(name)
-    }
-    dynamic_initial = {}
-    for name in order:
-        if sdft.is_dynamic(name):
-            items = sorted(sdft.chain_of(name).initial.items(), key=lambda x: str(x[0]))
-            dynamic_initial[name] = (
-                [local for local, _ in items],
-                np.array([p for _, p in items]),
-            )
-
-    for _ in range(n_runs):
-        state = _sample_initial(
-            semantics, order, static_probabilities, dynamic_initial, rng
-        )
-        state = semantics.make_consistent(state)
-        if semantics.fails_top(state):
-            n_failures += 1
-            continue
-        clock = 0.0
-        while True:
-            moves = semantics.local_transitions(state)
-            if not moves:
-                break
-            total_rate = sum(rate for _, _, rate in moves)
-            clock += rng.exponential(1.0 / total_rate)
-            if clock > horizon:
-                break
-            choice = rng.random() * total_rate
-            running = 0.0
-            for event_name, destination, rate in moves:
-                running += rate
-                if choice < running:
-                    moved = list(state)
-                    moved[semantics.position[event_name]] = destination
-                    state = semantics.make_consistent(tuple(moved))
-                    break
-            if semantics.fails_top(state):
+    for start in range(0, n_runs, 4096):
+        batch = min(4096, n_runs - start)
+        sids = kernel.sample_initial_ids(batch, rng)
+        for i in range(batch):
+            if _run_one(kernel, int(sids[i]), horizon, rng):
                 n_failures += 1
-                break
-
     estimate = n_failures / n_runs
     standard_error = math.sqrt(max(estimate * (1.0 - estimate), 0.0) / n_runs)
     return SimulationResult(estimate, standard_error, n_runs, n_failures)
 
 
-def _sample_initial(semantics, order, static_probabilities, dynamic_initial, rng):
-    state = []
-    for name in order:
-        if name in static_probabilities:
-            failed = rng.random() < static_probabilities[name]
-            state.append("fail" if failed else "ok")
-        else:
-            locals_, weights = dynamic_initial[name]
-            if len(locals_) == 1:
-                state.append(locals_[0])
-            else:
-                state.append(locals_[rng.choice(len(locals_), p=weights)])
-    return tuple(state)
+def _run_one(
+    kernel: TrajectoryKernel,
+    sid: int,
+    horizon: float,
+    rng: np.random.Generator,
+) -> bool:
+    """One crude trajectory: did the top fail before the horizon?"""
+    if kernel.fails(sid):
+        return True
+    clock = 0.0
+    while True:
+        total_rate = kernel.exit_rate(sid)
+        if total_rate <= 0.0:
+            return False  # absorbing — sits out the rest of the horizon
+        clock += rng.exponential(1.0 / total_rate)
+        if clock > horizon:
+            return False
+        moves = kernel.moves(sid)
+        assert moves is not None
+        dests, _, cum, _ = moves
+        choice = rng.random() * total_rate
+        pick = int(np.searchsorted(cum, choice, side="right"))
+        sid = int(dests[min(pick, len(dests) - 1)])
+        if kernel.fails(sid):
+            return True

@@ -10,7 +10,8 @@ The implementation is the linear-time visit-timestamp algorithm of
 Dutuit & Rauzy: one DFS stamps each node with the times of its first and
 last encounter (re-encounters through other parents re-stamp the node);
 a gate is a module iff every descendant's stamps fall strictly inside
-the gate's own first/last window.
+the window from the gate's first visit to the completion of its first
+expansion.
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ def find_modules(tree: FaultTree) -> ModuleReport:
     """Return all module gates of ``tree`` (restricted to nodes under top)."""
     first: dict[str, int] = {}
     last: dict[str, int] = {}
+    done: dict[str, int] = {}
     clock = 0
 
     # Iterative DFS with explicit re-visit stamping.
@@ -48,6 +50,7 @@ def find_modules(tree: FaultTree) -> ModuleReport:
         if expanded:
             clock += 1
             last[name] = clock
+            done[name] = clock
             continue
         clock += 1
         if name in first:
@@ -76,12 +79,16 @@ def find_modules(tree: FaultTree) -> ModuleReport:
         min_first[name] = lo
         max_last[name] = hi
 
+    # The descendant window must close before the gate's *first expansion*
+    # completes, not before its last re-encounter: a later re-visit of the
+    # gate through another parent stretches ``last`` past re-visits of
+    # shared descendants and would mask outside references.
     modules = [
         name
         for name in tree.gates
         if name in reachable
         and min_first[name] > first[name]
-        and max_last[name] < last[name]
+        and max_last[name] < done[name]
     ]
     modules.sort(key=lambda n: first[n])
 

@@ -180,6 +180,24 @@ def metric_highlights(snapshot: dict | None) -> list[str]:
             f"ladder: {descents:g} descents, "
             f"{counters.get('ladder.attempts_failed', 0):g} failed rungs"
         )
+    mc_runs = counters.get("mc.runs")
+    if mc_runs:
+        engines = ", ".join(
+            f"{counters[key]:g}x {key.removeprefix('mc.engine.')}"
+            for key in sorted(counters)
+            if key.startswith("mc.engine.")
+        )
+        line = f"monte-carlo: {mc_runs:g} trajectories"
+        if engines:
+            line += f" ({engines})"
+        achieved = histograms.get("mc.achieved_rel_error")
+        if achieved and achieved["count"]:
+            line += (
+                f", achieved rel. error mean "
+                f"{achieved['total'] / achieved['count']:.3g} "
+                f"(worst {achieved['max']:.3g})"
+            )
+        lines.append(line)
     states = counters.get("budget.states_charged")
     if states is not None or counters.get("budget.cutsets_charged") is not None:
         lines.append(

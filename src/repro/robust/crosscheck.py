@@ -23,6 +23,13 @@ numbers, applied to the pipeline's own internals:
    ``bound`` rung would report must bracket the exact rung's value:
    adjacent ladder rungs agree, so a degraded answer elsewhere in the
    run is trustworthy.
+4. **Rare-event statistical agreement** — a sampled exactly-quantified
+   cutset is re-estimated through the rare-event Monte-Carlo engine
+   (:mod:`repro.ctmc.rare`) and the uniformization value must fall
+   inside the estimator's N-sigma interval.  Uniformization and the
+   trajectory sampler share no numerics — this is the check that keeps
+   scaling past the BDD oracle's 24-event ceiling, exactly the
+   cross-method validation rare-event DFT tools use on themselves.
 
 Checks are deterministic (the sample seed derives from the model name
 and record count), side-effect free on results, and skip — with a
@@ -47,6 +54,7 @@ if TYPE_CHECKING:
     from repro.core.sdft import SdFaultTree
     from repro.ft.mocus import MocusResult
     from repro.ft.tree import FaultTree
+    from repro.obs.metrics import MetricsRegistry, NullMetrics
     from repro.robust.health import HealthLog
 
 __all__ = ["CrosscheckSummary", "run_crosschecks"]
@@ -63,6 +71,14 @@ BDD_MAX_EVENTS = 24
 #: Relative agreement required between two solves of the same model.
 RECHECK_RTOL = 1e-8
 
+#: How many records the rare-event statistical check re-estimates.
+MC_SAMPLE = 1
+
+#: Acceptance band of the statistical check, in standard errors.  Wide
+#: enough that a healthy estimator disagrees with probability < 1e-6;
+#: a corrupted likelihood ratio overshoots it by orders of magnitude.
+MC_SIGMAS = 5.0
+
 
 @dataclass(frozen=True)
 class CrosscheckSummary:
@@ -72,12 +88,14 @@ class CrosscheckSummary:
     bdd_checked: bool = False
     bracketed: int = 0
     skipped: tuple[str, ...] = ()
+    mc_checked: int = 0
 
     def message(self) -> str:
         parts = [
             f"{self.rechecked} cutsets re-quantified",
             f"BDD oracle {'checked' if self.bdd_checked else 'skipped'}",
             f"{self.bracketed} ladder brackets verified",
+            f"{self.mc_checked} rare-event estimates cross-checked",
         ]
         if self.skipped:
             parts.append(f"skipped: {'; '.join(self.skipped)}")
@@ -91,11 +109,14 @@ def run_crosschecks(
     records: "Sequence[McsQuantification]",
     opts: "AnalysisOptions",
     health: "HealthLog",
+    metrics: "MetricsRegistry | NullMetrics | None" = None,
 ) -> CrosscheckSummary:
     """Run every differential check; raise :class:`CrosscheckError` on disagreement.
 
     Called by the analyzer at the end of the quantification phase when
-    ``verify="full"``.  Never mutates ``records``.
+    ``verify="full"``.  Never mutates ``records``.  ``metrics``
+    optionally receives the ``mc.*`` counters of the statistical check's
+    rare-event runs.
     """
     rng = random.Random(
         zlib.crc32(
@@ -106,8 +127,9 @@ def run_crosschecks(
     rechecked = _recheck_sample(sdft, records, opts, rng, skipped)
     bdd_checked = _bdd_oracle(mocus_tree, mocus_result, skipped)
     bracketed = _bracket_sample(sdft, records, opts, rng, skipped)
+    mc_checked = _rare_event_sample(sdft, records, opts, rng, skipped, metrics)
     summary = CrosscheckSummary(
-        rechecked, bdd_checked, bracketed, tuple(skipped)
+        rechecked, bdd_checked, bracketed, tuple(skipped), mc_checked
     )
     health.info("verify", summary.message())
     return summary
@@ -279,6 +301,83 @@ def _bracket_sample(
                 f"{'+'.join(sorted(record.cutset))}: exact value "
                 f"{record.probability!r} outside the bound rung's interval "
                 f"[{lower!r}, {bound.probability!r}]"
+            )
+        checked += 1
+    return checked
+
+
+# ----------------------------------------------------------------------
+# 4. Rare-event Monte-Carlo agrees with uniformization
+# ----------------------------------------------------------------------
+
+
+def _rare_event_sample(
+    sdft: "SdFaultTree",
+    records: "Sequence[McsQuantification]",
+    opts: "AnalysisOptions",
+    rng: random.Random,
+    skipped: list[str],
+    metrics: "MetricsRegistry | NullMetrics | None",
+) -> int:
+    """Statistically re-estimate sampled exact records via simulation.
+
+    The recorded (uniformization) value must land inside the rare-event
+    estimator's ``MC_SIGMAS``-standard-error interval.  Unlike the BDD
+    oracle this check has no size ceiling: the trajectory sampler never
+    builds the product space, so it keeps validating at the scale the
+    paper targets.
+    """
+    from repro.core.classify import classification_report
+    from repro.core.cutset_model import build_cutset_model
+    from repro.ctmc.rare import RareEventConfig, estimate_failure_probability
+
+    candidates = _exact_candidates(records)
+    if not candidates:
+        skipped.append("mc: no exactly-quantified dynamic cutsets")
+        return 0
+    sample = rng.sample(candidates, min(MC_SAMPLE, len(candidates)))
+    classes = classification_report(sdft).by_gate
+    config = RareEventConfig(
+        target_rel_error=opts.mc_target_rel_error,
+        max_runs=opts.monte_carlo_runs,
+        engine="auto",
+    )
+    checked = 0
+    for record in sample:
+        name = "+".join(sorted(record.cutset))
+        try:
+            model = build_cutset_model(sdft, record.cutset, classes)
+        except (NumericalError, AnalysisError) as error:
+            skipped.append(f"mc check of {name} failed: {error}")
+            continue
+        if model.model is None or model.trivially_zero:
+            skipped.append(f"mc check of {name}: nothing dynamic to simulate")
+            continue
+        if model.static_factor <= 0.0:
+            skipped.append(f"mc check of {name}: zero static factor")
+            continue
+        # The record's value is the dynamic reach probability times the
+        # static factor; the simulator only sees the dynamic part.
+        dynamic_exact = record.probability / model.static_factor
+        seed = (
+            opts.monte_carlo_seed + zlib.crc32(f"crosscheck\x00{name}".encode())
+        ) % 2**32
+        try:
+            result = estimate_failure_probability(
+                model.model, opts.horizon, config, seed=seed, metrics=metrics
+            )
+        except (NumericalError, AnalysisError) as error:
+            skipped.append(f"mc check of {name} failed: {error}")
+            continue
+        lower, upper = result.interval(sigmas=MC_SIGMAS)
+        if not (lower <= dynamic_exact <= upper):
+            raise CrosscheckError(
+                f"rare-event estimate disagrees for cutset {name}: "
+                f"uniformization value {dynamic_exact!r} outside the "
+                f"{result.engine} estimator's {MC_SIGMAS:g}-sigma interval "
+                f"[{lower!r}, {upper!r}] (estimate {result.estimate!r}, "
+                f"achieved rel. error {result.achieved_rel_error:.3g} "
+                f"over {result.n_runs} runs)"
             )
         checked += 1
     return checked

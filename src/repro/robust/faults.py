@@ -29,6 +29,12 @@ prove the verification layer catches it.  Value stages wired in:
 * ``"solve_value"`` — the dynamic reachability probability of one
   cutset model, right after the transient solve (both the in-process
   path and the pool worker).
+* ``"rare_event_weights"`` — the per-trajectory weighted contributions
+  of one rare-event Monte-Carlo batch (:mod:`repro.ctmc.rare`), before
+  they enter the running tally — a corrupted likelihood ratio.
+* ``"rare_event_estimate"`` — the rare-event engine's final point
+  estimate, before the interval is assembled — silent weight
+  inflation, the failure mode the interval-order guard must catch.
 
 Usage in tests::
 

@@ -11,8 +11,10 @@ cheaper strategies, in order:
    (:func:`repro.core.quantify.quantify_model`);
 2. ``lumped``      — the same solve on the exactly-lumped chain
    (:mod:`repro.ctmc.lumping`) — smaller and often better conditioned;
-3. ``monte_carlo`` — discrete-event simulation of the cutset's
-   ``FT_C`` (:mod:`repro.ctmc.simulate`), reported as a confidence
+3. ``monte_carlo`` — simulation of the cutset's ``FT_C`` through the
+   rare-event controller (:mod:`repro.ctmc.rare`): crude sampling for
+   common events, failure-biased importance sampling or importance
+   splitting for PSA-scale probabilities, reported as a confidence
    interval; never builds the product state space;
 4. ``bound``       — the conservative interval of
    :mod:`repro.core.bounds` (the paper's Section VIII approximation),
@@ -68,6 +70,9 @@ class LadderOutcome:
     record: McsQuantification
     rung: str
     attempts: tuple[LadderAttempt, ...] = ()
+    #: Rung-specific detail for the health report (e.g. which rare-event
+    #: engine ran and the relative error it actually achieved).
+    note: str = ""
 
     @property
     def degraded(self) -> bool:
@@ -87,6 +92,8 @@ def quantify_with_ladder(
     budget: Budget | None = None,
     monte_carlo_runs: int = 4_000,
     monte_carlo_seed: int = 0,
+    monte_carlo_target_rel_error: float = 0.10,
+    monte_carlo_engine: str = "auto",
     obs: Observability | None = None,
 ) -> LadderOutcome:
     """Quantify one cutset, degrading through the ladder on failure.
@@ -95,22 +102,27 @@ def quantify_with_ladder(
     the cutset's static worst-case bound) or when model construction
     itself fails.  ``monte_carlo_seed`` is mixed with a stable hash of
     the cutset so fallback simulations are reproducible per cutset yet
-    independent across cutsets.  ``obs`` optionally records the
-    ``ladder.*`` counters (descents, failed rungs, final rung) and is
-    threaded into the exact solves for their spans.
+    independent across cutsets; ``monte_carlo_engine`` and
+    ``monte_carlo_target_rel_error`` select and tune the rare-event
+    estimator of the simulation rung (``monte_carlo_runs`` caps its
+    total trajectories).  ``obs`` optionally records the ``ladder.*``
+    counters (descents, failed rungs, final rung) and is threaded into
+    the exact solves for their spans.
     """
     model = build_cutset_model(sdft, cutset, classes)
 
     attempts: list[LadderAttempt] = []
 
-    def _outcome(record: McsQuantification, rung: str) -> LadderOutcome:
+    def _outcome(
+        record: McsQuantification, rung: str, note: str = ""
+    ) -> LadderOutcome:
         if obs is not None:
             metrics = obs.metrics
             metrics.count(f"ladder.rung.{rung}")
             if attempts:
                 metrics.count("ladder.descents")
                 metrics.count("ladder.attempts_failed", len(attempts))
-        return LadderOutcome(record, rung, tuple(attempts))
+        return LadderOutcome(record, rung, tuple(attempts), note)
 
     def _exact(lumped: bool) -> McsQuantification:
         return quantify_model(
@@ -147,10 +159,17 @@ def quantify_with_ladder(
     # Pointless once the wall clock is gone; the bound rung is cheaper.
     if not (budget is not None and budget.expired()):
         try:
-            record = _monte_carlo(
-                model, horizon, monte_carlo_runs, monte_carlo_seed
+            record, note = _monte_carlo(
+                model,
+                horizon,
+                monte_carlo_runs,
+                monte_carlo_seed,
+                monte_carlo_target_rel_error,
+                monte_carlo_engine,
+                budget,
+                obs,
             )
-            return _outcome(record, "monte_carlo")
+            return _outcome(record, "monte_carlo", note)
         except _RECOVERABLE as error:
             attempts.append(LadderAttempt("monte_carlo", str(error)))
     else:
@@ -164,30 +183,53 @@ def quantify_with_ladder(
 
 
 def _monte_carlo(
-    model: CutsetModel, horizon: float, n_runs: int, seed: int
-) -> McsQuantification:
+    model: CutsetModel,
+    horizon: float,
+    n_runs: int,
+    seed: int,
+    target_rel_error: float,
+    engine: str,
+    budget: Budget | None,
+    obs: Observability | None,
+) -> tuple[McsQuantification, str]:
     """Simulate the cutset's ``FT_C`` and report a generous interval.
 
-    The interval is the estimate ± 4 standard errors (floored at one
-    run's worth of mass), matching the acceptance band of the
-    simulator's own ``consistent_with`` cross-checks.
+    Delegates to the adaptive rare-event controller — crude sampling
+    for events common enough to tally directly, importance sampling or
+    splitting at PSA probabilities — and reports the estimator's
+    4-standard-error interval (the acceptance band of the simulator's
+    own ``consistent_with`` cross-checks).  Returns the record plus a
+    health-report note naming the engine used and the relative error it
+    actually achieved.
     """
     faults.check("monte_carlo", cutset=model.cutset)
     if model.model is None or model.trivially_zero:
         # Static / infeasible cutsets never reach the ladder's lower
         # rungs in practice; quantify them exactly for completeness.
-        return quantify_model(model, horizon)
-    from repro.ctmc.simulate import simulate_failure_probability
+        return quantify_model(model, horizon), ""
+    from repro.ctmc.rare import RareEventConfig, estimate_failure_probability
 
     mixed_seed = (seed + zlib.crc32("+".join(sorted(model.cutset)).encode())) % 2**32
-    started = time.perf_counter()
-    sim = simulate_failure_probability(
-        model.model, horizon, n_runs=n_runs, seed=mixed_seed
+    config = RareEventConfig(
+        target_rel_error=target_rel_error, max_runs=n_runs, engine=engine
     )
-    slack = 4.0 * max(sim.standard_error, 1.0 / sim.n_runs)
-    upper = min(1.0, sim.estimate + slack)
-    lower = max(0.0, sim.estimate - slack)
-    return McsQuantification(
+    started = time.perf_counter()
+    result = estimate_failure_probability(
+        model.model,
+        horizon,
+        config,
+        seed=mixed_seed,
+        budget=budget,
+        metrics=obs.metrics if obs is not None else None,
+    )
+    lower, upper = result.interval(sigmas=4.0)
+    note = (
+        f"engine={result.engine} runs={result.n_runs} "
+        f"achieved_rel_error={result.achieved_rel_error:.3g} "
+        f"target={result.target_rel_error:.3g}"
+        + ("" if result.converged else " (budget hit before target)")
+    )
+    record = McsQuantification(
         model.cutset,
         upper * model.static_factor,
         True,
@@ -200,3 +242,4 @@ def _monte_carlo(
         lower_bound=lower * model.static_factor,
         rung="monte_carlo",
     )
+    return record, note

@@ -38,6 +38,27 @@ class TestKnownModules:
         assert "impure" not in report.modules
         assert "mid" not in report.modules  # contains the shared event
 
+    def test_late_reencounter_does_not_mask_shared_child(self):
+        """Regression: a re-visit of the gate *after* the outside
+        reference to its child must not stretch the stamp window.
+
+        ``g0 = {e0}`` is shared by ``g1`` (which also references ``e0``
+        directly — an outside parent) and re-encountered later through
+        ``g4``; the late re-visit used to push ``last[g0]`` past
+        ``e0``'s re-visit and report ``g0`` as a module.
+        """
+        b = FaultTreeBuilder()
+        b.events([(f"e{i}", 0.1) for i in range(6)])
+        b.or_("g0", "e0")
+        b.or_("g1", "g0", "e0", "e1", "e4")
+        b.or_("g2", "e1", "e4", "e2")
+        b.or_("g3", "e2", "g1")
+        b.or_("g4", "g0", "g2")
+        b.or_("g5", "e5", "g0", "e3", "g3", "g4")
+        report = find_modules(b.build("g5"))
+        assert "g0" not in report.modules
+        assert set(report.modules) == {"g5"}
+
     def test_maximal_modules_exclude_nested(self, cooling_tree):
         report = find_modules(cooling_tree)
         # pumps contains pump1/pump2; only pumps is maximal (top excluded).

@@ -1,0 +1,146 @@
+"""The rare-event engine inside the ladder, the analyzer and the crosschecks.
+
+End-to-end coverage of ISSUE 6's integration surface: the Monte-Carlo
+rung delegating to :mod:`repro.ctmc.rare`, health reporting of the
+achieved precision, bit-determinism across ``--jobs``, the P3
+interval-order guard against inverted IS intervals, and the full-mode
+statistical crosscheck.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.core.quantify import quantify_cutset
+from repro.ctmc.builders import exponential_failure
+from repro.errors import CrosscheckError, NumericalError
+from repro.robust import faults
+from repro.robust.ladder import quantify_with_ladder
+
+HORIZON = 24.0
+RARE_LAMBDA = 1.25e-5
+
+
+@pytest.fixture
+def rare_pair():
+    from repro.core.sdft import SdFaultTreeBuilder
+
+    b = SdFaultTreeBuilder("rare-pair")
+    b.dynamic_event("x", exponential_failure(RARE_LAMBDA))
+    b.dynamic_event("y", exponential_failure(RARE_LAMBDA))
+    b.and_("top", "x", "y")
+    return b.build("top")
+
+
+class TestLadderRung:
+    def test_rare_cutset_brackets_on_the_monte_carlo_rung(self, rare_pair):
+        """At p ~ 9e-8 the rewired rung still brackets the exact value."""
+        cutset = frozenset({"x", "y"})
+        exact = quantify_cutset(rare_pair, cutset, HORIZON).probability
+        assert exact <= 1e-7
+        with faults.inject("transient_solve", NumericalError("forced")):
+            outcome = quantify_with_ladder(
+                rare_pair, cutset, HORIZON, monte_carlo_runs=20_000
+            )
+        assert outcome.rung == "monte_carlo"
+        record = outcome.record
+        assert record.bounded
+        assert record.lower_bound > 0.0  # crude would report a hollow zero
+        assert record.lower_bound <= exact <= record.probability
+        assert "engine=is" in outcome.note
+        assert "achieved_rel_error=" in outcome.note
+
+    def test_engine_override_is_respected(self, cooling_sdft):
+        with faults.inject("transient_solve", NumericalError("forced")):
+            outcome = quantify_with_ladder(
+                cooling_sdft,
+                frozenset({"b", "d"}),
+                HORIZON,
+                monte_carlo_engine="crude",
+            )
+        assert outcome.rung == "monte_carlo"
+        assert "engine=crude" in outcome.note
+
+    def test_health_report_names_engine_and_achieved_precision(self, rare_pair):
+        opts = AnalysisOptions(
+            horizon=HORIZON, fault_isolation=True, monte_carlo_runs=20_000
+        )
+        with faults.inject("transient_solve", NumericalError("forced")):
+            result = analyze(rare_pair, opts)
+        degradations = [
+            e for e in result.health.degradations if e.rung == "monte_carlo"
+        ]
+        assert degradations
+        assert "engine=is" in degradations[0].message
+        assert "achieved_rel_error=" in degradations[0].message
+
+
+class TestJobsDeterminism:
+    def test_monte_carlo_records_bit_identical_across_jobs(self, cooling_sdft):
+        """The acceptance criterion's --jobs 1|2 clause.
+
+        Workers fail (the armed fault is inherited across fork), the
+        parent recovers every cutset through the ladder — so the rare
+        engine always runs in the parent with per-cutset mixed seeds,
+        and the records must match the serial run bit for bit.
+        """
+        base = AnalysisOptions(horizon=HORIZON, fault_isolation=True)
+        with faults.inject("transient_solve", NumericalError("forced")):
+            serial = analyze(cooling_sdft, dataclasses.replace(base, jobs=1))
+            parallel = analyze(cooling_sdft, dataclasses.replace(base, jobs=2))
+        strip = lambda r: dataclasses.replace(r, solve_seconds=0.0)  # noqa: E731
+        assert [strip(r) for r in serial.records] == [
+            strip(r) for r in parallel.records
+        ]
+        assert serial.failure_probability == parallel.failure_probability
+        assert any(r.rung == "monte_carlo" for r in serial.records)
+
+
+class TestInvariantGuard:
+    def test_p3_catches_an_inverted_is_interval(self, cooling_sdft):
+        """Silent weight inflation yields lower > upper; P3 must fire."""
+        clean = analyze(cooling_sdft, AnalysisOptions(horizon=HORIZON))
+        opts = AnalysisOptions(
+            horizon=HORIZON, fault_isolation=True, verify="cheap"
+        )
+        with faults.inject(
+            "transient_solve", NumericalError("forced")
+        ), faults.inject_value(
+            "rare_event_estimate", lambda p: p * 1e12 + 1.1, times=1
+        ):
+            result = analyze(cooling_sdft, opts)
+        violations = [
+            e
+            for e in result.health.degradations
+            if "invariant violation" in e.message
+        ]
+        assert violations, "the inverted interval must be caught, not shipped"
+        # The conservative substitute keeps the final interval honest.
+        lower, upper = result.failure_probability_interval()
+        assert lower <= clean.failure_probability <= upper
+
+
+class TestStatisticalCrosscheck:
+    def test_full_verify_cross_checks_a_rare_event_estimate(self, cooling_sdft):
+        result = analyze(
+            cooling_sdft, AnalysisOptions(horizon=HORIZON, verify="full")
+        )
+        notes = [
+            e.message
+            for e in result.health.events
+            if "crosscheck:" in e.message
+        ]
+        assert notes
+        assert "1 rare-event estimates cross-checked" in notes[0]
+
+    def test_corrupted_estimator_fails_the_crosscheck(self, cooling_sdft):
+        """N-sigma disagreement with uniformization raises CrosscheckError."""
+        with faults.inject_value(
+            "rare_event_estimate", lambda p: p * 50.0 + 1e-3
+        ), pytest.raises(CrosscheckError, match="rare-event estimate"):
+            analyze(
+                cooling_sdft, AnalysisOptions(horizon=HORIZON, verify="full")
+            )
