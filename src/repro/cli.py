@@ -175,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs > 1); an overrunning task is terminated and its "
         "cutsets recovered conservatively in the parent",
     )
+    analyze_cmd.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="directory of the persistent cross-run solve cache "
+        "(default: $REPRO_CACHE_DIR, else ~/.cache/repro); re-analysis "
+        "of an unchanged model is served from it near-instantly",
+    )
+    analyze_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent solve cache for this run",
+    )
     _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
@@ -347,6 +360,25 @@ def _add_observability_arguments(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolve_cache_dir(args: argparse.Namespace) -> "str | None":
+    """The persistent cache location for a CLI run (``None`` = off).
+
+    The CLI defaults the cache *on* (unlike the library, whose
+    :class:`AnalysisOptions` default is off): repeated command-line
+    analyses of the same model are the exact workload the cache exists
+    for.  ``--no-cache`` opts out; ``--cache-dir`` overrides the
+    ``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` default.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    from repro.perf.cache import default_cache_dir
+
+    return default_cache_dir()
+
+
 def _load_any(path: str):
     """Load a model file: Open-PSA XML by extension, otherwise JSON."""
     if str(path).endswith((".xml", ".mef")):
@@ -399,9 +431,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         pool_task_timeout_seconds=args.task_timeout,
         trace_path=args.trace,
         collect_metrics=args.metrics,
+        cache_dir=_resolve_cache_dir(args),
     )
     result = analyze(sdft, options)
     print(result.summary())
+    for event in result.health.events:
+        if event.stage == "cache":
+            print(event.message)
     if args.trace:
         print(f"trace written to {args.trace} (inspect with: sdft trace {args.trace})")
     if result.n_bounded_cutsets and not result.is_degraded:

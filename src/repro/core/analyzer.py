@@ -55,6 +55,7 @@ if TYPE_CHECKING:
     from repro.core.cutset_model import CutsetModel
     from repro.ft.tree import FaultTree
     from repro.lint.engine import LintReport
+    from repro.perf.cache import SolveCache
     from repro.perf.pool import SolveResult, SolverFarm
     from repro.robust.checkpoint import CheckpointManager
 
@@ -149,6 +150,23 @@ class AnalysisOptions:
       worker is recovered by re-running its cutsets in the parent
       through the usual degradation path.
 
+    Persistent caching (:mod:`repro.perf.cache`):
+
+    * ``cache_dir`` — directory of the on-disk solve cache.  ``None``
+      (the library default) disables persistence entirely; the CLI
+      defaults it to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``
+      (``--no-cache`` opts out).  Three layers, all keyed by content
+      fingerprints plus the value-affecting options: per-unique-model
+      chain solves, the MOCUS cutset list, and the full record set of
+      a clean run — so re-analysing an unchanged model is near-free
+      and an unchanged submodel still reuses its solves.  Corrupted or
+      version-mismatched entries degrade to cache misses, never
+      crashes; cached values flow through the same verification guards
+      as fresh ones; nothing is written while fault injection is armed
+      or when the run was budgeted, checkpointed, resumed, truncated
+      or degraded.  Hit/miss counts ride on the health report and the
+      ``cache.*`` metrics.
+
     Pre-flight linting (:mod:`repro.lint`):
 
     * ``lint`` — run the static model linter before the pipeline.  A
@@ -202,6 +220,7 @@ class AnalysisOptions:
     pool_task_timeout_seconds: float | None = None
     trace_path: str | None = None
     collect_metrics: bool = False
+    cache_dir: str | None = None
 
 
 def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -229,6 +248,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     )
     lint_report = _preflight_lint(sdft, opts, obs, health)
     manager, resumed = _open_checkpoint(sdft, opts, health)
+    solve_cache = _open_solve_cache(opts)
 
     with obs.tracer.span(
         "analyze",
@@ -237,69 +257,125 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         cutoff=opts.cutoff,
         jobs=str(opts.jobs),
     ):
-        started = time.perf_counter()
-        with obs.tracer.span("translate"):
-            translation = to_static(sdft, opts.horizon)
-            mocus_tree = translation.tree
-            if opts.mocus_probability_overrides:
-                mocus_tree = mocus_tree.with_probabilities(
-                    opts.mocus_probability_overrides
+        run_started = time.perf_counter()
+        warm = _restore_cached_result(
+            sdft, opts, solve_cache, budget, manager, resumed, verifier, health
+        )
+        if warm is not None:
+            records, static_bound, cache, perf = warm
+            mcs_truncated = False
+            mcs_remainder = 0.0
+            total = sum(
+                r.probability for r in records if r.probability > opts.cutoff
+            )
+            if verifier.enabled:
+                with obs.tracer.span("verify", mode=verifier.mode):
+                    _verify_restored(records, total, opts, verifier)
+                health.info("verify", verifier.summary())
+            timings = Timings(0.0, 0.0, time.perf_counter() - run_started)
+        else:
+            started = time.perf_counter()
+            with obs.tracer.span("translate"):
+                translation = to_static(sdft, opts.horizon)
+                mocus_tree = translation.tree
+                if opts.mocus_probability_overrides:
+                    mocus_tree = mocus_tree.with_probabilities(
+                        opts.mocus_probability_overrides
+                    )
+            translation_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            with obs.tracer.span("mocus") as mocus_span:
+                mocus_result, restored_records = _generate_cutsets(
+                    mocus_tree,
+                    opts,
+                    budget,
+                    health,
+                    manager,
+                    resumed,
+                    obs,
+                    solve_cache,
                 )
-        translation_seconds = time.perf_counter() - started
+                mocus_span.set(
+                    cutsets=len(mocus_result.cutsets),
+                    truncated=mocus_result.truncated,
+                )
+            if mocus_result.truncated:
+                health.budget(
+                    "mocus",
+                    f"cutset generation truncated after "
+                    f"{len(mocus_result.cutsets)} cutsets; un-enumerated mass "
+                    f"bounded by {mocus_result.remainder_bound:.3e}",
+                )
+            mcs_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        with obs.tracer.span("mocus") as mocus_span:
-            mocus_result, restored_records = _generate_cutsets(
-                mocus_tree, opts, budget, health, manager, resumed, obs
+            started = time.perf_counter()
+            with obs.tracer.span("quantify") as quantify_span:
+                records, cache, perf = _quantify_cutsets(
+                    sdft,
+                    translation.tree,
+                    mocus_result,
+                    opts,
+                    budget,
+                    health,
+                    manager,
+                    restored_records,
+                    obs,
+                    verifier,
+                    solve_cache,
+                )
+                quantify_span.set(
+                    records=len(records),
+                    dedup_hits=cache.hits,
+                    dedup_misses=cache.misses,
+                )
+            total = sum(
+                r.probability for r in records if r.probability > opts.cutoff
             )
-            mocus_span.set(
-                cutsets=len(mocus_result.cutsets),
-                truncated=mocus_result.truncated,
-            )
-        if mocus_result.truncated:
-            health.budget(
-                "mocus",
-                f"cutset generation truncated after "
-                f"{len(mocus_result.cutsets)} cutsets; un-enumerated mass "
-                f"bounded by {mocus_result.remainder_bound:.3e}",
-            )
-        mcs_seconds = time.perf_counter() - started
+            quantification_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        with obs.tracer.span("quantify") as quantify_span:
-            records, cache, perf = _quantify_cutsets(
+            if verifier.enabled:
+                _final_verification(
+                    sdft,
+                    mocus_tree,
+                    mocus_result,
+                    records,
+                    total,
+                    opts,
+                    verifier,
+                    health,
+                    obs,
+                )
+                health.info("verify", verifier.summary())
+
+            static_bound = mocus_result.cutsets.rare_event()
+            mcs_truncated = mocus_result.truncated
+            mcs_remainder = mocus_result.remainder_bound
+            timings = Timings(
+                translation_seconds, mcs_seconds, quantification_seconds
+            )
+            _store_cached_result(
                 sdft,
-                translation.tree,
-                mocus_result,
                 opts,
+                solve_cache,
                 budget,
-                health,
                 manager,
-                restored_records,
-                obs,
-                verifier,
-            )
-            quantify_span.set(
-                records=len(records),
-                dedup_hits=cache.hits,
-                dedup_misses=cache.misses,
-            )
-        total = sum(r.probability for r in records if r.probability > opts.cutoff)
-        quantification_seconds = time.perf_counter() - started
-
-        if verifier.enabled:
-            _final_verification(
-                sdft,
-                mocus_tree,
-                mocus_result,
+                resumed,
+                mcs_truncated,
                 records,
-                total,
-                opts,
-                verifier,
+                static_bound,
+                cache,
+                perf,
                 health,
-                obs,
             )
-            health.info("verify", verifier.summary())
+
+    if solve_cache is not None:
+        health.info("cache", solve_cache.summary())
+        if obs.enabled:
+            for name, value in solve_cache.stats().items():
+                if value:
+                    obs.metrics.count(f"cache.{name}", value)
+        solve_cache.close()
 
     if obs.enabled:
         # The dedup counters come from the shared cache totals (not the
@@ -331,17 +407,17 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
 
     return AnalysisResult(
         failure_probability=total,
-        static_bound=mocus_result.cutsets.rare_event(),
+        static_bound=static_bound,
         horizon=opts.horizon,
         cutoff=opts.cutoff,
         records=tuple(records),
-        timings=Timings(translation_seconds, mcs_seconds, quantification_seconds),
+        timings=timings,
         classification=classification_report(sdft),
         cache_hits=cache.hits,
         cache_misses=cache.misses,
         health=health.freeze(),
-        mcs_truncated=mocus_result.truncated,
-        mcs_remainder_bound=mocus_result.remainder_bound,
+        mcs_truncated=mcs_truncated,
+        mcs_remainder_bound=mcs_remainder,
         perf=perf,
         metrics=metrics_snapshot,
         lint=lint_report,
@@ -512,6 +588,193 @@ def _open_checkpoint(
     return manager, payload
 
 
+# ----------------------------------------------------------------------
+# Persistent-cache helpers (repro.perf.cache)
+# ----------------------------------------------------------------------
+
+
+def _open_solve_cache(opts: AnalysisOptions) -> "SolveCache | None":
+    """The run's :class:`~repro.perf.cache.SolveCache`, or ``None``."""
+    if not opts.cache_dir:
+        return None
+    from repro.perf.cache import SolveCache
+
+    return SolveCache(opts.cache_dir)
+
+
+def _records_options_key(opts: AnalysisOptions) -> tuple:
+    """Everything value-affecting beyond the model/horizon/cutoff.
+
+    ``jobs``, tracing, verification mode and checkpoint knobs are
+    deliberately absent: the determinism contract says they never change
+    analysis values, so a result computed under any of them answers all
+    of them.  (Budgeted, checkpointed or resumed runs are not *stored*
+    at all — see :func:`_store_cached_result`.)
+    """
+    overrides = None
+    if opts.mocus_probability_overrides:
+        overrides = tuple(
+            sorted(
+                (name, repr(value))
+                for name, value in opts.mocus_probability_overrides.items()
+            )
+        )
+    return (
+        repr(opts.epsilon),
+        opts.max_chain_states,
+        opts.max_partials,
+        opts.on_oversize,
+        opts.lump_chains,
+        overrides,
+        opts.fault_isolation,
+        opts.monte_carlo_runs,
+        opts.monte_carlo_seed,
+        repr(opts.mc_target_rel_error),
+        opts.mc_engine,
+    )
+
+
+def _restore_cached_result(
+    sdft: SdFaultTree,
+    opts: AnalysisOptions,
+    solve_cache: "SolveCache | None",
+    budget: "Budget | None",
+    manager: "CheckpointManager | None",
+    resumed: dict | None,
+    verifier: Verifier,
+    health: HealthLog,
+) -> "tuple[list[McsQuantification], float, QuantificationCache, PerfStats] | None":
+    """Serve the whole run from the records layer, when safe.
+
+    Only unconstrained runs qualify: a budget, a checkpoint manager or
+    a resume snapshot each carry semantics (partial results, phase
+    bookkeeping) a restored record list cannot honour, ``full``
+    verification needs the live pipeline for its differential
+    cross-checks, and an armed fault campaign must exercise the real
+    stages.  Returns ``(records, static_bound, cache, perf)`` or
+    ``None``.
+    """
+    from repro.robust import faults
+
+    if (
+        solve_cache is None
+        or budget is not None
+        or manager is not None
+        or resumed is not None
+        or opts.verify == "full"
+        or faults.any_armed()
+    ):
+        return None
+    from repro.perf.pool import resolve_jobs
+    from repro.robust.checkpoint import model_fingerprint, record_from_dict
+
+    fingerprint = model_fingerprint(sdft, opts.horizon, opts.cutoff)
+    payload = solve_cache.get_records(fingerprint, _records_options_key(opts))
+    if payload is None:
+        return None
+    try:
+        records = [record_from_dict(raw) for raw in payload["records"]]
+        static_bound = float(payload["static_bound"])
+        dedup = payload.get("dedup", {})
+        cache = QuantificationCache()
+        cache.hits = int(dedup.get("hits", 0))
+        cache.misses = int(dedup.get("misses", 0))
+        perf = PerfStats(
+            jobs=resolve_jobs(opts.jobs),
+            dynamic_solves=int(dedup.get("dynamic_solves", 0)),
+            unique_models_solved=int(dedup.get("unique_models_solved", 0)),
+            dedup_ratio=float(dedup.get("dedup_ratio", 0.0)),
+            worker_faults=0,
+        )
+    except (KeyError, TypeError, ValueError):
+        # A malformed payload is a miss, never a failed analysis.
+        solve_cache.errors += 1
+        return None
+    health.info(
+        "cache",
+        f"full-result hit: {len(records)} records restored "
+        f"(translate/mocus/quantify skipped)",
+    )
+    return records, static_bound, cache, perf
+
+
+def _verify_restored(
+    records: "list[McsQuantification]",
+    total: float,
+    opts: AnalysisOptions,
+    verifier: Verifier,
+) -> None:
+    """Run-scope invariants (P1/P3) over a cache-restored record set.
+
+    Restored runs were stored clean and non-truncated, so the remainder
+    bound is zero and the per-record dominance check already passed when
+    the records were produced; what must hold *now* is that the restored
+    numbers still form a sound bracket — a rotted payload fails here.
+    """
+    verifier.check_value(total, "rare-event failure probability sum")
+    lower = 0.0
+    upper = 0.0
+    for record in records:
+        if record.probability > opts.cutoff:
+            upper += record.probability
+            if record.bounded and record.lower_bound is not None:
+                lower += record.lower_bound
+            else:
+                lower += record.probability
+    verifier.check_interval(lower, total, upper, "failure probability interval")
+
+
+def _store_cached_result(
+    sdft: SdFaultTree,
+    opts: AnalysisOptions,
+    solve_cache: "SolveCache | None",
+    budget: "Budget | None",
+    manager: "CheckpointManager | None",
+    resumed: dict | None,
+    truncated: bool,
+    records: "list[McsQuantification]",
+    static_bound: float,
+    cache: QuantificationCache,
+    perf: "PerfStats",
+    health: HealthLog,
+) -> None:
+    """Persist a clean run's full record set to the records layer.
+
+    Only a pristine run is stored: unbudgeted, uncheckpointed, not
+    resumed, not truncated, and with a clean health report (no
+    degradations, retries or warnings — a degraded record set would be
+    served to later runs that might not degrade at all).  Fault-armed
+    processes never write (enforced again inside the cache).
+    """
+    if (
+        solve_cache is None
+        or budget is not None
+        or manager is not None
+        or resumed is not None
+        or truncated
+        or not health.freeze().is_clean
+    ):
+        return
+    from repro.robust.checkpoint import model_fingerprint, record_to_dict
+
+    fingerprint = model_fingerprint(sdft, opts.horizon, opts.cutoff)
+    solve_cache.put_records(
+        fingerprint,
+        _records_options_key(opts),
+        {
+            "records": [record_to_dict(r) for r in records],
+            "static_bound": static_bound,
+            "dedup": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "dynamic_solves": perf.dynamic_solves,
+                "unique_models_solved": perf.unique_models_solved,
+                "dedup_ratio": perf.dedup_ratio,
+            },
+        },
+    )
+
+
 def _generate_cutsets(
     mocus_tree: "FaultTree",
     opts: AnalysisOptions,
@@ -520,11 +783,19 @@ def _generate_cutsets(
     manager: "CheckpointManager | None",
     resumed: dict | None,
     obs: Observability = NULL_OBS,
+    solve_cache: "SolveCache | None" = None,
 ) -> "tuple[MocusResult, dict]":
     """Run (or restore) cutset generation, surviving budget exhaustion.
 
     Returns the MOCUS result plus the quantification records restored
     from a quantify-phase checkpoint (empty when not resuming).
+
+    With a persistent cache, an unconstrained run first consults the
+    MOCUS layer: the cache stores the *pre-truncation* minimal cutsets
+    of a completed search keyed by a content digest of the static tree,
+    and the loading process re-sorts and re-truncates locally — so a
+    warm list is element-for-element what this process's own search
+    would have produced.
     """
     if resumed is not None and resumed["phase"] == "quantify":
         from repro.robust.checkpoint import record_from_dict
@@ -548,6 +819,36 @@ def _generate_cutsets(
             remainder_bound=state.get("mcs_remainder_bound", 0.0),
         )
         return result, restored
+
+    digest = None
+    unconstrained = budget is None and manager is None and resumed is None
+    if solve_cache is not None and unconstrained:
+        from repro.perf.cache import tree_digest
+        from repro.robust import faults
+
+        digest = tree_digest(mocus_tree)
+        if not faults.any_armed():
+            names = solve_cache.get_mocus(
+                digest, opts.cutoff, opts.max_partials
+            )
+            if names is not None:
+                probabilities = {
+                    name: event.probability
+                    for name, event in mocus_tree.events.items()
+                }
+                cutsets = CutSetList.from_cutsets(
+                    [frozenset(cutset) for cutset in names],
+                    probabilities,
+                    minimal=True,
+                )
+                if opts.cutoff > 0.0:
+                    cutsets = cutsets.truncate(opts.cutoff)
+                health.info(
+                    "cache",
+                    f"mocus: {len(cutsets)} cutsets restored "
+                    f"(search skipped)",
+                )
+                return MocusResult(cutsets), {}
 
     mocus_resume = None
     if resumed is not None and resumed["phase"] == "mocus":
@@ -574,6 +875,13 @@ def _generate_cutsets(
         # continue the search instead of redoing it.
         if manager is not None:
             manager.save("mocus", {"mocus": error.partial.frontier})
+    if digest is not None and not result.truncated:
+        solve_cache.put_mocus(
+            digest,
+            opts.cutoff,
+            opts.max_partials,
+            [list(cutset) for cutset in result.full_cutsets],
+        )
     return result, {}
 
 
@@ -588,6 +896,7 @@ def _quantify_cutsets(
     restored: dict,
     obs: Observability = NULL_OBS,
     verifier: Verifier | None = None,
+    solve_cache: "SolveCache | None" = None,
 ) -> "tuple[list[McsQuantification], bool]":
     """Quantify every cutset with isolation, budgets and checkpoints.
 
@@ -599,12 +908,14 @@ def _quantify_cutsets(
     from repro.perf.pool import resolve_jobs
 
     n_jobs = resolve_jobs(opts.jobs)
+    cache = QuantificationCache()
+    cache.persistent = solve_cache
     ctx = _QuantifyContext(
         sdft,
         translation_tree,
         opts,
         classification_report(sdft).by_gate,
-        QuantificationCache(),
+        cache,
         budget,
         health,
         obs=obs,
@@ -800,6 +1111,17 @@ class _QuantifyContext:
                 return self.quantify(model.cutset)
             self.budget.charge_states(result.chain_states, "quantify")
         self.cache.put(key, result.probability, result.chain_states)
+        if self.cache.persistent is not None and result.solve_seconds > 0.0:
+            # Write a *pool-solved* value through to disk; cache-served
+            # values (solve_seconds == 0) are already there.
+            self.cache.persistent.put_solve(
+                key,
+                self.opts.epsilon,
+                self.opts.max_chain_states,
+                self.opts.lump_chains,
+                result.probability,
+                result.chain_states,
+            )
         return self.checked(
             McsQuantification(
                 model.cutset,
@@ -859,7 +1181,7 @@ def _quantify_parallel(
     parent via :meth:`_QuantifyContext.quantify`).
     """
     from repro.perf.dedup import DedupPlan
-    from repro.perf.pool import SolveTask, SolverFarm
+    from repro.perf.pool import SolveResult, SolveTask, fork_available, warm_farm
     from repro.perf.schedule import estimate_chain_states
 
     opts = ctx.opts
@@ -896,10 +1218,39 @@ def _quantify_parallel(
             )
     obs = ctx.obs
     groups = plan.groups
+    persistent = ctx.cache.persistent
+    if persistent is not None:
+        # Pre-resolve unique models from the on-disk cache: a warm group
+        # never becomes a pool task at all.  The synthesised result then
+        # flows through exactly the same fold (value guard, budget
+        # charge, in-memory cache prime) as a pool-solved one.
+        for task_id, group in enumerate(groups):
+            warm = persistent.get_solve(
+                group.key,
+                opts.epsilon,
+                opts.max_chain_states,
+                opts.lump_chains,
+            )
+            if warm is not None:
+                probability, chain_states = warm
+                group.result = SolveResult(
+                    task_id,
+                    probability=probability,
+                    chain_states=chain_states,
+                )
+    pending = [
+        (task_id, group)
+        for task_id, group in enumerate(groups)
+        if group.result is None
+    ]
+    # With fork available, workers inherit the deduped model table from
+    # the parent's memory and tasks carry just an index — no per-task
+    # model pickling.  Without fork, models ship inline as before.
+    use_table = fork_available()
     tasks = [
         SolveTask(
             task_id=task_id,
-            model=group.representative.model,
+            model=None if use_table else group.representative.model,
             horizon=opts.horizon,
             epsilon=opts.epsilon,
             max_chain_states=opts.max_chain_states,
@@ -910,8 +1261,9 @@ def _quantify_parallel(
             estimated_states=estimate_chain_states(group.representative.model),
             collect_obs=obs.enabled,
             submitted_at=time.time() if obs.enabled else None,
+            model_index=index if use_table else -1,
         )
-        for task_id, group in enumerate(groups)
+        for index, (task_id, group) in enumerate(pending)
     ]
 
     worker_faults = 0
@@ -948,10 +1300,13 @@ def _quantify_parallel(
             next_index += 1
 
     if tasks:
-        farm = SolverFarm(
-            n_jobs, task_timeout=opts.pool_task_timeout_seconds
-        )
-        for result in farm.run(tasks):
+        farm = warm_farm(n_jobs, task_timeout=opts.pool_task_timeout_seconds)
+        if use_table:
+            farm.set_model_table(
+                [group.representative.model for _, group in pending],
+                tuple(group.key for _, group in pending),
+            )
+        for result in farm.run_batched(tasks):
             group = groups[result.task_id]
             group.result = result
             if not result.ok:
@@ -960,6 +1315,10 @@ def _quantify_parallel(
                 _merge_worker_obs(obs, result)
             fold_ready()
         _surface_farm_events(farm, ctx.health, obs)
+        if obs.enabled and farm.batch_sizes:
+            obs.metrics.count("pool.batches", len(farm.batch_sizes))
+            for size in farm.batch_sizes:
+                obs.metrics.observe("pool.batch_size", size)
     fold_ready()
     return worker_faults
 

@@ -31,6 +31,7 @@ from repro.robust import faults
 if TYPE_CHECKING:
     from repro.core.classify import ClassificationReport
     from repro.obs.core import Observability
+    from repro.perf.cache import SolveCache
     from repro.robust.budget import Budget
 
 __all__ = [
@@ -94,6 +95,11 @@ class QuantificationCache:
         self._store: dict[tuple, tuple[float, int]] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`repro.perf.cache.SolveCache` backing store.
+        #: An in-memory miss consults it before solving; a fresh solve
+        #: is written through.  Hits from disk count as *misses* here
+        #: (they are first occurrences in this run) but skip the solve.
+        self.persistent: "SolveCache | None" = None
 
     def signature(self, model: SdFaultTree, horizon: float) -> tuple:
         """A hashable key identifying the quantification problem."""
@@ -220,6 +226,32 @@ def quantify_model(
                 cache_hit=True,
             )
 
+    if cache is not None and key is not None and cache.persistent is not None:
+        warm = cache.persistent.get_solve(
+            key, epsilon, max_chain_states, lump_chains
+        )
+        if warm is not None:
+            # A prior run already solved this exact model under these
+            # exact solver knobs.  Keep the run's accounting identical
+            # to a fresh solve: the budget is charged for the states
+            # the solve *would* have cost, and the in-memory cache is
+            # primed so later members of the group hit it as usual.
+            probability, solved_states = warm
+            if budget is not None:
+                budget.charge_states(solved_states, "quantify")
+            cache.put(key, probability, solved_states)
+            return McsQuantification(
+                model.cutset,
+                probability * model.static_factor,
+                True,
+                model.n_dynamic_in_cutset,
+                model.n_dynamic_in_model,
+                model.n_added_dynamic,
+                solved_states,
+                0.0,
+                rung="lumped" if lump_chains else "exact",
+            )
+
     obs = obs if obs is not None else NULL_OBS
     started = time.perf_counter()
     with obs.tracer.span(
@@ -255,6 +287,15 @@ def quantify_model(
     elapsed = time.perf_counter() - started
     if cache is not None and key is not None:
         cache.put(key, dynamic_probability, solved_states)
+        if cache.persistent is not None:
+            cache.persistent.put_solve(
+                key,
+                epsilon,
+                max_chain_states,
+                lump_chains,
+                dynamic_probability,
+                solved_states,
+            )
     return McsQuantification(
         model.cutset,
         dynamic_probability * model.static_factor,

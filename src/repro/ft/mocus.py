@@ -113,6 +113,10 @@ class MocusResult:
     stats: MocusStats = field(default_factory=MocusStats)
     truncated: bool = False
     remainder_bound: float = 0.0
+    #: The complete minimal cutsets *before* cutoff truncation, as
+    #: sorted name tuples — what the persistent cache stores so a warm
+    #: run can re-truncate locally (empty for truncated searches).
+    full_cutsets: tuple[tuple[str, ...], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -167,11 +171,19 @@ def mocus(
     stats = MocusStats()
     use_cutoff = opts.cutoff > 0.0
 
-    # A partial cutset is (probability, event mask, gate mask).
+    # A partial cutset is (probability, event mask, gate mask,
+    # parent-verified event mask, completed-list watermark).  The last
+    # two fields drive the incremental subsumption test: when a child
+    # carries the *same* event mask its parent already verified against
+    # the completed list, only cutsets completed since the parent's
+    # check (``completed[watermark:]``) can possibly subsume it.
     if resume is not None:
+        # Restored partials carry no parental verification (-1 never
+        # equals an event mask), so each gets one full check — sound,
+        # and paid only once per restored frontier entry.
         stack = [
             (probability, _names_to_mask(compiled, events, False),
-             _names_to_mask(compiled, gates, True))
+             _names_to_mask(compiled, gates, True), -1, 0)
             for probability, events, gates in resume["frontier"]
         ]
         completed = [
@@ -180,10 +192,10 @@ def mocus(
         ]
         completed_lookup = set(completed)
         stats.completed = len(completed)
-        seen = {(events, gates) for _, events, gates in stack}
+        seen = {(events, gates) for _, events, gates, _, _ in stack}
         enqueued = len(stack)
     else:
-        stack = [(1.0, 0, 1 << compiled.root_bit)]
+        stack = [(1.0, 0, 1 << compiled.root_bit, -1, 0)]
         seen = {(0, stack[0][2])}
         completed = []
         completed_lookup = set()
@@ -201,7 +213,7 @@ def mocus(
                     sorted(_mask_to_names(compiled, events)),
                     _mask_to_gate_names(compiled, gates),
                 ]
-                for probability, events, gates in stack
+                for probability, events, gates, _, _ in stack
             ],
         }
 
@@ -211,6 +223,7 @@ def mocus(
         named = [_mask_to_names(compiled, mask) for mask in minimal_masks]
         probabilities = {name: e.probability for name, e in tree.events.items()}
         cutsets = CutSetList.from_cutsets(named, probabilities, minimal=True)
+        full = tuple(tuple(sorted(names)) for names in named)
         if use_cutoff:
             cutsets = cutsets.truncate(opts.cutoff)
         if metrics is not None:
@@ -222,9 +235,10 @@ def mocus(
             metrics.count("mocus.partials_subsumed", stats.partials_subsumed)
             metrics.count("mocus.cutsets_completed", stats.completed)
             metrics.count("mocus.cutsets_minimal", stats.minimal)
-        return MocusResult(cutsets, stats)
+        return MocusResult(cutsets, stats, full_cutsets=full)
 
     next_progress = progress_every
+    pick_memo: dict[int, int] = {}
     try:
         while stack:
             # Budget polls, fault polls and progress snapshots all happen
@@ -237,12 +251,28 @@ def mocus(
             if on_progress is not None and stats.partials_expanded >= next_progress:
                 on_progress(snapshot)
                 next_progress = stats.partials_expanded + progress_every
-            probability, events, gates = stack.pop()
-            if completed_lookup and _is_subsumed_mask(
-                events, completed_lookup, completed
-            ):
-                stats.partials_subsumed += 1
-                continue
+            probability, events, gates, verified, watermark = stack.pop()
+            if completed_lookup:
+                # The expensive submask walk is needed only for masks no
+                # ancestor has vouched for.  A child whose event mask
+                # equals the one its parent already verified can only be
+                # subsumed by cutsets completed *after* that check — an
+                # exact shortcut, because completions only happen at the
+                # pop of a gate-free partial, never between a parent's
+                # check and its pushes.
+                if events == verified:
+                    subsumed = False
+                    if watermark != len(completed):
+                        for mask in completed[watermark:]:
+                            if mask & ~events == 0:
+                                subsumed = True
+                                break
+                    if subsumed:
+                        stats.partials_subsumed += 1
+                        continue
+                elif _is_subsumed_mask(events, completed_lookup, completed):
+                    stats.partials_subsumed += 1
+                    continue
             if not gates:
                 completed.append(events)
                 completed_lookup.add(events)
@@ -256,7 +286,11 @@ def mocus(
                     budget.charge_cutset("mocus")
                 continue
             stats.partials_expanded += 1
-            gate_bit = _pick_gate_bit(compiled, gates)
+            verified_at = len(completed)
+            gate_bit = pick_memo.get(gates, -1)
+            if gate_bit < 0:
+                gate_bit = _pick_gate_bit(compiled, gates)
+                pick_memo[gates] = gate_bit
             remaining = gates & ~(1 << gate_bit)
             for add_events, add_gates in compiled.branches[gate_bit]:
                 new_bits = add_events & ~events
@@ -277,7 +311,9 @@ def mocus(
                     stats.partials_deduplicated += 1
                     continue
                 seen.add(state)
-                stack.append((new_probability, new_events, new_gates))
+                stack.append(
+                    (new_probability, new_events, new_gates, events, verified_at)
+                )
                 enqueued += 1
                 if enqueued > opts.max_partials:
                     raise CutoffError(
@@ -289,7 +325,7 @@ def mocus(
         # cutsets, and the frontier's probability sum conservatively
         # bounds everything not yet enumerated (union bound over the
         # frontier branches).
-        remainder = sum(probability for probability, _, _ in stack)
+        remainder = sum(entry[0] for entry in stack)
         result = finish()
         error.partial = MocusPartial(
             MocusResult(

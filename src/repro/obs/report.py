@@ -159,6 +159,16 @@ def metric_highlights(snapshot: dict | None) -> list[str]:
             f"(max {queue['max']:.3f}s), "
             f"{counters.get('pool.worker_faults', 0):g} worker faults"
         )
+    batches = counters.get("pool.batches")
+    if batches:
+        sizes = histograms.get("pool.batch_size")
+        line = f"batching: {batches:g} batches"
+        if sizes and sizes["count"]:
+            line += (
+                f", mean {sizes['total'] / sizes['count']:.1f} tasks/batch "
+                f"(max {sizes['max']:g})"
+            )
+        lines.append(line)
     recovery = {
         kind: counters.get(f"pool.{kind}", 0)
         for kind in ("rebuilds", "timeouts", "retries", "quarantined", "probes")
@@ -197,6 +207,19 @@ def metric_highlights(snapshot: dict | None) -> list[str]:
                 f"{achieved['total'] / achieved['count']:.3g} "
                 f"(worst {achieved['max']:.3g})"
             )
+        lines.append(line)
+    cache_keys = [key for key in counters if key.startswith("cache.")]
+    if cache_keys:
+        solve_hits = counters.get("cache.solve_hits", 0)
+        solve_misses = counters.get("cache.solve_misses", 0)
+        line = (
+            f"cache: {solve_hits:g} solve hits / {solve_misses:g} misses, "
+            f"{counters.get('cache.mocus_hits', 0):g} mocus hits, "
+            f"{counters.get('cache.records_hits', 0):g} record hits"
+        )
+        errors = counters.get("cache.errors", 0)
+        if errors:
+            line += f", {errors:g} errors (served as misses)"
         lines.append(line)
     states = counters.get("budget.states_charged")
     if states is not None or counters.get("budget.cutsets_charged") is not None:

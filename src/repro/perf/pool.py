@@ -25,29 +25,59 @@ wall deadline is terminated by a watchdog and returned as a
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.perf.schedule import order_largest_first
+from repro.perf.schedule import order_largest_first, plan_batches
 
 __all__ = [
     "FarmEvent",
+    "SolveBatch",
     "SolveResult",
     "SolveTask",
     "SolverFarm",
     "resolve_jobs",
+    "shutdown_warm_farm",
+    "solve_batch",
     "solve_task",
+    "warm_farm",
 ]
 
 #: Watchdog poll period when no per-task deadline is set: frequent
 #: enough to observe which futures are *running* (crash attribution),
 #: rare enough to cost nothing next to a chain solve.
 _WATCH_TICK_SECONDS = 0.1
+
+#: The deduped model table shared with forked workers.  The parent
+#: installs it (:meth:`SolverFarm.set_model_table`) *before* the
+#: persistent pool forks; children inherit the whole table through the
+#: fork snapshot, so a :class:`SolveTask` can reference its model by
+#: ``model_index`` instead of pickling the matrices per task.
+_MODEL_TABLE: tuple = ()
+
+#: Bumped on every table install; a pool forked under an older epoch
+#: holds stale models and is recycled before the next dispatch.
+_MODEL_EPOCH: int = 0
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method (inherited state) exists here."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
 
 
 def resolve_jobs(jobs) -> int:
@@ -96,6 +126,10 @@ class SolveTask:
     collect_obs: bool = False
     #: Dispatch wall-clock (``time.time()``) for queue-wait accounting.
     submitted_at: float | None = None
+    #: When ``model`` is ``None``, the index of the model in the
+    #: fork-inherited table installed by
+    #: :meth:`SolverFarm.set_model_table` — the zero-copy shipping path.
+    model_index: int = -1
 
 
 @dataclass(frozen=True)
@@ -171,6 +205,7 @@ def solve_task(task: SolveTask) -> SolveResult:
 
     started = time.perf_counter()
     cutset = frozenset(task.cutset)
+    model = task.model if task.model is not None else _MODEL_TABLE[task.model_index]
     try:
         with obs.tracer.span(
             "pool.task",
@@ -190,7 +225,7 @@ def solve_task(task: SolveTask) -> SolveResult:
                     max_total_states=task.state_allowance,
                 )
             faults.check("chain_build", cutset=cutset)
-            product = build_product(task.model, max_states=task.max_chain_states)
+            product = build_product(model, max_states=task.max_chain_states)
             chain = product.chain
             solved_states = product.n_states
             if task.lump_chains:
@@ -240,6 +275,29 @@ def solve_task(task: SolveTask) -> SolveResult:
             solve_seconds=time.perf_counter() - started,
         )
     )
+
+
+@dataclass(frozen=True)
+class SolveBatch:
+    """Many solve tasks shipped across the process boundary in one go.
+
+    One pickle round-trip per *batch* instead of per task — with the
+    model table fork-inherited, the payload is just task ids, indices
+    and scalar knobs, so the IPC cost per solve collapses.
+    """
+
+    tasks: tuple[SolveTask, ...]
+
+
+def solve_batch(batch: SolveBatch) -> list[SolveResult]:
+    """Solve every task of a batch in one worker call, largest first.
+
+    Each task is still solved by :func:`solve_task` with its own error
+    capture, so a numerically failing solve cannot take its batch
+    siblings down; only a hard worker death loses the batch, and the
+    farm then recovers those tasks through the per-task path.
+    """
+    return [solve_task(task) for task in batch.tasks]
 
 
 @dataclass(frozen=True)
@@ -309,6 +367,19 @@ class SolverFarm:
         self.backoff_seconds = backoff_seconds
         self.events: list[FarmEvent] = []
         self.rebuilds = 0
+        self.batch_sizes: list[int] = []
+        self._probe_requested = False
+        # The persistent (batched-dispatch) pool, kept warm across runs.
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_epoch = -1
+        self._pool_tainted = False  # forked while faults were armed
+        self._table_key: object = None
+
+    def _reset_run_state(self) -> None:
+        """Per-run bookkeeping reset so a warm farm reports per-analysis."""
+        self.events = []
+        self.rebuilds = 0
+        self.batch_sizes = []
         self._probe_requested = False
 
     @property
@@ -329,8 +400,130 @@ class SolverFarm:
         except ValueError:
             return None
 
+    def set_model_table(self, models, key) -> None:
+        """Install the deduped model table for fork-inherited shipping.
+
+        ``key`` identifies the table's content (e.g. the tuple of group
+        fingerprints); re-installing the same key is free.  A changed
+        table bumps the global epoch, which recycles the persistent
+        pool before its next dispatch — workers forked under the old
+        table must never serve the new indices.
+        """
+        global _MODEL_TABLE, _MODEL_EPOCH
+        if key == self._table_key and self._pool is not None:
+            return
+        _MODEL_TABLE = tuple(models)
+        _MODEL_EPOCH += 1
+        self._table_key = key
+
+    def _persistent_pool(self) -> ProcessPoolExecutor:
+        """The warm pool for batched dispatch, recycled when stale.
+
+        Stale means: forked under an older model table, forked while
+        fault injection was armed (workers inherited armed faults), or
+        faults are armed *now* (the next fork must inherit them, so the
+        chaos/test semantics of ``run()`` carry over to batches).
+        """
+        from repro.robust import faults
+
+        armed = faults.any_armed()
+        if self._pool is not None and (
+            self._pool_tainted or armed or self._pool_epoch != _MODEL_EPOCH
+        ):
+            self._recycle()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._context()
+            )
+            self._pool_epoch = _MODEL_EPOCH
+            self._pool_tainted = armed
+        return self._pool
+
+    def _recycle(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True)
+            except Exception:
+                pass  # a broken pool may refuse a clean shutdown
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        self._recycle()
+
+    def run_batched(self, tasks: Iterable[SolveTask]) -> Iterator[SolveResult]:
+        """Yield one result per task, dispatched in balanced batches.
+
+        The economic path: tasks are packed into ``~4×jobs`` batches by
+        :func:`repro.perf.schedule.plan_batches` and submitted to the
+        persistent warm pool, one pickle round-trip per batch.  A batch
+        lost to a worker death (or any pool breakage) is recovered
+        through :meth:`run`'s per-task path, which preserves the
+        strike/quarantine/probe hardening; small task lists, ``jobs=1``
+        and per-task watchdog deadlines also fall back to :meth:`run`
+        (a batch is not interruptible mid-flight, so timeouts need
+        per-task dispatch).
+        """
+        queue = list(tasks)
+        self._reset_run_state()
+        if not queue:
+            return
+        if (
+            self.task_timeout is not None
+            or self.jobs == 1
+            or len(queue) <= self.jobs * 2
+        ):
+            yield from self._run(queue)
+            return
+        batches = plan_batches(queue, self.jobs * 4)
+        self.batch_sizes = [len(batch) for batch in batches]
+        pool = self._persistent_pool()
+        fallback: list[SolveTask] = []
+        try:
+            futures = {
+                pool.submit(solve_batch, SolveBatch(tuple(batch))): batch
+                for batch in batches
+            }
+        except Exception:
+            # The warm pool died between runs (e.g. its processes were
+            # reaped); rebuild through the per-task path.
+            self._recycle()
+            self.rebuilds += 1
+            self.events.append(
+                FarmEvent(
+                    "rebuild",
+                    "warm pool was unusable at dispatch; "
+                    "recovering through per-task dispatch",
+                )
+            )
+            yield from self._run(queue)
+            return
+        for future in as_completed(futures):
+            batch = futures[future]
+            error = future.exception()
+            if error is None:
+                yield from future.result()
+            else:
+                self.rebuilds += 1
+                self.events.append(
+                    FarmEvent(
+                        "rebuild",
+                        f"batch of {len(batch)} task(s) lost with the "
+                        f"pool ({type(error).__name__}); recovering "
+                        f"through per-task dispatch",
+                    )
+                )
+                fallback.extend(batch)
+        if fallback:
+            self._recycle()
+            yield from self._run(fallback)
+
     def run(self, tasks: Iterable[SolveTask]) -> Iterator[SolveResult]:
         """Yield one result per task, in completion order."""
+        self._reset_run_state()
+        yield from self._run(tasks)
+
+    def _run(self, tasks: Iterable[SolveTask]) -> Iterator[SolveResult]:
         queue = order_largest_first(tasks)
         if not queue:
             return
@@ -564,3 +757,40 @@ class SolverFarm:
                 yield task
             else:
                 yield task
+
+
+#: The process-wide warm farm, shared by consecutive analyses in one
+#: process (the CLI, tests, future service loops) so the pool fork and
+#: worker imports are paid once, not per analysis.
+_WARM_FARM: SolverFarm | None = None
+
+
+def warm_farm(jobs: int, task_timeout: float | None = None) -> SolverFarm:
+    """The lazily-created shared farm for ``jobs`` workers.
+
+    A different ``jobs`` count shuts the previous farm down and builds
+    a new one; a different ``task_timeout`` just updates the attribute
+    (it only gates the batched/per-task dispatch choice and the
+    watchdog deadline of the next run).  The farm's persistent pool is
+    closed automatically at interpreter exit; call
+    :func:`shutdown_warm_farm` for an explicit shutdown.
+    """
+    global _WARM_FARM
+    if _WARM_FARM is not None and _WARM_FARM.jobs != jobs:
+        shutdown_warm_farm()
+    if _WARM_FARM is None:
+        _WARM_FARM = SolverFarm(jobs, task_timeout=task_timeout)
+    else:
+        _WARM_FARM.task_timeout = task_timeout
+    return _WARM_FARM
+
+
+def shutdown_warm_farm() -> None:
+    """Close the shared farm's pool and forget it (idempotent)."""
+    global _WARM_FARM
+    if _WARM_FARM is not None:
+        _WARM_FARM.close()
+        _WARM_FARM = None
+
+
+atexit.register(shutdown_warm_farm)

@@ -10,7 +10,7 @@ product of the per-event local state-space sizes of the cutset's model.
 
 from __future__ import annotations
 
-__all__ = ["estimate_chain_states", "order_largest_first"]
+__all__ = ["estimate_chain_states", "order_largest_first", "plan_batches"]
 
 #: Estimates are capped here — beyond it the ordering no longer matters
 #: and unbounded products of large chains would overflow usefully-sized
@@ -46,3 +46,28 @@ def order_largest_first(tasks) -> list:
     deterministic for a deterministic task list.
     """
     return sorted(tasks, key=lambda task: -task.estimated_states)
+
+
+def plan_batches(tasks, n_batches: int) -> list[list]:
+    """Pack solve tasks into ``n_batches`` balanced batches (greedy LPT).
+
+    Tasks are taken largest-first and each is appended to the currently
+    lightest batch (by summed estimated states) — the classic
+    longest-processing-time makespan heuristic, reused here to balance
+    *batch* cost so one IPC round-trip per batch amortises many solves
+    without creating a straggler batch.
+
+    Ties pick the lowest batch index, so for a deterministic task list
+    the plan is deterministic.  Empty batches are dropped; batch
+    internal order is largest-first (big solves fail fast).
+    """
+    n_batches = max(1, min(n_batches, len(tasks)))
+    batches: list[list] = [[] for _ in range(n_batches)]
+    loads = [0] * n_batches
+    for task in order_largest_first(tasks):
+        lightest = loads.index(min(loads))
+        batches[lightest].append(task)
+        # Every task costs at least 1 so counts stay balanced even when
+        # the state estimates are all tiny.
+        loads[lightest] += max(1, task.estimated_states)
+    return [batch for batch in batches if batch]

@@ -30,10 +30,13 @@ sub-worst-case inflation can only be caught by ``verify="full"``
 re-quantification and is deliberately not part of the campaign),
 rare-event corruptions (a poisoned likelihood ratio and a silently
 inflated estimate inside :mod:`repro.ctmc.rare`, each paired with a
-persistent solver failure so the Monte-Carlo rung is actually reached)
-and — when ``jobs > 1`` — process-level faults: a SIGKILLed worker and
-a hung task that the farm's watchdog must reap.  Everything is deterministic
-in ``seed``; campaigns are exposed as ``sdft chaos`` and run in CI.
+persistent solver failure so the Monte-Carlo rung is actually reached),
+persistent-cache faults (a NaN served from a prewarmed on-disk solve
+cache, and a cache prewarmed at a *different horizon* whose stale
+entries must miss, not serve) and — when ``jobs > 1`` —
+process-level faults: a SIGKILLed worker and a hung task that the
+farm's watchdog must reap.  Everything is deterministic in ``seed``;
+campaigns are exposed as ``sdft chaos`` and run in CI.
 """
 
 from __future__ import annotations
@@ -43,7 +46,12 @@ import os
 import signal
 import tempfile
 import time
-from contextlib import AbstractContextManager, ExitStack, contextmanager
+from contextlib import (
+    AbstractContextManager,
+    ExitStack,
+    contextmanager,
+    nullcontext,
+)
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterator
 
@@ -67,6 +75,9 @@ _HANG_SECONDS = 2.0
 #: Relative slack when testing whether an interval brackets the clean
 #: answer (pure float accumulation differences).
 _BRACKET_RTOL = 1e-9
+
+#: Catalogue entries that need a prewarmed per-run cache directory.
+_CACHE_FAULTS = frozenset({"nan@cache_value", "stale@cache_entry"})
 
 
 @dataclass(frozen=True)
@@ -343,6 +354,30 @@ def _catalogue(
             ),
             False,
         ),
+        (
+            "nan@cache_value",
+            # A bit-rotted payload the sqlite layer could not catch: the
+            # first solve-layer cache *read* of the run hands back NaN.
+            # The verify invariants must flag it exactly like a NaN from
+            # a live solve — a cached value gets no trust discount.  The
+            # run's cache dir is prewarmed by a clean analysis first
+            # (see run_campaign); writes stay disabled while armed, so
+            # the corruption can never be persisted back.
+            lambda: faults.inject_value(
+                "cache_value", float("nan"), times=1
+            ),
+            False,
+        ),
+        (
+            "stale@cache_entry",
+            # No fault armed at all: the run's cache dir is prewarmed at
+            # a *different horizon* (see run_campaign).  Every stale
+            # entry must miss — a wrong serve would shift the answer and
+            # classify "silent"; the correct full-miss run reproduces
+            # the reference bit-for-bit and classifies "clean".
+            lambda: nullcontext(),
+            False,
+        ),
     ]
     if jobs > 1:
         kill_latch = os.path.join(scratch_dir, f"kill-{run_index}.latch")
@@ -430,6 +465,26 @@ def run_campaign(
                     pool_task_timeout_seconds=_HANG_TIMEOUT_SECONDS,
                 )
             names = tuple(name for name, _, _ in chosen)
+            if any(name in _CACHE_FAULTS for name in names):
+                # The cache faults only bite when the faulted run has a
+                # populated on-disk cache to read from.  Prewarm a
+                # per-run directory with clean analyses *before* any
+                # fault is armed: same-horizon entries for the
+                # corrupted-read fault, different-horizon entries for
+                # the staleness probe.
+                run_opts = replace(
+                    run_opts,
+                    cache_dir=os.path.join(
+                        scratch_dir, f"cache-{run_index}"
+                    ),
+                )
+                if "nan@cache_value" in names:
+                    analyze(sdft, run_opts)
+                if "stale@cache_entry" in names:
+                    analyze(
+                        sdft,
+                        replace(run_opts, horizon=run_opts.horizon * 2.0),
+                    )
             outcomes.append(
                 _one_run(
                     sdft,

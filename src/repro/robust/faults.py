@@ -18,7 +18,9 @@ Stages wired into the pipeline:
 * ``"checkpoint"``     — before writing a checkpoint snapshot,
 * ``"worker_kill"``    — inside a pool worker, before it starts solving
   (process-level faults: a ``when`` predicate may ``os.kill`` the
-  worker to simulate a hard crash — see :mod:`repro.robust.chaos`).
+  worker to simulate a hard crash — see :mod:`repro.robust.chaos`),
+* ``"cache_read"``     — on a persistent solve-cache hit, before the
+  cached value is served (:mod:`repro.perf.cache`).
 
 Besides raising, a fault can silently *corrupt a value*: production
 code passes candidate results through :func:`corrupt`, and a test (or a
@@ -35,6 +37,13 @@ prove the verification layer catches it.  Value stages wired in:
 * ``"rare_event_estimate"`` — the rare-event engine's final point
   estimate, before the interval is assembled — silent weight
   inflation, the failure mode the interval-order guard must catch.
+* ``"cache_value"`` — a probability served from the persistent solve
+  cache (:mod:`repro.perf.cache`), after validation — an
+  on-disk entry that rotted *after* passing the read-time checks.
+
+The persistent cache additionally refuses to **write** any entry while
+any fault is armed (see :func:`any_armed`), so a chaos campaign can
+never leak a corrupted value into later, un-faulted runs.
 
 Usage in tests::
 
@@ -62,6 +71,7 @@ from repro.errors import InjectedFaultError
 _T = TypeVar("_T")
 
 __all__ = [
+    "any_armed",
     "check",
     "clear",
     "corrupt",
@@ -222,6 +232,16 @@ def inject_value(
             stack.remove(fault)
         if not stack:
             _armed_values.pop(stage, None)
+
+
+def any_armed() -> bool:
+    """Whether any fault (exception or value) is currently armed.
+
+    Used by side-effecting layers that must not persist state produced
+    under injection — notably the persistent solve cache, which treats
+    an armed process as untrustworthy and skips all writes.
+    """
+    return bool(_armed or _armed_values)
 
 
 def clear() -> None:

@@ -20,6 +20,18 @@ hypothesis.settings.register_profile(
 hypothesis.settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the persistent solve cache at a per-test directory.
+
+    The CLI enables the cache by default, so without this a test's
+    analysis could be served from a record set another test (or an
+    earlier suite run) stored under ``~/.cache/repro`` — hermetic tests
+    must neither read nor pollute the user's real cache.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "solve-cache"))
+
+
 @pytest.fixture
 def cooling_tree():
     """The static cooling system of paper Example 1.
