@@ -334,6 +334,73 @@ def measure_verify_overhead(
     }
 
 
+def measure_static_engines(horizon: float = 24.0) -> dict:
+    """BDD-exact vs cutset quantification on the static BWR tree.
+
+    Compiles the trigger-free BWR model's static translation with the
+    production BDD quantifier and compares value, wall time and the
+    served estimator against the classical MOCUS + aggregation path.
+    Asserts the soundness bracket the analyzer relies on:
+    ``largest single cutset <= exact <= cutset estimate``.
+    """
+    from repro.bdd.quantify import quantify_static_tree
+    from repro.core.to_static import to_static
+    from repro.ft.mocus import MocusOptions, mocus
+    from repro.models.bwr import BwrConfig, build_bwr
+
+    sdft = build_bwr(BwrConfig(triggers=()))
+    tree = to_static(sdft, horizon).tree
+
+    started = time.perf_counter()
+    exact = quantify_static_tree(tree)
+    bdd_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cutsets = mocus(tree, MocusOptions(cutoff=1e-12)).cutsets
+    estimate, estimator = cutsets.sound_estimate()
+    mcs_wall = time.perf_counter() - started
+
+    slack = 1e-9 * max(1.0, exact.probability)
+    assert estimate >= exact.probability - slack, (
+        "cutset estimate fell below the exact BDD probability"
+    )
+    assert cutsets.largest_cutset_probability() <= exact.probability + slack, (
+        "exact BDD probability fell below the largest single cutset"
+    )
+    overestimate_pct = (
+        100.0 * (estimate - exact.probability) / exact.probability
+        if exact.probability > 0.0
+        else 0.0
+    )
+    print(
+        f"[bwr-static] bdd-exact {exact.probability:.6e} "
+        f"({exact.node_count} nodes, order {exact.ordering}, "
+        f"{exact.n_modules} modules, {bdd_wall:.3f}s) vs "
+        f"mcs {estimate:.6e} ({estimator}, {len(cutsets)} cutsets, "
+        f"{mcs_wall:.3f}s; +{overestimate_pct:.3f}% over exact)",
+        flush=True,
+    )
+    return {
+        "model": "bwr-static",
+        "horizon": horizon,
+        "bdd": {
+            "probability": exact.probability,
+            "nodes": exact.node_count,
+            "ordering": exact.ordering,
+            "modules": exact.n_modules,
+            "wall_seconds": round(bdd_wall, 4),
+        },
+        "mcs": {
+            "estimate": estimate,
+            "estimator": estimator,
+            "n_cutsets": len(cutsets),
+            "wall_seconds": round(mcs_wall, 4),
+        },
+        "rare_event_overestimate_pct": round(overestimate_pct, 4),
+        "bracket_holds": True,
+    }
+
+
 def validate_payload(payload: dict) -> None:
     """Schema check of an emitted ``BENCH_quantify.json`` (raises on error)."""
 
@@ -356,6 +423,29 @@ def validate_payload(payload: dict) -> None:
         expect(isinstance(payload.get(key), kind), f"{key} must be {kind.__name__}")
     expect(payload["cpu_count"] >= 1, "cpu_count must be positive")
     expect(len(payload["cases"]) >= 1, "at least one case required")
+    engines = payload.get("static_engine")
+    expect(
+        isinstance(engines, dict), "static_engine comparison must be present"
+    )
+    for side, fields in (
+        ("bdd", ("probability", "nodes", "wall_seconds")),
+        ("mcs", ("estimate", "n_cutsets", "wall_seconds")),
+    ):
+        block = engines.get(side)
+        expect(isinstance(block, dict), f"static_engine.{side} must be an object")
+        for key in fields:
+            expect(
+                isinstance(block.get(key), (int, float)),
+                f"static_engine.{side}.{key} missing",
+            )
+    expect(
+        isinstance(engines["bdd"].get("ordering"), str),
+        "static_engine.bdd.ordering must name the heuristic used",
+    )
+    expect(
+        engines.get("bracket_holds") is True,
+        "static_engine: the soundness bracket failed",
+    )
     for case in payload["cases"]:
         for key, kind in (
             ("model", str),
@@ -489,6 +579,7 @@ def main(argv=None) -> int:
         "tiny": args.tiny,
         "jobs_swept": jobs_list,
         "cases": cases,
+        "static_engine": measure_static_engines(),
     }
     validate_payload(payload)
     with open(args.output, "w", encoding="utf-8") as handle:

@@ -2,23 +2,40 @@
 
 The exact counterpart of the MOCUS pipeline: compile a coherent fault
 tree into a BDD, read off the exact top-event probability, extract the
-exact minimal cutsets.  Used as an oracle in the test suite and in the
-cutset-engine ablation benchmark.
+exact minimal cutsets.  Since the static-engine promotion this is the
+*production* quantifier for trigger-free fault trees
+(:func:`~repro.bdd.quantify.quantify_static_tree`, selected by
+``AnalysisOptions(static_engine="auto"|"bdd")``), as well as the exact
+oracle behind the differential cross-checks and the cutset-engine
+ablation benchmark.
 """
 
 from repro.bdd.engine import FALSE, TRUE, BddManager
 from repro.bdd.ft_bdd import CompiledTree, compile_tree, exact_mcs, exact_probability
-from repro.bdd.ordering import alphabetical_order, dfs_order, probability_order
+from repro.bdd.ordering import (
+    ORDERINGS,
+    alphabetical_order,
+    depth_order,
+    dfs_order,
+    probability_order,
+    weight_order,
+)
+from repro.bdd.quantify import BddQuantification, quantify_static_tree
 
 __all__ = [
     "FALSE",
+    "ORDERINGS",
     "TRUE",
     "BddManager",
+    "BddQuantification",
     "CompiledTree",
     "alphabetical_order",
     "compile_tree",
+    "depth_order",
     "dfs_order",
     "exact_mcs",
     "exact_probability",
     "probability_order",
+    "quantify_static_tree",
+    "weight_order",
 ]

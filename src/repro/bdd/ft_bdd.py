@@ -9,8 +9,10 @@ tree compiles bottom-up into one BDD per gate; the top gate's BDD gives
   recursion for monotone functions (Rauzy-style minimal solutions,
   materialised as explicit sets with per-node memoisation).
 
-Both serve as oracles for the approximate static pipeline in tests and
-in the A1 ablation benchmark.
+This module is both the production static engine's compiler (wrapped by
+:mod:`repro.bdd.quantify`, which adds ordering selection and module-wise
+decomposition) and the exact oracle the differential cross-checks and
+the A1 ablation benchmark compare against.
 """
 
 from __future__ import annotations
@@ -82,19 +84,23 @@ class CompiledTree:
 
 
 def compile_tree(
-    tree: FaultTree, order: Sequence[str] | None = None
+    tree: FaultTree,
+    order: Sequence[str] | None = None,
+    node_budget: int | None = None,
 ) -> CompiledTree:
     """Compile every gate of ``tree`` into a shared-manager BDD.
 
     ``order`` optionally fixes the variable order (a permutation of the
     event names); the default is the DFS heuristic of
-    :func:`repro.bdd.ordering.dfs_order`.
+    :func:`repro.bdd.ordering.dfs_order`.  ``node_budget`` caps the
+    manager's node table: a compilation that would grow past it raises
+    :class:`~repro.errors.BddBudgetExceeded` instead of thrashing.
     """
     chosen = list(order) if order is not None else dfs_order(tree)
     if sorted(chosen) != sorted(tree.events):
         raise ValueError("order must be a permutation of the tree's basic events")
     index = {name: i for i, name in enumerate(chosen)}
-    manager = BddManager()
+    manager = BddManager(node_budget=node_budget)
     node_of: dict[str, int] = {
         name: manager.var(index[name]) for name in tree.events
     }

@@ -188,6 +188,23 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent solve cache for this run",
     )
+    analyze_cmd.add_argument(
+        "--static-engine",
+        choices=("auto", "bdd", "mcs"),
+        default="auto",
+        help="quantifier for static (trigger-free) models: 'bdd' compiles "
+        "the tree into a BDD and serves the exact probability, 'mcs' "
+        "keeps the cutset aggregation, 'auto' (default) prefers the "
+        "BDD and falls back to cutsets when the node budget trips",
+    )
+    analyze_cmd.add_argument(
+        "--bdd-node-budget",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="node-table cap per BDD compilation scope (default 200000); "
+        "exceeding it falls back to cutset quantification cleanly",
+    )
     _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
@@ -432,6 +449,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         collect_metrics=args.metrics,
         cache_dir=_resolve_cache_dir(args),
+        static_engine=args.static_engine,
+        bdd_node_budget=args.bdd_node_budget,
     )
     result = analyze(sdft, options)
     print(result.summary())

@@ -31,11 +31,12 @@ from repro.core.quantify import (
     quantify_cutset,
     quantify_model,
 )
-from repro.core.results import AnalysisResult, PerfStats, Timings
+from repro.core.results import AnalysisResult, PerfStats, Timings, served_interval
 from repro.core.sdft import SdFaultTree
 from repro.core.to_static import to_static
 from repro.errors import (
     AnalysisError,
+    BddBudgetExceeded,
     BudgetExceededError,
     InvariantViolation,
     NumericalError,
@@ -83,6 +84,24 @@ class AnalysisOptions:
     conservative upper bound and the result reports the interval).
     ``lump_chains`` reduces every per-cutset chain by exact ordinary
     lumping before solving (symmetric redundancy collapses).
+
+    Static-engine selection (:mod:`repro.bdd`):
+
+    * ``static_engine`` — how a *static* (trigger-free, no dynamic
+      events) model's top probability is served.  ``"auto"`` (default)
+      and ``"bdd"`` quantify exactly by compiling the static tree into
+      a BDD (module-wise, with automatic ordering selection), falling
+      back to cutset aggregation when the node budget trips; ``"mcs"``
+      keeps the classical cutset path.  Dynamic models always use the
+      cutset path.  The result's ``method`` field labels what was
+      served: ``"bdd-exact"``, ``"mcs-rare-event"``, or
+      ``"mcs-min-cut-ub"`` (the sound substitute when the rare-event
+      sum overshoots 1.0).  The cutset records are produced either way
+      — importance measures and per-cutset diagnostics do not change.
+    * ``bdd_node_budget`` — node-table cap per BDD compilation scope; a
+      compilation that would exceed it is abandoned cleanly
+      (:class:`~repro.errors.BddBudgetExceeded`) and the run falls back
+      to cutset quantification with a health note.
 
     ``mocus_probability_overrides`` replaces the probabilities of the
     named events in the static translation before MOCUS runs — the
@@ -221,6 +240,12 @@ class AnalysisOptions:
     trace_path: str | None = None
     collect_metrics: bool = False
     cache_dir: str | None = None
+    static_engine: str = "auto"
+    bdd_node_budget: int = 200_000
+
+
+#: Valid ``AnalysisOptions.static_engine`` values.
+_STATIC_ENGINES = ("auto", "bdd", "mcs")
 
 
 def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -235,6 +260,11 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     """
     opts = options or AnalysisOptions()
     resolve_mode(opts.verify)
+    if opts.static_engine not in _STATIC_ENGINES:
+        raise ValueError(
+            f"unknown static_engine {opts.static_engine!r}; "
+            f"expected one of {_STATIC_ENGINES}"
+        )
     obs = Observability.from_options(opts.trace_path, opts.collect_metrics)
     budget = _make_budget(opts, obs)
     health = HealthLog()
@@ -262,15 +292,20 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
             sdft, opts, solve_cache, budget, manager, resumed, verifier, health
         )
         if warm is not None:
-            records, static_bound, cache, perf = warm
+            records, static_bound, cache, perf, served = warm
             mcs_truncated = False
             mcs_remainder = 0.0
-            total = sum(
+            record_sum = sum(
                 r.probability for r in records if r.probability > opts.cutoff
             )
+            method = served.get("method", "mcs-rare-event")
+            total = float(served.get("total", record_sum))
+            bdd_info = served.get("bdd") or {}
             if verifier.enabled:
                 with obs.tracer.span("verify", mode=verifier.mode):
-                    _verify_restored(records, total, opts, verifier)
+                    _verify_restored(
+                        records, total, record_sum, method, opts, verifier
+                    )
                 health.info("verify", verifier.summary())
             timings = Timings(0.0, 0.0, time.perf_counter() - run_started)
         else:
@@ -329,8 +364,18 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                     dedup_hits=cache.hits,
                     dedup_misses=cache.misses,
                 )
-            total = sum(
+            record_sum = sum(
                 r.probability for r in records if r.probability > opts.cutoff
+            )
+            total, method, bdd_info = _select_served_total(
+                sdft,
+                translation.tree,
+                records,
+                record_sum,
+                opts,
+                health,
+                obs,
+                solve_cache,
             )
             quantification_seconds = time.perf_counter() - started
 
@@ -341,6 +386,8 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                     mocus_result,
                     records,
                     total,
+                    record_sum,
+                    method,
                     opts,
                     verifier,
                     health,
@@ -348,7 +395,18 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                 )
                 health.info("verify", verifier.summary())
 
-            static_bound = mocus_result.cutsets.rare_event()
+            static_bound, static_estimator = (
+                mocus_result.cutsets.sound_estimate()
+            )
+            if static_estimator != "rare-event":
+                health.info(
+                    "quantify",
+                    f"static worst-case rare-event sum overshoots 1.0; "
+                    f"min-cut upper bound {static_bound:.6e} reported",
+                )
+            # The quantified total can exceed the static MCUB (the
+            # records sum first-order); keep the bound a bound.
+            static_bound = max(static_bound, total)
             mcs_truncated = mocus_result.truncated
             mcs_remainder = mocus_result.remainder_bound
             timings = Timings(
@@ -367,6 +425,11 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                 cache,
                 perf,
                 health,
+                {
+                    "method": method,
+                    "total": total,
+                    "bdd": bdd_info,
+                },
             )
 
     if solve_cache is not None:
@@ -421,6 +484,11 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         perf=perf,
         metrics=metrics_snapshot,
         lint=lint_report,
+        method=method,
+        rare_event_sum=record_sum,
+        bdd_nodes=int(bdd_info.get("nodes", 0)),
+        bdd_ordering=str(bdd_info.get("ordering", "")),
+        bdd_modules=int(bdd_info.get("modules", 0)),
     )
 
 
@@ -491,12 +559,165 @@ def _preflight_lint(
     return report
 
 
+def _is_static(sdft: SdFaultTree) -> bool:
+    """Whether the model is a plain static tree (no chains, no triggers)."""
+    return not sdft.dynamic_events and not sdft.triggers
+
+
+def _select_served_total(
+    sdft: SdFaultTree,
+    static_tree: "FaultTree",
+    records: "list[McsQuantification]",
+    record_sum: float,
+    opts: AnalysisOptions,
+    health: HealthLog,
+    obs: Observability,
+    solve_cache: "SolveCache | None",
+) -> tuple[float, str, dict]:
+    """The served top probability, its method label, and BDD stats.
+
+    The static-engine selection of the tentpole: a static model under
+    ``static_engine`` "auto" or "bdd" quantifies exactly via the
+    module-wise BDD compilation of :mod:`repro.bdd.quantify`
+    (consulting the persistent bdd cache layer first); the node budget
+    tripping falls back — with a health note — to the cutset path.  The
+    cutset path serves the rare-event record sum while it is a
+    probability and the min-cut upper bound over the record values once
+    the sum overshoots 1.0, labelling which estimator answered.
+    """
+    bdd_info: dict = {}
+    if opts.static_engine != "mcs" and _is_static(sdft):
+        try:
+            quantification = _bdd_quantification(
+                static_tree, opts, health, obs, solve_cache
+            )
+        except BddBudgetExceeded as error:
+            health.info(
+                "bdd",
+                f"static BDD engine abandoned ({error}); falling back to "
+                f"cutset quantification",
+            )
+            if obs.enabled:
+                obs.metrics.count("bdd.budget_trips")
+        else:
+            return quantification
+    if record_sum > 1.0:
+        mcub = _record_min_cut_upper_bound(records, opts.cutoff)
+        health.info(
+            "quantify",
+            f"rare-event sum {record_sum:.6e} overshoots 1.0; serving the "
+            f"min-cut upper bound {mcub:.6e} instead (method mcs-min-cut-ub)",
+        )
+        return mcub, "mcs-min-cut-ub", bdd_info
+    return record_sum, "mcs-rare-event", bdd_info
+
+
+def _bdd_quantification(
+    static_tree: "FaultTree",
+    opts: AnalysisOptions,
+    health: HealthLog,
+    obs: Observability,
+    solve_cache: "SolveCache | None",
+) -> tuple[float, str, dict]:
+    """One exact BDD quantification (cache-aware), as a served total."""
+    from repro.bdd.quantify import quantify_static_tree
+    from repro.robust import faults
+
+    digest = None
+    if solve_cache is not None:
+        from repro.perf.cache import tree_digest
+
+        digest = tree_digest(static_tree)
+        if not faults.any_armed():
+            warm = solve_cache.get_bdd(digest, opts.bdd_node_budget, "auto")
+            if warm is not None:
+                probability, node_count, ordering, n_modules = warm
+                health.info(
+                    "bdd",
+                    f"exact static quantification restored from cache "
+                    f"({node_count} nodes, order {ordering})",
+                )
+                info = {
+                    "nodes": node_count,
+                    "ordering": ordering,
+                    "modules": n_modules,
+                }
+                _observe_bdd(obs, node_count, ordering)
+                return probability, "bdd-exact", info
+    with obs.tracer.span("bdd", events=len(static_tree.events)) as span:
+        quantification = quantify_static_tree(
+            static_tree, node_budget=opts.bdd_node_budget
+        )
+        span.set(
+            nodes=quantification.node_count,
+            ordering=quantification.ordering,
+            modules=quantification.n_modules,
+        )
+    if digest is not None:
+        solve_cache.put_bdd(
+            digest,
+            opts.bdd_node_budget,
+            "auto",
+            quantification.probability,
+            quantification.node_count,
+            quantification.ordering,
+            quantification.n_modules,
+        )
+    health.info(
+        "bdd",
+        f"static engine: exact BDD quantification "
+        f"({quantification.node_count} nodes, order "
+        f"{quantification.ordering}, {quantification.n_modules} modules)",
+    )
+    _observe_bdd(obs, quantification.node_count, quantification.ordering)
+    info = {
+        "nodes": quantification.node_count,
+        "ordering": quantification.ordering,
+        "modules": quantification.n_modules,
+    }
+    return quantification.probability, "bdd-exact", info
+
+
+def _observe_bdd(obs: Observability, node_count: int, ordering: str) -> None:
+    """Record the ``bdd.*`` metrics of one exact quantification."""
+    if obs.enabled:
+        obs.metrics.observe("bdd.nodes", node_count)
+        obs.metrics.count(f"bdd.order.{ordering}")
+
+
+def _record_min_cut_upper_bound(
+    records: "list[McsQuantification]", cutoff: float
+) -> float:
+    """The MCUB ``1 - prod(1 - p̃(C))`` over the quantified records.
+
+    The sound substitute served when the rare-event sum overshoots 1.0:
+    still an upper bound for coherent trees (each ``p̃(C)`` is the
+    probability of *some* failing scenario set, and the product bounds
+    the probability that none occurs as if they were independent), and
+    by construction never above 1.  Uses ``log1p`` to stay accurate when
+    the per-record probabilities are small but numerous.
+    """
+    import math
+
+    log_complement = 0.0
+    for record in records:
+        p = record.probability
+        if p <= cutoff:
+            continue
+        if p >= 1.0:
+            return 1.0
+        log_complement += math.log1p(-p)
+    return -math.expm1(log_complement)
+
+
 def _final_verification(
     sdft: SdFaultTree,
     mocus_tree: "FaultTree",
     mocus_result: MocusResult,
     records: "list[McsQuantification]",
     total: float,
+    record_sum: float,
+    method: str,
     opts: AnalysisOptions,
     verifier: Verifier,
     health: HealthLog,
@@ -504,9 +725,13 @@ def _final_verification(
 ) -> None:
     """End-of-quantification invariant checks (P1/P3 at run scope).
 
-    Mirrors :meth:`AnalysisResult.failure_probability_interval` to
-    assert the final interval brackets the rare-event sum, then — in
-    ``full`` mode — runs the differential cross-checks.  Raises
+    The *served* total must be a genuine probability (P1 now rejects any
+    value above 1.0 — the rare-event overshoot can no longer be served);
+    the raw record sum is checked only for finiteness/sign, since it
+    legitimately exceeds one.  The interval check mirrors
+    :func:`repro.core.results.served_interval` so the pipeline verifies
+    exactly the bracket it later reports.  In ``full`` mode the
+    differential cross-checks run too.  Raises
     :class:`~repro.errors.InvariantViolation` on failure: a run-scope
     violation means the whole result is suspect, so no degradation path
     applies.
@@ -515,20 +740,17 @@ def _final_verification(
         verifier.check_value(
             mocus_result.remainder_bound, "MOCUS remainder bound"
         )
-        verifier.check_value(total, "rare-event failure probability sum")
-        lower = 0.0
-        upper = 0.0
-        for record in records:
-            if record.probability > opts.cutoff:
-                upper += record.probability
-                if record.bounded and record.lower_bound is not None:
-                    lower += record.lower_bound
-                else:
-                    lower += record.probability
+        verifier.check_value(record_sum, "rare-event record sum")
+        verifier.check_probability(
+            total, f"served failure probability ({method})"
+        )
+        lower, upper = served_interval(
+            records, total, method, opts.cutoff, mocus_result.remainder_bound
+        )
         verifier.check_interval(
             lower,
             total,
-            upper + mocus_result.remainder_bound,
+            upper,
             "failure probability interval",
         )
         if verifier.full:
@@ -631,6 +853,8 @@ def _records_options_key(opts: AnalysisOptions) -> tuple:
         opts.monte_carlo_seed,
         repr(opts.mc_target_rel_error),
         opts.mc_engine,
+        opts.static_engine,
+        opts.bdd_node_budget,
     )
 
 
@@ -643,7 +867,10 @@ def _restore_cached_result(
     resumed: dict | None,
     verifier: Verifier,
     health: HealthLog,
-) -> "tuple[list[McsQuantification], float, QuantificationCache, PerfStats] | None":
+) -> (
+    "tuple[list[McsQuantification], float, QuantificationCache, PerfStats, dict]"
+    " | None"
+):
     """Serve the whole run from the records layer, when safe.
 
     Only unconstrained runs qualify: a budget, a checkpoint manager or
@@ -651,8 +878,9 @@ def _restore_cached_result(
     bookkeeping) a restored record list cannot honour, ``full``
     verification needs the live pipeline for its differential
     cross-checks, and an armed fault campaign must exercise the real
-    stages.  Returns ``(records, static_bound, cache, perf)`` or
-    ``None``.
+    stages.  Returns ``(records, static_bound, cache, perf, served)`` or
+    ``None`` — ``served`` carries the stored method label, served total
+    and BDD stats of the original run.
     """
     from repro.robust import faults
 
@@ -686,6 +914,15 @@ def _restore_cached_result(
             dedup_ratio=float(dedup.get("dedup_ratio", 0.0)),
             worker_faults=0,
         )
+        method = str(payload.get("method", "mcs-rare-event"))
+        if method not in ("bdd-exact", "mcs-rare-event", "mcs-min-cut-ub"):
+            raise ValueError(f"unknown stored method {method!r}")
+        served = {
+            "method": method,
+            "bdd": dict(payload.get("bdd") or {}),
+        }
+        if "total" in payload:
+            served["total"] = float(payload["total"])
     except (KeyError, TypeError, ValueError):
         # A malformed payload is a miss, never a failed analysis.
         solve_cache.errors += 1
@@ -695,12 +932,14 @@ def _restore_cached_result(
         f"full-result hit: {len(records)} records restored "
         f"(translate/mocus/quantify skipped)",
     )
-    return records, static_bound, cache, perf
+    return records, static_bound, cache, perf, served
 
 
 def _verify_restored(
     records: "list[McsQuantification]",
     total: float,
+    record_sum: float,
+    method: str,
     opts: AnalysisOptions,
     verifier: Verifier,
 ) -> None:
@@ -711,16 +950,11 @@ def _verify_restored(
     the records were produced; what must hold *now* is that the restored
     numbers still form a sound bracket — a rotted payload fails here.
     """
-    verifier.check_value(total, "rare-event failure probability sum")
-    lower = 0.0
-    upper = 0.0
-    for record in records:
-        if record.probability > opts.cutoff:
-            upper += record.probability
-            if record.bounded and record.lower_bound is not None:
-                lower += record.lower_bound
-            else:
-                lower += record.probability
+    verifier.check_value(record_sum, "rare-event record sum")
+    verifier.check_probability(
+        total, f"served failure probability ({method})"
+    )
+    lower, upper = served_interval(records, total, method, opts.cutoff, 0.0)
     verifier.check_interval(lower, total, upper, "failure probability interval")
 
 
@@ -737,6 +971,7 @@ def _store_cached_result(
     cache: QuantificationCache,
     perf: "PerfStats",
     health: HealthLog,
+    served: dict,
 ) -> None:
     """Persist a clean run's full record set to the records layer.
 
@@ -771,6 +1006,7 @@ def _store_cached_result(
                 "unique_models_solved": perf.unique_models_solved,
                 "dedup_ratio": perf.dedup_ratio,
             },
+            **served,
         },
     )
 

@@ -18,7 +18,58 @@ from repro.robust.health import HealthReport
 if TYPE_CHECKING:  # pragma: no cover - typing only (keeps imports light)
     from repro.lint.engine import LintReport
 
-__all__ = ["PerfStats", "Timings", "AnalysisResult"]
+__all__ = ["METHODS", "PerfStats", "Timings", "AnalysisResult", "served_interval"]
+
+#: Valid ``AnalysisResult.method`` labels — every served number carries
+#: its error model: ``"bdd-exact"`` (exact Shannon-expansion value from
+#: the BDD static engine), ``"mcs-rare-event"`` (first-order sum over
+#: quantified cutsets, a provable over-approximation), or
+#: ``"mcs-min-cut-ub"`` (the min-cut upper bound, served when the
+#: rare-event sum overshoots 1.0).
+METHODS = ("bdd-exact", "mcs-rare-event", "mcs-min-cut-ub")
+
+
+def served_interval(
+    records: "tuple[McsQuantification, ...] | list[McsQuantification]",
+    total: float,
+    method: str,
+    cutoff: float,
+    remainder: float,
+) -> tuple[float, float]:
+    """``(lower, upper)`` bracket for a served total, by its method.
+
+    The one definition shared by
+    :meth:`AnalysisResult.failure_probability_interval` and the
+    analyzer's final P3 guard, so the pipeline verifies exactly the
+    bracket it later reports:
+
+    * ``bdd-exact`` — the value is exact; the interval is degenerate
+      (cutset records approximate the same number from above, so the
+      record sum does *not* bound it from below);
+    * ``mcs-rare-event`` — record lower bounds to record values plus the
+      MOCUS remainder, as before;
+    * ``mcs-min-cut-ub`` — the record sum overshot 1.0, so the sum-based
+      lower end is meaningless; the floor becomes the largest single
+      record contribution (sound for coherent trees) and the ceiling is
+      capped at 1.0.
+    """
+    if method == "bdd-exact":
+        return (total, total)
+    lower = 0.0
+    upper = 0.0
+    largest_single = 0.0
+    for record in records:
+        if record.probability > cutoff:
+            upper += record.probability
+            if record.bounded and record.lower_bound is not None:
+                contribution = record.lower_bound
+            else:
+                contribution = record.probability
+            lower += contribution
+            largest_single = max(largest_single, contribution)
+    if method == "mcs-min-cut-ub":
+        return (largest_single, min(1.0, total + remainder))
+    return (lower, upper + remainder)
 
 
 @dataclass(frozen=True)
@@ -79,10 +130,15 @@ class Timings:
 class AnalysisResult:
     """Outcome of one SD fault-tree analysis.
 
-    ``failure_probability`` is the rare-event sum of the quantified
-    cutsets above the cutoff; ``static_bound`` is the same sum with the
-    worst-case static probabilities (what the translation alone would
-    report — always an upper bound on ``failure_probability``).
+    ``failure_probability`` is the served top-event probability and
+    ``method`` labels its error model (:data:`METHODS`): exact for
+    static trees quantified by the BDD engine, the rare-event sum over
+    quantified cutsets otherwise, or the min-cut upper bound when that
+    sum overshoots 1.0.  ``rare_event_sum`` always carries the raw
+    record sum so the classical bracket (sum >= exact) stays auditable.
+    ``static_bound`` is the sound aggregation of the cutset list under
+    the worst-case static probabilities (what the translation alone
+    would report — always an upper bound on ``failure_probability``).
 
     ``health`` enumerates every recovery action of the run
     (degradations, retries, budget hits — :mod:`repro.robust.health`);
@@ -112,6 +168,18 @@ class AnalysisResult:
     #: with ``AnalysisOptions(lint=True)``; a model with error-level
     #: findings never reaches this container (``LintError`` is raised).
     lint: "LintReport | None" = None
+    #: Error model of :attr:`failure_probability` (:data:`METHODS`).
+    method: str = "mcs-rare-event"
+    #: Raw rare-event sum over the served records — equals
+    #: :attr:`failure_probability` under ``mcs-rare-event``, brackets it
+    #: from above under the other two methods.
+    rare_event_sum: float | None = None
+    #: Total BDD nodes across all compilation scopes (``bdd-exact`` only).
+    bdd_nodes: int = 0
+    #: Ordering heuristic the BDD top scope compiled under.
+    bdd_ordering: str = ""
+    #: Module scopes the BDD compilation decomposed into.
+    bdd_modules: int = 0
 
     # ------------------------------------------------------------------
     # Aggregated views used by the experiment harnesses
@@ -151,24 +219,21 @@ class AnalysisResult:
         )
 
     def failure_probability_interval(self) -> tuple[float, float]:
-        """``(lower, upper)`` bounds of the rare-event failure probability.
+        """``(lower, upper)`` bounds of the served failure probability.
 
-        For exactly-quantified cutsets both ends use the quantified
-        value; bounded cutsets contribute their interval ends.  A
-        budget-truncated cutset list additionally widens the upper end
-        by the conservative remainder bound.  With no bounded cutsets
-        and no truncation both ends equal :attr:`failure_probability`.
+        Method-aware (see :func:`served_interval`): degenerate for
+        ``bdd-exact`` values, record-sum based for ``mcs-rare-event``
+        (bounded cutsets contribute their interval ends, a truncated
+        cutset list widens the upper end by the remainder bound), and
+        largest-single-cutset to capped-MCUB for ``mcs-min-cut-ub``.
         """
-        lower = 0.0
-        upper = 0.0
-        for record in self.records:
-            if record.probability > self.cutoff:
-                upper += record.probability
-                if record.bounded and record.lower_bound is not None:
-                    lower += record.lower_bound
-                else:
-                    lower += record.probability
-        return (lower, upper + self.mcs_remainder_bound)
+        return served_interval(
+            self.records,
+            self.failure_probability,
+            self.method,
+            self.cutoff,
+            self.mcs_remainder_bound,
+        )
 
     def fussell_vesely(self) -> dict[str, float]:
         """Time-aware Fussell–Vesely importance per basic event.
@@ -226,9 +291,10 @@ class AnalysisResult:
     def summary(self) -> str:
         """A short human-readable report."""
         mean_total, mean_added = self.mean_dynamic_events()
+        label = f"failure probability ({self.method}):"
         lines = [
-            f"failure probability (rare event): {self.failure_probability:.3e}",
-            f"static worst-case bound:          {self.static_bound:.3e}",
+            f"{label:<34}{self.failure_probability:.3e}",
+            f"{'static worst-case bound:':<34}{self.static_bound:.3e}",
             f"horizon: {self.horizon} h, cutoff: {self.cutoff:.0e}",
             f"cutsets: {self.n_cutsets} total, "
             f"{self.n_dynamic_cutsets} dynamic",
@@ -241,6 +307,22 @@ class AnalysisResult:
             f"MCS {self.timings.mcs_generation_seconds:.2f}s, "
             f"quantification {self.timings.quantification_seconds:.2f}s",
         ]
+        raw_sum = (
+            self.rare_event_sum
+            if self.rare_event_sum is not None
+            else self.failure_probability
+        )
+        if self.method == "bdd-exact":
+            lines.append(
+                f"static engine: exact BDD ({self.bdd_nodes} nodes, "
+                f"order {self.bdd_ordering}, {self.bdd_modules} modules); "
+                f"rare-event sum {raw_sum:.3e}"
+            )
+        elif self.method == "mcs-min-cut-ub":
+            lines.append(
+                f"estimator: min-cut upper bound served (rare-event sum "
+                f"{raw_sum:.3e} overshoots 1.0)"
+            )
         if self.lint is not None and self.lint.diagnostics:
             lines.append(f"lint: {self.lint.summary_line()}")
         if self.mcs_truncated:

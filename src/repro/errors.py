@@ -97,6 +97,18 @@ class CheckpointError(AnalysisError):
     """A checkpoint file is unreadable or does not match the model."""
 
 
+class BddBudgetExceeded(AnalysisError):
+    """A BDD compilation grew past its node budget.
+
+    Raised by :class:`repro.bdd.engine.BddManager` when creating one
+    more node would exceed the manager's configured ``node_budget``.
+    The signal is clean by design: callers (the static-engine selection
+    in :mod:`repro.core.analyzer`, the differential cross-check oracle)
+    catch it and fall back to cutset quantification instead of letting
+    an exponential-in-the-worst-case compilation eat the machine.
+    """
+
+
 class InvariantViolation(AnalysisError):
     """A runtime self-check of the pipeline found an impossible value.
 

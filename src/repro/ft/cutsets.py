@@ -160,6 +160,35 @@ class CutSetList:
         """
         return sum(cutset_probability(c, self.probabilities) for c in self.cutsets)
 
+    def sound_estimate(self) -> tuple[float, str]:
+        """A sound aggregation: ``(value, estimator)``.
+
+        The rare-event sum is a provable over-approximation that can
+        exceed 1.0 on high-probability models — the classical overshoot
+        bug of first-order quantification.  This accessor serves the raw
+        sum while it is a probability and switches to the (always sound,
+        always tighter) :meth:`min_cut_upper_bound` the moment the sum
+        overshoots, naming which estimator produced the value:
+        ``"rare-event"`` or ``"min-cut-ub"``.
+        """
+        total = self.rare_event()
+        if total > 1.0:
+            return self.min_cut_upper_bound(), "min-cut-ub"
+        return total, "rare-event"
+
+    def largest_cutset_probability(self) -> float:
+        """Probability of the most likely single cutset (0.0 when empty).
+
+        A sound *lower* bound on the top-event probability of a coherent
+        tree — the floor of the bracket
+        ``largest <= exact <= rare-event sum`` the cross-checks assert.
+        """
+        if not self.cutsets:
+            return 0.0
+        return max(
+            cutset_probability(c, self.probabilities) for c in self.cutsets
+        )
+
     def min_cut_upper_bound(self) -> float:
         """The MCUB aggregation ``1 - prod (1 - p(C))``.
 

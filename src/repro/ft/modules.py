@@ -92,16 +92,22 @@ def find_modules(tree: FaultTree) -> ModuleReport:
     ]
     modules.sort(key=lambda n: first[n])
 
-    module_set = set(modules)
     maximal: list[str] = []
     # A module is maximal when no proper ancestor module other than the
-    # top gate contains it; walk top-down and mark covered subtrees.
-    covered: set[str] = set()
+    # top gate contains it.  Module stamp windows nest like parentheses
+    # (every path to a node inside module ``m`` passes through ``m``, so
+    # its first visit falls inside ``m``'s first expansion): module
+    # ``b`` lies under module ``a`` iff ``first[a] < first[b]`` and
+    # ``done[b] < done[a]``.  Walking in first-visit order, only the
+    # most recently accepted window can still contain the next module —
+    # an O(n) sweep where materialising ``gates_under`` per module
+    # would be quadratic on chain-shaped trees.
+    window_end = -1
     for name in modules:
         if name == tree.top:
             continue
-        if name in covered:
+        if first[name] < window_end:
             continue
         maximal.append(name)
-        covered |= tree.gates_under(name) - {name}
+        window_end = done[name]
     return ModuleReport(tuple(modules), tuple(maximal))

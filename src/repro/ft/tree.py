@@ -262,13 +262,19 @@ class FaultTree:
         cached = self._caches.events_under.get(gate_name)
         if cached is not None:
             return cached
-        gate = self._gate_or_raise(gate_name)
-        collected: set[str] = set()
-        for child in gate.children:
-            collected |= self.events_under(child)
-        result = frozenset(collected)
-        self._caches.events_under[gate_name] = result
-        return result
+        self._gate_or_raise(gate_name)
+        cache = self._caches.events_under
+        for name in self._gates_below(gate_name):
+            if name in cache:
+                continue
+            collected: set[str] = set()
+            for child in self._gates[name].children:
+                if child in self._events:
+                    collected.add(child)
+                else:
+                    collected |= cache[child]
+            cache[name] = frozenset(collected)
+        return cache[gate_name]
 
     def gates_under(self, gate_name: str) -> frozenset[str]:
         """Names of all gates in the subtree rooted at ``gate_name``, inclusive."""
@@ -277,13 +283,35 @@ class FaultTree:
         cached = self._caches.gates_under.get(gate_name)
         if cached is not None:
             return cached
-        gate = self._gate_or_raise(gate_name)
-        collected: set[str] = {gate_name}
-        for child in gate.children:
-            collected |= self.gates_under(child)
-        result = frozenset(collected)
-        self._caches.gates_under[gate_name] = result
-        return result
+        self._gate_or_raise(gate_name)
+        cache = self._caches.gates_under
+        for name in self._gates_below(gate_name):
+            if name in cache:
+                continue
+            collected = {name}
+            for child in self._gates[name].children:
+                if child in self._gates:
+                    collected |= cache[child]
+            cache[name] = frozenset(collected)
+        return cache[gate_name]
+
+    def _gates_below(self, gate_name: str) -> list[str]:
+        """Gates at or below ``gate_name``, children before parents.
+
+        Iterative (reachability sweep filtered through the cached global
+        topological order), so chain trees thousands of gates deep never
+        touch the recursion limit — these queries sit on the compile
+        path of the BDD static engine.
+        """
+        below: set[str] = set()
+        stack = [gate_name]
+        while stack:
+            name = stack.pop()
+            if name in below or name not in self._gates:
+                continue
+            below.add(name)
+            stack.extend(self._gates[name].children)
+        return [name for name in self.topological_order() if name in below]
 
     def descendants(self, gate_name: str) -> frozenset[str]:
         """All node names strictly below ``gate_name`` (gates and events)."""
@@ -292,8 +320,23 @@ class FaultTree:
         )
 
     def reachable_from_top(self) -> frozenset[str]:
-        """Names of all nodes reachable from the top gate, inclusive."""
-        return self.gates_under(self.top) | self.events_under(self.top)
+        """Names of all nodes reachable from the top gate, inclusive.
+
+        A plain sweep rather than ``gates_under | events_under``: those
+        materialise one set per gate (quadratic on chain-shaped trees),
+        while reachability only needs the union.
+        """
+        reachable: set[str] = set()
+        stack = [self.top]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            gate = self._gates.get(name)
+            if gate is not None:
+                stack.extend(gate.children)
+        return frozenset(reachable)
 
     # ------------------------------------------------------------------
     # Derived trees

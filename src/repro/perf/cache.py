@@ -17,7 +17,11 @@ module provides the on-disk store behind ``--cache-dir``:
   process so boundary floats behave exactly as a fresh local run;
 * **records layer** — ``(model digest, value-affecting options) ->``
   the full record list of a clean run, the short-circuit that makes a
-  warm re-analysis skip translate/MOCUS/quantify entirely.
+  warm re-analysis skip translate/MOCUS/quantify entirely;
+* **bdd layer** — ``(tree digest, node budget, ordering) ->`` the exact
+  BDD quantification of a static tree (probability, node count,
+  ordering used, module count), keyed alongside the solve-layer entries
+  so a warm static re-analysis skips compilation too.
 
 The store is a single sqlite database (WAL mode, busy-timeout) so
 concurrent analyses sharing one cache directory are safe: writers
@@ -61,7 +65,9 @@ __all__ = ["SolveCache", "default_cache_dir", "tree_digest"]
 
 #: Payload schema version; bump on any incompatible change to the key
 #: composition or payload layout — old entries then simply never match.
-SCHEMA_VERSION = 1
+#: v2: records payloads carry the served method/total (BDD static
+#: engine), and the bdd layer exists.
+SCHEMA_VERSION = 2
 
 #: Database file name inside the cache directory.
 _DB_NAME = "solve-cache.sqlite"
@@ -134,6 +140,8 @@ class SolveCache:
         self.mocus_misses = 0
         self.records_hits = 0
         self.records_misses = 0
+        self.bdd_hits = 0
+        self.bdd_misses = 0
         self.errors = 0
         self.evictions = 0
         self._lock = threading.Lock()
@@ -406,6 +414,78 @@ class SolveCache:
         )
 
     # ------------------------------------------------------------------
+    # BDD layer (exact static quantifications)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bdd_key(digest: str, node_budget: "int | None", ordering: str) -> str:
+        return _digest(("bdd", SCHEMA_VERSION, digest, node_budget, ordering))
+
+    def get_bdd(
+        self, digest: str, node_budget: "int | None", ordering: str
+    ) -> "tuple[float, int, str, int] | None":
+        """Cached ``(probability, node_count, ordering_used, n_modules)``.
+
+        Keyed by the static tree's content digest plus the two knobs
+        that select the compilation (the node budget and the requested
+        ordering) — the quantification is a pure function of those.
+        """
+        payload = self._read(
+            "bdd", self._bdd_key(digest, node_budget, ordering)
+        )
+        if payload is not None:
+            probability = payload.get("probability")
+            node_count = payload.get("node_count")
+            used = payload.get("ordering")
+            n_modules = payload.get("n_modules")
+            if (
+                isinstance(probability, float)
+                and 0.0 <= probability <= 1.0
+                and isinstance(node_count, int)
+                and node_count >= 0
+                and isinstance(used, str)
+                and isinstance(n_modules, int)
+                and n_modules >= 0
+            ):
+                self.bdd_hits += 1
+                faults.check("cache_read", layer="bdd")
+                probability = faults.corrupt(
+                    "cache_value", probability, layer="bdd"
+                )
+                return (probability, node_count, used, n_modules)
+            self.errors += 1
+        self.bdd_misses += 1
+        return None
+
+    def put_bdd(
+        self,
+        digest: str,
+        node_budget: "int | None",
+        ordering: str,
+        probability: float,
+        node_count: int,
+        ordering_used: str,
+        n_modules: int,
+    ) -> None:
+        """Persist one exact static quantification."""
+        if not (
+            isinstance(probability, float)
+            and 0.0 <= probability <= 1.0
+            and node_count >= 0
+        ):
+            return  # never persist an implausible value
+        self._write(
+            "bdd",
+            self._bdd_key(digest, node_budget, ordering),
+            {
+                "probability": probability,
+                "node_count": int(node_count),
+                "ordering": ordering_used,
+                "n_modules": int(n_modules),
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
@@ -418,6 +498,8 @@ class SolveCache:
             "mocus_misses": self.mocus_misses,
             "records_hits": self.records_hits,
             "records_misses": self.records_misses,
+            "bdd_hits": self.bdd_hits,
+            "bdd_misses": self.bdd_misses,
             "errors": self.errors,
             "evictions": self.evictions,
         }
@@ -431,6 +513,8 @@ class SolveCache:
             f"records {self.records_hits}/"
             f"{self.records_hits + self.records_misses}",
         ]
+        if self.bdd_hits or self.bdd_misses:
+            parts.append(f"bdd {self.bdd_hits}/{self.bdd_hits + self.bdd_misses}")
         if self.errors:
             parts.append(f"{self.errors} errors (served as misses)")
         if self.evictions:

@@ -15,10 +15,15 @@ numbers, applied to the pipeline's own internals:
    catches a corrupted pool result, a poisoned cache entry, or a
    fold bug: the pool and the serial loop promise bit-identical
    values, so any disagreement is a defect, not noise.
-2. **BDD oracle** — on small trees the static rare-event sum of the
-   full (cutoff-free) MOCUS cutset list must dominate the *exact* top
-   probability from the BDD engine (:mod:`repro.bdd`), and the
-   analysis cutset list must be a subset of the exact minimal cutsets.
+2. **BDD oracle** — the *exact* top probability from the BDD engine
+   (:mod:`repro.bdd`) must sit inside the bracket the cutset path
+   promises — ``largest single cutset <= exact <= rare-event sum`` —
+   and the analysis cutset list must be a subset of the exact minimal
+   cutsets (with every exact cutset above the cutoff present when the
+   list was not budget-truncated).  Since the BDD became the
+   production static engine this check runs *both ways*: it validates
+   MOCUS against the BDD and the BDD against MOCUS on every model the
+   node budget can compile — there is no event-count ceiling.
 3. **Ladder-rung bracketing** — for sampled cutsets, the interval the
    ``bound`` rung would report must bracket the exact rung's value:
    adjacent ladder rungs agree, so a degraded answer elsewhere in the
@@ -28,8 +33,9 @@ numbers, applied to the pipeline's own internals:
    (:mod:`repro.ctmc.rare`) and the uniformization value must fall
    inside the estimator's N-sigma interval.  Uniformization and the
    trajectory sampler share no numerics — this is the check that keeps
-   scaling past the BDD oracle's 24-event ceiling, exactly the
-   cross-method validation rare-event DFT tools use on themselves.
+   validating the *dynamic* path the static BDD oracle cannot see,
+   exactly the cross-method validation rare-event DFT tools use on
+   themselves.
 
 Checks are deterministic (the sample seed derives from the model name
 and record count), side-effect free on results, and skip — with a
@@ -65,8 +71,11 @@ RECHECK_SAMPLE = 5
 #: How many records the ladder-rung bracket check covers.
 BRACKET_SAMPLE = 3
 
-#: Event-count ceiling for the (exponential-in-principle) BDD oracle.
-BDD_MAX_EVENTS = 24
+#: Cap on the number of exact minimal cutsets the oracle materialises
+#: as explicit sets (counted on the minimal-solutions BDD *before*
+#: enumeration, so an explosive family skips cleanly instead of eating
+#: memory).  The probability bracket still runs above the cap.
+BDD_ORACLE_MAX_CUTSETS = 200_000
 
 #: Relative agreement required between two solves of the same model.
 RECHECK_RTOL = 1e-8
@@ -125,7 +134,7 @@ def run_crosschecks(
     )
     skipped: list[str] = []
     rechecked = _recheck_sample(sdft, records, opts, rng, skipped)
-    bdd_checked = _bdd_oracle(mocus_tree, mocus_result, skipped)
+    bdd_checked = _bdd_oracle(mocus_tree, mocus_result, opts, skipped)
     bracketed = _bracket_sample(sdft, records, opts, rng, skipped)
     mc_checked = _rare_event_sample(sdft, records, opts, rng, skipped, metrics)
     summary = CrosscheckSummary(
@@ -214,50 +223,97 @@ def _recheck_sample(
 def _bdd_oracle(
     mocus_tree: "FaultTree",
     mocus_result: "MocusResult",
+    opts: "AnalysisOptions",
     skipped: list[str],
 ) -> bool:
-    if len(mocus_tree.events) > BDD_MAX_EVENTS:
-        skipped.append(
-            f"BDD oracle: tree has {len(mocus_tree.events)} events "
-            f"(> {BDD_MAX_EVENTS})"
-        )
-        return False
-    if mocus_result.truncated:
-        skipped.append("BDD oracle: cutset list was budget-truncated")
-        return False
-    from repro.bdd import compile_tree
-    from repro.ft.mocus import MocusOptions, mocus
+    """Differential check between the cutset path and the exact BDD.
 
+    Compiles the static tree under the run's node budget (the only
+    skip condition besides an unsupported structure — no event-count
+    gate) and asserts the full soundness bracket:
+
+    * ``largest single analysis cutset <= exact <= rare-event sum``
+      over the exact MCS family — the bracket the served estimators
+      (rare-event, min-cut UB) rely on;
+    * the analysis cutset list is a subset of the exact minimal
+      cutsets (MOCUS produced no spurious set);
+    * every exact cutset above the cutoff appears in the analysis list
+      when the search was not budget-truncated (MOCUS lost nothing the
+      cutoff promised to keep).
+
+    When the exact family is too large to materialise (counted on the
+    minimal-solutions BDD first), the family comparisons are skipped
+    with a note but the probability floor still runs.
+    """
+    from repro.bdd import compile_tree
+    from repro.errors import BddBudgetExceeded
+    from repro.ft.cutsets import cutset_probability
+
+    node_budget = getattr(opts, "bdd_node_budget", 200_000)
     try:
-        compiled = compile_tree(mocus_tree)
+        compiled = compile_tree(mocus_tree, node_budget=node_budget)
         exact_p = compiled.probability()
-        exact_sets = set(compiled.minimal_cutsets())
+    except BddBudgetExceeded as error:
+        skipped.append(f"BDD oracle: node budget tripped ({error})")
+        return False
     except Exception as error:  # unsupported structure — skip, don't fail
         skipped.append(f"BDD oracle: compile failed ({error})")
         return False
-    full = mocus(mocus_tree, MocusOptions(cutoff=0.0)).cutsets
-    full_sum = full.rare_event()
-    slack = 1e-9 * max(1.0, full_sum)
-    if exact_p > full_sum + slack:
-        raise CrosscheckError(
-            f"exact BDD probability {exact_p!r} exceeds the static MCS "
-            f"rare-event sum {full_sum!r} — the union bound is violated, "
-            f"so the cutset generation lost cutsets"
-        )
-    if set(full) != exact_sets:
-        missing = exact_sets - set(full)
-        extra = set(full) - exact_sets
-        raise CrosscheckError(
-            f"MOCUS and the BDD engine disagree on the minimal cutsets: "
-            f"{len(missing)} missing, {len(extra)} spurious"
-        )
+
+    probabilities = {
+        name: event.probability for name, event in mocus_tree.events.items()
+    }
     analysis_sets = set(mocus_result.cutsets)
+    slack = 1e-9 * max(1.0, exact_p)
+    largest_analysis = max(
+        (cutset_probability(c, probabilities) for c in analysis_sets),
+        default=0.0,
+    )
+    if largest_analysis > exact_p + slack:
+        raise CrosscheckError(
+            f"the most likely analysis cutset ({largest_analysis!r}) exceeds "
+            f"the exact BDD probability {exact_p!r} — a single cutset's "
+            f"probability is a lower bound, so one of the two engines is wrong"
+        )
+
+    minsol_root = compiled.manager.minsol(compiled.root)
+    n_exact = compiled.manager.count_paths(minsol_root)
+    if n_exact > BDD_ORACLE_MAX_CUTSETS:
+        skipped.append(
+            f"BDD oracle: {n_exact} exact minimal cutsets "
+            f"(> {BDD_ORACLE_MAX_CUTSETS}); family comparison skipped, "
+            f"probability floor checked"
+        )
+        return True
+
+    exact_family = compiled.minimal_cutsets()
+    exact_sets = set(exact_family)
+    full_sum = exact_family.rare_event()
+    if exact_p > full_sum + 1e-9 * max(1.0, full_sum):
+        raise CrosscheckError(
+            f"exact BDD probability {exact_p!r} exceeds its own MCS "
+            f"rare-event sum {full_sum!r} — the union bound is violated, "
+            f"so the BDD engine or the MCS extraction is wrong"
+        )
     if not analysis_sets <= exact_sets:
         spurious = analysis_sets - exact_sets
         raise CrosscheckError(
             f"the analysis cutset list contains {len(spurious)} cutsets "
             f"the exact BDD engine does not recognise as minimal"
         )
+    if not mocus_result.truncated:
+        cutoff = opts.cutoff * (1.0 + 1e-9)
+        lost = [
+            c
+            for c in exact_sets - analysis_sets
+            if cutset_probability(c, probabilities) > cutoff
+        ]
+        if lost:
+            raise CrosscheckError(
+                f"MOCUS lost {len(lost)} minimal cutsets above the cutoff "
+                f"{opts.cutoff!r} that the exact BDD engine finds "
+                f"(e.g. {'+'.join(sorted(lost[0]))})"
+            )
     return True
 
 

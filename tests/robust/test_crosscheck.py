@@ -11,7 +11,6 @@ from repro.core.to_static import to_static
 from repro.errors import CrosscheckError
 from repro.ft.mocus import MocusOptions, mocus
 from repro.robust.crosscheck import (
-    BDD_MAX_EVENTS,
     CrosscheckSummary,
     run_crosschecks,
 )
@@ -56,16 +55,14 @@ class TestRunCrosschecks:
                 cooling_sdft, tree, mocus_result, doctored, opts, HealthLog()
             )
 
-    def test_big_trees_skip_the_bdd_oracle_with_a_note(self, cooling_sdft):
-        opts = AnalysisOptions(horizon=HORIZON)
-        tree, mocus_result, result = _analysis_pieces(cooling_sdft, opts)
-
+    def test_big_trees_run_the_bdd_oracle_now(self):
+        """The 24-event ceiling is gone: the BWR model compiles and checks."""
         from repro.models.bwr import build_bwr
 
         big_sdft = build_bwr()
         big_opts = AnalysisOptions(horizon=HORIZON, cutoff=1e-7)
         big_tree, big_mocus, big_result = _analysis_pieces(big_sdft, big_opts)
-        assert len(big_tree.events) > BDD_MAX_EVENTS
+        assert len(big_tree.events) > 24  # the old oracle would have skipped
         summary = run_crosschecks(
             big_sdft,
             big_tree,
@@ -74,8 +71,18 @@ class TestRunCrosschecks:
             big_opts,
             HealthLog(),
         )
+        assert summary.bdd_checked
+        assert not any("BDD oracle" in s for s in summary.skipped)
+
+    def test_tiny_node_budget_skips_the_oracle_with_a_note(self, cooling_sdft):
+        """The only size gate left is the node budget, and it skips cleanly."""
+        opts = AnalysisOptions(horizon=HORIZON, bdd_node_budget=1)
+        tree, mocus_result, result = _analysis_pieces(cooling_sdft, opts)
+        summary = run_crosschecks(
+            cooling_sdft, tree, mocus_result, result.records, opts, HealthLog()
+        )
         assert not summary.bdd_checked
-        assert any("BDD oracle" in s for s in summary.skipped)
+        assert any("node budget" in s for s in summary.skipped)
 
     def test_static_only_records_skip_with_notes(self, cooling_sdft):
         """With nothing dynamic to re-solve, both samplers note the skip."""
