@@ -11,6 +11,13 @@ ablation benchmark.
 """
 
 from repro.bdd.engine import FALSE, TRUE, BddManager
+from repro.bdd.equiv import (
+    compile_into,
+    is_monotone,
+    non_monotone_variables,
+    trees_equivalent,
+    union_variables,
+)
 from repro.bdd.ft_bdd import CompiledTree, compile_tree, exact_mcs, exact_probability
 from repro.bdd.ordering import (
     ORDERINGS,
@@ -30,12 +37,16 @@ __all__ = [
     "BddQuantification",
     "CompiledTree",
     "alphabetical_order",
+    "compile_into",
     "compile_tree",
     "depth_order",
     "dfs_order",
     "exact_mcs",
     "exact_probability",
+    "is_monotone",
+    "non_monotone_variables",
     "probability_order",
     "quantify_static_tree",
-    "weight_order",
+    "trees_equivalent",
+    "union_variables",
 ]

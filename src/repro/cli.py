@@ -4,6 +4,7 @@ Commands
 --------
 ``analyze``     Full SD analysis of a model file (static or SD).
 ``lint``        Static diagnostics of a model, without analysing it.
+``simplify``    Shrink a model through the BDD-verified rewrite engine.
 ``mcs``         Generate and list minimal cutsets.
 ``importance``  Fussell–Vesely / Birnbaum / RAW / RRW table.
 ``classify``    Trigger-gate classes (predicts quantification cost).
@@ -205,6 +206,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="node-table cap per BDD compilation scope (default 200000); "
         "exceeding it falls back to cutset quantification cleanly",
     )
+    analyze_cmd.add_argument(
+        "--simplify",
+        action="store_true",
+        help="run the BDD-verified rewrite engine first and analyse the "
+        "smaller equivalent model; unverifiable rewrites are discarded, "
+        "so this never changes the answer",
+    )
     _add_observability_arguments(analyze_cmd)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
@@ -248,6 +256,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint_cmd.set_defaults(handler=_cmd_lint)
+
+    simplify_cmd = sub.add_parser(
+        "simplify",
+        help="shrink a model through the BDD-verified rewrite engine",
+    )
+    simplify_cmd.add_argument(
+        "model", help="model JSON (or Open-PSA XML) file"
+    )
+    simplify_cmd.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the simplified model to PATH (JSON)",
+    )
+    simplify_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="gate mode: exit 1 unless every applied rewrite round was "
+        "BDD-verified within the node budget (a clean no-op model "
+        "passes); for CI over a model corpus",
+    )
+    simplify_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    simplify_cmd.add_argument(
+        "--node-budget",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="node-table cap for the per-round equivalence proofs "
+        "(default 200000); an overrunning round is reverted, earlier "
+        "verified rounds are kept",
+    )
+    simplify_cmd.set_defaults(handler=_cmd_simplify)
 
     mcs_cmd = sub.add_parser("mcs", help="generate minimal cutsets")
     mcs_cmd.add_argument("model", help="model JSON file")
@@ -429,6 +474,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         cutoff=args.cutoff,
         lint=getattr(args, "lint", False),
+        simplify=getattr(args, "simplify", False),
         lump_chains=getattr(args, "lump", False),
         on_oversize="bounds" if getattr(args, "bounds", False) else "raise",
         fault_isolation=args.degrade,
@@ -489,9 +535,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: a model file is required (or use --list-rules)", file=sys.stderr)
         return 2
 
+    known_codes = {registered.code for registered in all_rules()}
     disabled = frozenset(
         code.strip().upper() for code in args.disable.split(",") if code.strip()
     )
+    unknown = sorted(disabled - known_codes)
+    if unknown:
+        print(
+            f"error: --disable names unknown rule codes: {', '.join(unknown)} "
+            f"(see 'sdft lint --list-rules')",
+            file=sys.stderr,
+        )
+        return 2
     overrides: dict[str, Severity] = {}
     for item in args.severity:
         code, separator, level = item.partition("=")
@@ -506,6 +561,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    unknown = sorted(set(overrides) - known_codes)
+    if unknown:
+        print(
+            f"error: --severity names unknown rule codes: {', '.join(unknown)} "
+            f"(see 'sdft lint --list-rules')",
+            file=sys.stderr,
+        )
+        return 2
 
     report = lint(
         _load_sdft(args.model),
@@ -522,6 +585,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(report.render_text())
     threshold = Severity.parse(args.fail_on)
     return 1 if report.at_or_above(threshold) else 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    from repro.sem import simplify
+
+    sdft = _load_sdft(args.model)
+    result = simplify(sdft, node_budget=args.node_budget)
+    if args.format == "json":
+        import json
+
+        payload = {
+            "model": sdft.name,
+            "gates_before": result.gates_before,
+            "gates_after": result.gates_after,
+            "events_before": result.events_before,
+            "events_after": result.events_after,
+            "rewrites": result.counts_by_kind(),
+            "verified_scopes": result.verified_scopes,
+            "rounds": result.rounds,
+            "budget_hit": result.budget_hit,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{sdft.name}: {result.gates_before} -> {result.gates_after} gates, "
+            f"{result.events_before} -> {result.events_after} events "
+            f"({result.rounds} rounds, {result.verified_scopes} scopes "
+            f"BDD-verified)"
+        )
+        for kind, count in sorted(result.counts_by_kind().items()):
+            print(f"  {count:4d}x {kind}")
+        if not result.changed:
+            print("  no verified rewrites apply; the model is already tight")
+        if result.budget_hit:
+            print(
+                "  note: the BDD node budget tripped; unverifiable rewrites "
+                "were discarded (raise --node-budget to verify more)"
+            )
+    if args.output:
+        save_model(result.model, args.output)
+        print(f"simplified model written to {args.output}")
+    if args.check and result.budget_hit:
+        print(
+            "check failed: the node budget prevented full verification",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_mcs(args: argparse.Namespace) -> int:

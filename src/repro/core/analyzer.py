@@ -197,6 +197,17 @@ class AnalysisOptions:
       appear in the run summary, and are noted in the run-health
       report.  The lint pass gets its own ``lint`` span in the trace.
 
+    Semantic simplification (:mod:`repro.sem`):
+
+    * ``simplify`` — run the BDD-verified rewrite engine over the model
+      before translation and analyse the smaller equivalent model.
+      Every applied rewrite round is proven equivalent (top scope and
+      all trigger-gate scopes) within ``bdd_node_budget`` BDD nodes;
+      rounds the proof cannot afford are reverted, so the option can
+      shrink the work but never change the answer.  The stage gets its
+      own ``simplify`` span, ``sem.*`` metrics, and a health note with
+      the gate/event reduction.
+
     Observability (:mod:`repro.obs`):
 
     * ``trace_path`` — write a JSONL trace of the run (phase and
@@ -218,6 +229,7 @@ class AnalysisOptions:
     cutoff: float = 1e-15
     epsilon: float = 1e-12
     lint: bool = False
+    simplify: bool = False
     max_chain_states: int = 200_000
     max_partials: int = 20_000_000
     on_oversize: str = "raise"
@@ -277,6 +289,7 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         tolerance=max(1e-9, 100.0 * opts.epsilon),
     )
     lint_report = _preflight_lint(sdft, opts, obs, health)
+    sdft = _simplify_stage(sdft, opts, obs, health)
     manager, resumed = _open_checkpoint(sdft, opts, health)
     solve_cache = _open_solve_cache(opts)
 
@@ -824,6 +837,63 @@ def _open_solve_cache(opts: AnalysisOptions) -> "SolveCache | None":
     return SolveCache(opts.cache_dir)
 
 
+def _simplify_stage(
+    sdft: SdFaultTree,
+    opts: AnalysisOptions,
+    obs: Observability,
+    health: HealthLog,
+) -> SdFaultTree:
+    """Shrink the model through the verified rewrite engine (``opts.simplify``).
+
+    Runs after the pre-flight lint (findings should name the user's
+    nodes, not the dieted survivors) and before the checkpoint opens, so
+    checkpoints and the solve cache fingerprint the model actually
+    analysed.  Soundness rests on :func:`repro.sem.simplify`'s per-round
+    BDD proofs: an unverifiable round is reverted inside the engine, so
+    whatever comes back is equivalent to the input on the top scope and
+    every trigger-gate scope.
+    """
+    if not opts.simplify:
+        return sdft
+    from repro.sem import simplify as run_simplify
+
+    with obs.tracer.span(
+        "simplify", model=getattr(sdft, "name", None) or ""
+    ) as span:
+        result = run_simplify(sdft, node_budget=opts.bdd_node_budget)
+        span.set(
+            rewrites=len(result.rewrites),
+            gates_before=result.gates_before,
+            gates_after=result.gates_after,
+            verified_scopes=result.verified_scopes,
+            budget_hit=result.budget_hit,
+        )
+    if obs.enabled:
+        obs.metrics.count("sem.rewrites", len(result.rewrites))
+        obs.metrics.count("sem.removed_gates", result.removed_gates)
+        obs.metrics.count("sem.removed_events", result.removed_events)
+        obs.metrics.count("sem.verified_scopes", result.verified_scopes)
+        if result.budget_hit:
+            obs.metrics.count("sem.budget_trips")
+    if result.changed:
+        health.info(
+            "simplify",
+            f"verified diet: {result.gates_before} -> {result.gates_after} "
+            f"gates, {result.events_before} -> {result.events_after} events "
+            f"({len(result.rewrites)} rewrites, {result.verified_scopes} "
+            f"scopes BDD-verified)",
+        )
+    if result.budget_hit:
+        health.info(
+            "simplify",
+            "BDD node budget tripped during verification; unverified "
+            "rewrites were discarded",
+        )
+    model = result.model
+    assert isinstance(model, SdFaultTree)
+    return model
+
+
 def _records_options_key(opts: AnalysisOptions) -> tuple:
     """Everything value-affecting beyond the model/horizon/cutoff.
 
@@ -855,6 +925,7 @@ def _records_options_key(opts: AnalysisOptions) -> tuple:
         opts.mc_engine,
         opts.static_engine,
         opts.bdd_node_budget,
+        opts.simplify,
     )
 
 

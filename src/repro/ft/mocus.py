@@ -37,12 +37,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import BudgetExceededError, CutoffError, UnknownNodeError
 from repro.ft.cutsets import CutSetList
 from repro.ft.normalize import restrict
 from repro.ft.tree import FaultTree, GateType
 from repro.robust import faults
+
+if TYPE_CHECKING:  # imported only for signatures: keeps runtime deps one-way
+    from repro.obs.metrics import MetricsRegistry
+    from repro.robust.budget import Budget
 
 __all__ = [
     "MocusOptions",
@@ -137,11 +142,11 @@ def mocus(
     tree: FaultTree,
     options: MocusOptions | None = None,
     top: str | None = None,
-    budget=None,
-    on_progress=None,
+    budget: Budget | None = None,
+    on_progress: Callable[[Callable[[], dict]], None] | None = None,
     progress_every: int = 100_000,
     resume: dict | None = None,
-    metrics=None,
+    metrics: MetricsRegistry | None = None,
 ) -> MocusResult:
     """Generate minimal cutsets of ``tree`` (or of the gate ``top``).
 
@@ -475,7 +480,7 @@ def _mask_to_gate_names(compiled: _Compiled, mask: int) -> list[str]:
     return sorted(names)
 
 
-def _names_to_mask(compiled: _Compiled, names, gates: bool) -> int:
+def _names_to_mask(compiled: _Compiled, names: Iterable[str], gates: bool) -> int:
     """Rebuild a bitmask from checkpointed names (resume path).
 
     Bit assignment is deterministic (sorted reachable names), so a

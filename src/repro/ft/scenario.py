@@ -127,7 +127,9 @@ def restrict_scenario(
     return frozenset(result)
 
 
-def minimal_failure_sets(tree: FaultTree, universe: Iterable[str] | None = None):
+def minimal_failure_sets(
+    tree: FaultTree, universe: Iterable[str] | None = None
+) -> list[frozenset[str]]:
     """Brute-force minimal cutsets over an optional sub-universe of events.
 
     Enumerates subsets of ``universe`` (default: all events) in order of

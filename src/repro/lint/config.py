@@ -34,6 +34,10 @@ class LintConfig:
     ``mcs_estimate_cap`` caps the combinatorial cutset-count estimate
     of the classification preview.
 
+    ``sem_node_budget`` bounds the BDD compilations behind the semantic
+    rules (SD5xx); on overrun those rules silently skip (lint must
+    never raise) while the shape rules still run.
+
     ``disabled`` names codes to skip; ``severity_overrides`` maps codes
     to replacement severities (e.g. promote ``SD201`` to an error for a
     strict CI gate).
@@ -45,6 +49,7 @@ class LintConfig:
     stiffness_threshold: float = 1e4
     negligible_exposure: float = 1e-9
     mcs_estimate_cap: int = 1_000_000
+    sem_node_budget: int = 200_000
     disabled: frozenset[str] = frozenset()
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from functools import cached_property
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Mapping
 
 from repro.core.classify import ClassificationReport, classification_report
 from repro.core.sdft import SdFaultTree
@@ -22,6 +22,12 @@ from repro.ctmc.triggered import TriggeredCtmc
 from repro.errors import AnalysisError, NumericalError
 from repro.ft.tree import FaultTree, Gate, GateType
 from repro.lint.config import LintConfig
+
+if TYPE_CHECKING:  # deferred: the sem package imports are lazy at runtime
+    from repro.sem.bounds import BoundsReport
+    from repro.sem.logic import LogicReport
+    from repro.sem.rewrite import SimplifyResult
+    from repro.sem.triggers import TriggerReport
 
 __all__ = ["LintContext"]
 
@@ -237,6 +243,72 @@ class LintContext:
     def classification(self) -> ClassificationReport:
         """The per-trigger classification of :mod:`repro.core.classify`."""
         return classification_report(self.sdft)
+
+    # ------------------------------------------------------------------
+    # Semantic analyses (repro.sem) for the SD5xx rules
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def sem_constants(self) -> dict[str, bool]:
+        """Static events pinned to a boolean constant by their probability.
+
+        Dynamic events are *never* constants here: their placeholder
+        probability in the structural view is 0.0 by construction, not
+        by meaning.
+        """
+        return {
+            name: event.probability == 1.0
+            for name, event in self.sdft.static_events.items()
+            if event.probability in (0.0, 1.0)
+        }
+
+    @cached_property
+    def logic(self) -> "LogicReport | None":
+        """BDD-verified logical diagnostics; ``None`` on budget overrun."""
+        from repro.errors import BddBudgetExceeded
+        from repro.sem.logic import logical_diagnostics
+
+        try:
+            return logical_diagnostics(
+                self.tree,
+                constants=self.sem_constants,
+                node_budget=self.config.sem_node_budget,
+            )
+        except BddBudgetExceeded:
+            return None
+
+    @cached_property
+    def trigger_report(self) -> "TriggerReport":
+        """The trigger dependency graph and its order-sensitive races."""
+        from repro.sem.triggers import analyze_triggers
+
+        return analyze_triggers(self.sdft)
+
+    @cached_property
+    def bounds(self) -> "BoundsReport":
+        """Interval bounds on every node, dynamic events at worst case."""
+        from repro.sem.bounds import interval_bounds
+
+        worst: dict[str, float] = {}
+        for name in self.sdft.dynamic_events:
+            probability = self.worst_case(name)
+            if probability is not None:
+                worst[name] = probability
+        return interval_bounds(
+            self.tree, dynamic=self.sdft.dynamic_events, worst_case=worst
+        )
+
+    @cached_property
+    def simplify_preview(self) -> "SimplifyResult | None":
+        """A dry run of the rewrite engine; ``None`` if it cannot verify."""
+        from repro.errors import AnalysisError
+        from repro.sem.rewrite import simplify
+
+        try:
+            result = simplify(self.sdft, node_budget=self.config.sem_node_budget)
+        except AnalysisError:
+            return None
+        return None if result.budget_hit else result
 
     # ------------------------------------------------------------------
     # Cutset-count estimate

@@ -10,7 +10,9 @@ import time).  The grouping mirrors the diagnostic-code ranges:
   rare-event approximation, the cutoff and the horizon;
 * :mod:`repro.lint.rules.dynamic` — SD3xx, the trigger graph;
 * :mod:`repro.lint.rules.classification` — SD4xx, the Section V-A
-  quantification-cost preview.
+  quantification-cost preview;
+* :mod:`repro.lint.rules.semantic` — SD5xx, BDD-verified facts about
+  the denoted structure function and the trigger semantics.
 """
 
 from __future__ import annotations
@@ -19,7 +21,8 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: registration)
     classification,
     dynamic,
     probabilistic,
+    semantic,
     structural,
 )
 
-__all__ = ["classification", "dynamic", "probabilistic", "structural"]
+__all__ = ["classification", "dynamic", "probabilistic", "semantic", "structural"]

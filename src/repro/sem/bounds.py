@@ -1,0 +1,216 @@
+"""Interval abstract interpretation of a fault tree.
+
+One bottom-up sweep assigns every node a sound probability interval
+``[lo, hi]`` — a bracket on the top-event probability that costs
+microseconds, before MOCUS or the BDD engine run at all.
+
+Two regimes per gate, chosen per gate by a *proof*:
+
+* **Independence (exact endpoints).**  When the children's support sets
+  (the basic events below each child) are pairwise disjoint, the
+  children are independent random variables — this is exactly the
+  independence condition module detection (:mod:`repro.ft.modules`)
+  exploits, applied gate-locally.  The gate probability is then a
+  monotone function of the child probabilities (product, co-product, or
+  the Poisson-binomial tail), so evaluating it at the childrens' lower
+  and upper endpoints gives exact interval propagation.
+
+* **Fréchet bounds (any dependence).**  When supports overlap, the
+  children are dependent through shared events; the Fréchet–Hoeffding
+  inequalities bound the gate for *every* possible joint distribution:
+  AND in ``[max(0, Σlo − (n−1)), min(hi)]``, OR in
+  ``[max(lo), min(1, Σhi)]``, and ATLEAST(k) via Markov's inequality on
+  the failure count, ``P ≤ min(1, Σhi / k)``, with the reversed Markov
+  bound ``P ≥ (Σlo − (k−1)) / (n − k + 1)`` below.
+
+Dynamic basic events enter as ``[0, worst_case]`` — they may never be
+switched on (lower end), and the untriggered worst-case first-passage
+probability dominates them above (Section V-B2 of the paper).  Static
+events are degenerate intervals ``[p, p]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, NamedTuple, Sequence
+
+from repro.ft.tree import FaultTree, GateType
+
+__all__ = ["BoundsReport", "Interval", "interval_bounds"]
+
+
+class Interval(NamedTuple):
+    """A closed probability interval ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        """``hi - lo``: zero for exactly-known probabilities."""
+        return self.hi - self.lo
+
+    def contains(self, value: float, tolerance: float = 1e-12) -> bool:
+        """Whether ``value`` lies in the interval, up to ``tolerance``."""
+        return self.lo - tolerance <= value <= self.hi + tolerance
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Interval bounds for every node of one tree.
+
+    ``independent_gates`` collects the gates whose children were proven
+    independent (disjoint supports: exact endpoint propagation);
+    ``dependent_gates`` the rest (Fréchet bounds).  ``top`` is the
+    bracket on the top-event probability.
+    """
+
+    per_node: Mapping[str, Interval]
+    top: Interval
+    independent_gates: frozenset[str]
+    dependent_gates: frozenset[str]
+
+    def of(self, name: str) -> Interval:
+        """The interval of a named node."""
+        return self.per_node[name]
+
+
+def interval_bounds(
+    tree: FaultTree,
+    *,
+    dynamic: Iterable[str] = (),
+    worst_case: Mapping[str, float] | None = None,
+) -> BoundsReport:
+    """One bottom-up sweep of sound probability intervals.
+
+    ``dynamic`` names events whose tree probability is a placeholder
+    (SD dynamic basic events); they get ``[0, worst_case[name]]``, with
+    a missing or unknown worst case widening to ``[0, 1]``.  All other
+    events use their static probability exactly.
+    """
+    dynamic_names = frozenset(dynamic)
+    worst = worst_case or {}
+
+    intervals: dict[str, Interval] = {}
+    supports: dict[str, frozenset[str]] = {}
+    for name in tree.events:
+        intervals[name] = _event_interval(tree, name, dynamic_names, worst)
+        supports[name] = frozenset((name,))
+
+    independent: set[str] = set()
+    dependent: set[str] = set()
+    for gate in tree.gates_bottom_up():
+        child_intervals = [intervals[child] for child in gate.children]
+        child_supports = [supports[child] for child in gate.children]
+        supports[gate.name] = frozenset().union(*child_supports)
+        if _pairwise_disjoint(child_supports):
+            intervals[gate.name] = _combine_independent(gate.gate_type, gate.k, child_intervals)
+            independent.add(gate.name)
+        else:
+            intervals[gate.name] = _combine_frechet(gate.gate_type, gate.k, child_intervals)
+            dependent.add(gate.name)
+
+    return BoundsReport(
+        per_node=intervals,
+        top=intervals[tree.top],
+        independent_gates=frozenset(independent),
+        dependent_gates=frozenset(dependent),
+    )
+
+
+def _event_interval(
+    tree: FaultTree,
+    name: str,
+    dynamic: frozenset[str],
+    worst: Mapping[str, float],
+) -> Interval:
+    if name in dynamic:
+        ceiling = worst.get(name)
+        if ceiling is None:
+            return Interval(0.0, 1.0)
+        return Interval(0.0, _clamp(ceiling))
+    probability = tree.events[name].probability
+    return Interval(probability, probability)
+
+
+def _pairwise_disjoint(supports: Sequence[frozenset[str]]) -> bool:
+    """Disjointness of all supports — the independence proof.
+
+    Disjoint iff the union's size equals the sum of sizes; one pass, no
+    quadratic pair loop.
+    """
+    total = sum(len(support) for support in supports)
+    union: set[str] = set()
+    for support in supports:
+        union.update(support)
+    return len(union) == total
+
+
+def _combine_independent(
+    gate_type: GateType, k: int | None, children: Sequence[Interval]
+) -> Interval:
+    """Exact endpoint propagation for independent children.
+
+    Product, co-product and the Poisson-binomial tail are all monotone
+    increasing in every child probability, so the gate's interval is the
+    image of the children's endpoint vectors.
+    """
+    lows = [child.lo for child in children]
+    highs = [child.hi for child in children]
+    if gate_type is GateType.AND:
+        return Interval(_product(lows), _product(highs))
+    if gate_type is GateType.OR:
+        return Interval(_coproduct(lows), _coproduct(highs))
+    assert k is not None
+    return Interval(_atleast_tail(lows, k), _atleast_tail(highs, k))
+
+
+def _combine_frechet(
+    gate_type: GateType, k: int | None, children: Sequence[Interval]
+) -> Interval:
+    """Fréchet–Hoeffding / Markov bounds, sound under any dependence."""
+    lows = [child.lo for child in children]
+    highs = [child.hi for child in children]
+    n = len(children)
+    if gate_type is GateType.AND:
+        return Interval(_clamp(sum(lows) - (n - 1)), _clamp(min(highs)))
+    if gate_type is GateType.OR:
+        return Interval(_clamp(max(lows)), _clamp(sum(highs)))
+    assert k is not None
+    lower = (sum(lows) - (k - 1)) / (n - k + 1)
+    upper = sum(highs) / k
+    return Interval(_clamp(lower), _clamp(upper))
+
+
+def _product(probabilities: Sequence[float]) -> float:
+    value = 1.0
+    for probability in probabilities:
+        value *= probability
+    return value
+
+
+def _coproduct(probabilities: Sequence[float]) -> float:
+    survival = 1.0
+    for probability in probabilities:
+        survival *= 1.0 - probability
+    return 1.0 - survival
+
+
+def _atleast_tail(probabilities: Sequence[float], k: int) -> float:
+    """``P(at least k of the independent children fail)``.
+
+    The Poisson-binomial distribution of the failure count, by the
+    standard O(n·k)-ish dynamic program over the count.
+    """
+    counts = [1.0]
+    for probability in probabilities:
+        extended = [0.0] * (len(counts) + 1)
+        for already_failed, mass in enumerate(counts):
+            extended[already_failed] += mass * (1.0 - probability)
+            extended[already_failed + 1] += mass * probability
+        counts = extended
+    return _clamp(sum(counts[k:]))
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))

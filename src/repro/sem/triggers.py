@@ -1,0 +1,193 @@
+"""The trigger dependency graph, and order-sensitive trigger races.
+
+:class:`~repro.core.sdft.SdFaultTree` construction already guarantees
+the *combined* graph — tree edges plus reversed trigger edges — is
+acyclic, which rules out mutual influence between triggers (``g1``
+switching an event under ``g2`` *and* vice versa closes a cycle).  What
+it cannot rule out is one-directional influence colliding with
+simultaneity: two trigger gates that can change status at the same
+instant, where one of them switches an event the other one reads.  If
+that switch can change the event's failure status *instantaneously*
+(its ``switch_on`` maps a reachable off-state straight into a failed
+state), the set of events switched at that instant depends on which
+trigger the update semantics applies first — an order-sensitive race.
+
+The analysis here is purely structural (graph reachability over chains
+and supports; no transient solve), so it is exact about the *existence*
+of the hazard and conservative about its probability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping
+
+from repro.core.sdft import SdFaultTree
+from repro.ctmc.triggered import TriggeredCtmc
+
+__all__ = ["TriggerRace", "TriggerReport", "analyze_triggers"]
+
+
+@dataclass(frozen=True)
+class TriggerRace:
+    """An order-sensitive pair of triggers.
+
+    ``first`` switches ``event``; ``second`` reads it (the event lies in
+    ``second``'s support).  ``shared`` holds the support events the two
+    gates have in common — the inputs whose change can flip both gates
+    in one instant, making the firing order observable.
+    """
+
+    first: str
+    second: str
+    event: str
+    shared: tuple[str, ...]
+
+    def describe(self) -> str:
+        """One-line human rendering of the race."""
+        return (
+            f"triggers {self.first!r} and {self.second!r} can fire at the "
+            f"same instant (shared support: {', '.join(self.shared)}); "
+            f"{self.first!r} switches {self.event!r}, which can fail the "
+            f"moment it is switched on and feeds {self.second!r} — the "
+            f"events switched at that instant depend on the firing order"
+        )
+
+
+@dataclass(frozen=True)
+class TriggerReport:
+    """The trigger graph of one SD fault tree.
+
+    ``edges`` is the influence graph: ``g1 -> g2`` when ``g1`` switches
+    an event in ``g2``'s support (so ``g2``'s status can hinge on
+    ``g1`` having fired).  ``instant_failure_events`` are triggered
+    events whose ``switch_on`` maps a reachable off-state directly into
+    a failed state — they can fail with zero delay at the triggering
+    instant.  ``races`` are the order-sensitive pairs built from both.
+    """
+
+    gates: tuple[str, ...]
+    edges: Mapping[str, frozenset[str]]
+    instant_failure_events: tuple[str, ...]
+    races: tuple[TriggerRace, ...]
+
+    @property
+    def longest_cascade(self) -> tuple[str, ...]:
+        """The longest influence chain in the (acyclic) trigger graph."""
+        best: dict[str, tuple[str, ...]] = {}
+
+        def chain_from(gate: str) -> tuple[str, ...]:
+            cached = best.get(gate)
+            if cached is not None:
+                return cached
+            tail: tuple[str, ...] = ()
+            for successor in sorted(self.edges.get(gate, ())):
+                candidate = chain_from(successor)
+                if len(candidate) > len(tail):
+                    tail = candidate
+            best[gate] = (gate,) + tail
+            return best[gate]
+
+        longest: tuple[str, ...] = ()
+        for gate in self.gates:
+            candidate = chain_from(gate)
+            if len(candidate) > len(longest):
+                longest = candidate
+        return longest
+
+
+def analyze_triggers(sdft: SdFaultTree) -> TriggerReport:
+    """Build the trigger graph and detect order-sensitive races."""
+    tree = sdft.structure
+    gates = tuple(sorted(sdft.triggers))
+    supports = {gate: tree.events_under(gate) for gate in gates}
+
+    edges: dict[str, frozenset[str]] = {}
+    for source in gates:
+        influenced = {
+            other
+            for other in gates
+            if other != source
+            and any(event in supports[other] for event in sdft.triggers[source])
+        }
+        edges[source] = frozenset(influenced)
+
+    instant = tuple(
+        event
+        for event in sorted(sdft.trigger_of)
+        if _fails_on_switch_on(sdft.dynamic_events[event].chain)
+    )
+    instant_set = frozenset(instant)
+
+    races = tuple(_find_races(sdft, gates, supports, instant_set))
+    return TriggerReport(
+        gates=gates,
+        edges=edges,
+        instant_failure_events=instant,
+        races=races,
+    )
+
+
+def _find_races(
+    sdft: SdFaultTree,
+    gates: tuple[str, ...],
+    supports: Mapping[str, frozenset[str]],
+    instant: frozenset[str],
+) -> Iterator[TriggerRace]:
+    """Order-sensitive pairs: simultaneity plus instantaneous influence.
+
+    ``first -> second`` through ``event`` races iff the two gates share
+    a support event (they can change status in the same update instant)
+    and ``event`` — switched by ``first``, read by ``second`` — can be
+    failed the moment it is switched on.  Without shared support the
+    gates never fire together, and without instant failure the switched
+    event's failure status is unchanged at the instant, so either way
+    the update order is unobservable.
+    """
+    for first in gates:
+        for second in gates:
+            if first == second:
+                continue
+            shared = supports[first] & supports[second]
+            if not shared:
+                continue
+            for event in sdft.triggers[first]:
+                if event in instant and event in supports[second]:
+                    yield TriggerRace(
+                        first=first,
+                        second=second,
+                        event=event,
+                        shared=tuple(sorted(shared)),
+                    )
+
+
+def _fails_on_switch_on(chain: object) -> bool:
+    """Whether switching on can land the chain directly in a failed state.
+
+    Only off-states actually reachable before the trigger fires matter:
+    the chain starts in (the support of) its initial distribution and,
+    until switched, moves only along rate transitions between
+    off-states.
+    """
+    if not isinstance(chain, TriggeredCtmc):
+        return False
+    reachable_off = _off_reachable(chain)
+    return any(chain.switch_on[state] in chain.failed for state in reachable_off)
+
+
+def _off_reachable(chain: TriggeredCtmc) -> frozenset[Hashable]:
+    """Off-states reachable from the initial support before any switch."""
+    successors: dict[Hashable, list[Hashable]] = {}
+    for (source, destination), rate in chain.rates.items():
+        if rate > 0.0 and source in chain.off_states and destination in chain.off_states:
+            successors.setdefault(source, []).append(destination)
+    seen: set[Hashable] = set(chain.initial)
+    queue: deque[Hashable] = deque(chain.initial)
+    while queue:
+        state = queue.popleft()
+        for successor in successors.get(state, ()):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return frozenset(seen)

@@ -1,0 +1,92 @@
+"""The shared-manager equivalence and monotonicity helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager, is_monotone, non_monotone_variables, trees_equivalent
+from repro.errors import BddBudgetExceeded
+from repro.ft.builder import FaultTreeBuilder
+
+
+def _tree(spec: str):
+    """``spec`` picks one of a few small hand-built trees."""
+    b = FaultTreeBuilder(spec)
+    b.event("a", 0.1).event("b", 0.2).event("c", 0.3)
+    if spec == "dnf":
+        b.and_("ab", "a", "b")
+        b.and_("ac", "a", "c")
+        b.or_("top", "ab", "ac")
+    elif spec == "factored":
+        b.or_("bc", "b", "c")
+        b.and_("top", "a", "bc")
+    elif spec == "other":
+        b.or_("top", "a", "b", "c")
+    return b.build("top")
+
+
+class TestTreesEquivalent:
+    def test_distributivity_is_proven(self):
+        # a(b + c) == ab + ac, despite entirely different gate structure.
+        assert trees_equivalent(_tree("dnf"), _tree("factored"))
+
+    def test_different_functions_are_rejected(self):
+        assert not trees_equivalent(_tree("dnf"), _tree("other"))
+
+    def test_interior_scopes_must_also_agree(self):
+        b1 = FaultTreeBuilder("s1")
+        b1.event("a", 0.1).event("b", 0.2)
+        b1.or_("scope", "a", "b")
+        b1.or_("top", "scope")
+        b2 = FaultTreeBuilder("s2")
+        b2.event("a", 0.1).event("b", 0.2)
+        b2.or_("scope", "a")  # narrower interior function, same top? no —
+        b2.or_("top", "scope", "b")  # top agrees, the scope does not
+        t1, t2 = b1.build("top"), b2.build("top")
+        assert trees_equivalent(t1, t2)
+        assert not trees_equivalent(t1, t2, scopes=("scope",))
+
+    def test_missing_scope_is_not_equivalent(self):
+        assert not trees_equivalent(
+            _tree("dnf"), _tree("factored"), scopes=("ab",)
+        )
+
+    def test_constants_are_substituted(self):
+        b = FaultTreeBuilder("c1")
+        b.event("a", 0.1).event("sure", 1.0)
+        b.and_("top", "a", "sure")
+        with_const = b.build("top")
+        b2 = FaultTreeBuilder("c2")
+        b2.event("a", 0.1).event("sure", 1.0)
+        b2.or_("top", "a", "wrap")
+        b2.or_("wrap", "a")
+        plain_a = b2.build("top")
+        assert trees_equivalent(with_const, plain_a, constants={"sure": True})
+
+    def test_budget_overrun_raises(self):
+        b = FaultTreeBuilder("wide")
+        for i in range(14):
+            b.event(f"e{i}", 0.01)
+        b.atleast("top", 7, *[f"e{i}" for i in range(14)])
+        tree = b.build("top")
+        with pytest.raises(BddBudgetExceeded):
+            trees_equivalent(tree, tree, node_budget=3)
+
+
+class TestMonotonicity:
+    def test_coherent_function_has_no_witnesses(self):
+        manager = BddManager()
+        x, y = manager.var(0), manager.var(1)
+        node = manager.apply_or(manager.apply_and(x, y), x)
+        assert is_monotone(manager, node)
+        assert non_monotone_variables(manager, node) == frozenset()
+
+    def test_negation_shape_is_caught(self):
+        # f = x XOR y is non-monotone in both variables.
+        manager = BddManager()
+        x, y = manager.var(0), manager.var(1)
+        left = manager.apply_and(x, manager.negate(y))
+        right = manager.apply_and(manager.negate(x), y)
+        node = manager.apply_or(left, right)
+        assert not is_monotone(manager, node)
+        assert non_monotone_variables(manager, node) == frozenset({0, 1})

@@ -1,0 +1,60 @@
+"""The ``AnalysisOptions(simplify=...)`` preprocessing stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions, analyze
+
+
+@pytest.fixture
+def fat_sdft():
+    """An SD model with wrapper gates the verified diet removes."""
+    from repro.core.sdft import SdFaultTreeBuilder
+    from repro.ctmc.builders import repairable, triggered_repairable
+
+    b = SdFaultTreeBuilder("fat-sd")
+    b.static_event("a", 3e-3).static_event("c", 3e-3)
+    b.dynamic_event("b", repairable(0.001, 0.05))
+    b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+    b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+    b.and_("pumps", "pump1", "pump2")
+    b.or_("wrap", "pumps")
+    b.or_("top", "wrap")
+    b.trigger("pump1", "d")
+    return b.build("top")
+
+
+class TestSimplifyOption:
+    def test_answer_is_unchanged(self, fat_sdft):
+        plain = analyze(fat_sdft, AnalysisOptions())
+        dieted = analyze(fat_sdft, AnalysisOptions(simplify=True))
+        assert dieted.failure_probability == pytest.approx(
+            plain.failure_probability, rel=1e-12
+        )
+
+    def test_health_notes_the_diet(self, fat_sdft):
+        result = analyze(fat_sdft, AnalysisOptions(simplify=True))
+        notes = [e.message for e in result.health.events if e.stage == "simplify"]
+        assert any("verified diet" in note for note in notes)
+
+    def test_sem_metrics_are_collected(self, fat_sdft):
+        result = analyze(
+            fat_sdft, AnalysisOptions(simplify=True, collect_metrics=True)
+        )
+        counters = result.metrics["counters"]
+        assert counters.get("sem.rewrites", 0) > 0
+        assert counters.get("sem.removed_gates", 0) >= 1  # the wrapper
+        assert counters.get("sem.verified_scopes", 0) >= 1
+
+    def test_default_is_off(self, fat_sdft):
+        result = analyze(fat_sdft, AnalysisOptions(collect_metrics=True))
+        assert "sem.rewrites" not in result.metrics["counters"]
+
+    def test_composes_with_preflight_lint(self, fat_sdft):
+        result = analyze(fat_sdft, AnalysisOptions(simplify=True, lint=True))
+        assert result.lint is not None
+        # Lint ran on the original model: the wrapper gates are visible
+        # to it (SD103 single-parent chain) even though the analysis
+        # itself never saw them.
+        assert result.failure_probability > 0.0

@@ -1,0 +1,1 @@
+"""Tests of the semantic static-analysis engine (:mod:`repro.sem`)."""

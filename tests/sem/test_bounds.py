@@ -1,0 +1,105 @@
+"""Interval abstract interpretation: exactness, Fréchet soundness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import exact_probability
+from repro.ft.builder import FaultTreeBuilder
+from repro.sem import interval_bounds
+from tests.strategies import fault_trees
+
+TOLERANCE = 1e-9
+
+
+class TestIndependentExactness:
+    def test_series_parallel_is_exact(self):
+        b = FaultTreeBuilder("sp")
+        b.event("a", 0.1).event("b", 0.2).event("c", 0.3)
+        b.and_("ab", "a", "b")
+        b.or_("top", "ab", "c")
+        report = interval_bounds(b.build("top"))
+        expected = 1.0 - (1.0 - 0.1 * 0.2) * (1.0 - 0.3)
+        assert report.top.lo == pytest.approx(expected)
+        assert report.top.hi == pytest.approx(expected)
+        assert "top" in report.independent_gates
+
+    def test_atleast_is_exact_under_independence(self):
+        b = FaultTreeBuilder("vote")
+        b.event("a", 0.1).event("b", 0.2).event("c", 0.3)
+        b.atleast("top", 2, "a", "b", "c")
+        report = interval_bounds(b.build("top"))
+        expected = (
+            0.1 * 0.2 * (1 - 0.3)
+            + 0.1 * (1 - 0.2) * 0.3
+            + (1 - 0.1) * 0.2 * 0.3
+            + 0.1 * 0.2 * 0.3
+        )
+        assert report.top.lo == pytest.approx(expected)
+        assert report.top.hi == pytest.approx(expected)
+
+
+class TestFrechetBrackets:
+    def test_shared_event_brackets_exact(self):
+        # top = AND(OR(x, a), OR(x, b)) — children share x, so the gate
+        # falls back to Fréchet; the exact value must stay inside.
+        b = FaultTreeBuilder("shared")
+        b.event("x", 0.2).event("a", 0.3).event("b", 0.4)
+        b.or_("left", "x", "a")
+        b.or_("right", "x", "b")
+        b.and_("top", "left", "right")
+        tree = b.build("top")
+        report = interval_bounds(tree)
+        exact = exact_probability(tree)
+        assert "top" in report.dependent_gates
+        assert report.top.lo - TOLERANCE <= exact <= report.top.hi + TOLERANCE
+        assert report.top.width > 0.0
+
+    def test_dynamic_events_span_worst_case(self):
+        b = FaultTreeBuilder("dyn")
+        b.event("s", 0.1).event("d", 0.0)
+        b.or_("top", "s", "d")
+        report = interval_bounds(
+            b.build("top"), dynamic=("d",), worst_case={"d": 0.25}
+        )
+        assert report.of("d").lo == 0.0
+        assert report.of("d").hi == 0.25
+        assert report.top.lo == pytest.approx(0.1)
+        assert report.top.hi == pytest.approx(1.0 - 0.9 * 0.75)
+
+    def test_unknown_worst_case_spans_unit_interval(self):
+        b = FaultTreeBuilder("dyn")
+        b.event("s", 0.1).event("d", 0.0)
+        b.and_("top", "s", "d")
+        report = interval_bounds(b.build("top"), dynamic=("d",))
+        assert report.of("d").hi == 1.0
+        assert report.top.hi == pytest.approx(0.1)
+
+
+class TestBracketsBddExactEverywhere:
+    @pytest.mark.parametrize("preset", ["model_1", "model_2", "bwr-static"])
+    def test_bundled_static_models(self, preset):
+        if preset == "bwr-static":
+            from repro.models.bwr import BwrConfig, build_bwr
+
+            tree = build_bwr(BwrConfig(dynamic=False)).structure
+        else:
+            from repro.models import model_1, model_2
+
+            tree = model_1() if preset == "model_1" else model_2()
+        report = interval_bounds(tree)
+        exact = exact_probability(tree)
+        assert report.top.lo - TOLERANCE <= exact <= report.top.hi + TOLERANCE
+
+    @given(tree=fault_trees(max_events=6, max_gates=6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_static_trees(self, tree):
+        report = interval_bounds(tree)
+        exact = exact_probability(tree)
+        bound = report.top
+        assert bound.lo - TOLERANCE <= exact <= bound.hi + TOLERANCE
+        # Every per-node interval is a valid probability interval.
+        for name, interval in report.per_node.items():
+            assert 0.0 <= interval.lo <= interval.hi + TOLERANCE
+            assert interval.hi <= 1.0 + TOLERANCE, name

@@ -1,0 +1,88 @@
+"""BDD-verified logical diagnostics: constants, vacuity, dead events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BddBudgetExceeded
+from repro.ft.builder import FaultTreeBuilder
+from repro.sem import logical_diagnostics
+
+
+def vacuous_fixture():
+    """``top = OR(a, AND(a, b))`` — the AND operand is absorbed by ``a``."""
+    b = FaultTreeBuilder("vacuous")
+    b.event("a", 0.1).event("b", 0.2)
+    b.and_("both", "a", "b")
+    b.or_("top", "a", "both")
+    return b.build("top")
+
+
+class TestVacuousOperands:
+    def test_absorbed_operand_is_found(self):
+        report = logical_diagnostics(vacuous_fixture())
+        pairs = {(v.gate, v.operand) for v in report.vacuous}
+        assert ("top", "both") in pairs
+
+    def test_tight_gate_has_no_vacuous_operands(self):
+        b = FaultTreeBuilder("tight")
+        b.event("a", 0.1).event("b", 0.2)
+        b.or_("top", "a", "b")
+        report = logical_diagnostics(b.build("top"))
+        assert report.vacuous == ()
+
+    def test_implied_atleast_operand(self):
+        # In 1-of-2 over (a, AND(a, b)) the AND input is again vacuous.
+        b = FaultTreeBuilder("vote")
+        b.event("a", 0.1).event("b", 0.2)
+        b.and_("both", "a", "b")
+        b.atleast("top", 1, "a", "both")
+        report = logical_diagnostics(b.build("top"))
+        assert {(v.gate, v.operand) for v in report.vacuous} == {("top", "both")}
+
+
+class TestConstantsAndDeadEvents:
+    def test_constant_event_makes_constant_gate(self):
+        b = FaultTreeBuilder("const")
+        b.event("sure", 1.0).event("a", 0.1)
+        b.or_("always", "sure", "a")
+        b.and_("top", "always", "a")
+        report = logical_diagnostics(
+            b.build("top"), constants={"sure": True}
+        )
+        assert report.constant_gates.get("always") is True
+        # The top itself is a ∧ (always) = a: not constant.
+        assert "top" not in report.constant_gates
+
+    def test_dead_event_outside_top_support(self):
+        tree = vacuous_fixture()
+        report = logical_diagnostics(tree)
+        # f(top) = a: the event b is wired in but cannot matter.
+        assert report.dead_events == ("b",)
+
+    def test_no_dead_events_in_tight_tree(self):
+        b = FaultTreeBuilder("tight")
+        b.event("a", 0.1).event("b", 0.2)
+        b.and_("top", "a", "b")
+        report = logical_diagnostics(b.build("top"))
+        assert report.dead_events == ()
+
+
+class TestCoherence:
+    def test_gate_trees_are_monotone(self):
+        report = logical_diagnostics(vacuous_fixture())
+        assert report.non_monotone == ()
+
+    def test_node_count_is_positive(self):
+        report = logical_diagnostics(vacuous_fixture())
+        assert report.node_count > 0
+
+
+class TestBudget:
+    def test_budget_overrun_raises_cleanly(self):
+        b = FaultTreeBuilder("wide")
+        for i in range(12):
+            b.event(f"e{i}", 0.01)
+        b.atleast("top", 6, *[f"e{i}" for i in range(12)])
+        with pytest.raises(BddBudgetExceeded):
+            logical_diagnostics(b.build("top"), node_budget=3)

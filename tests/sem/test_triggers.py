@@ -1,0 +1,116 @@
+"""Trigger-graph analysis: cascades, instant failures, order races."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sdft import SdFaultTreeBuilder
+from repro.ctmc.builders import repairable, triggered_repairable
+from repro.sem import analyze_triggers
+
+
+def race_fixture():
+    """Two triggers that can fire at one instant, with an observable order.
+
+    ``g1`` and ``g2`` share the support event ``x`` (simultaneity);
+    ``g1`` switches ``d-spare``, whose chain can already be failed while
+    off (positive passive failure rate), and ``d-spare`` feeds ``g2`` —
+    so whether ``g2`` sees it failed at the switching instant depends on
+    which trigger fires first.
+    """
+    b = SdFaultTreeBuilder("race-fixture")
+    b.static_event("x", 0.01).static_event("a", 0.02).static_event("bb", 0.03)
+    b.dynamic_event(
+        "d-spare", triggered_repairable(0.01, 0.1, passive_failure_rate=0.005)
+    )
+    b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+    b.or_("g1", "x", "a")
+    b.or_("g2", "x", "d-spare")
+    b.or_("top", "g1", "g2", "d2", "bb")
+    b.trigger("g1", "d-spare")
+    b.trigger("g2", "d2")
+    return b.build("top")
+
+
+class TestRaceDetection:
+    def test_seeded_race_is_found(self):
+        report = analyze_triggers(race_fixture())
+        assert len(report.races) == 1
+        race = report.races[0]
+        assert (race.first, race.second) == ("g1", "g2")
+        assert race.event == "d-spare"
+        assert race.shared == ("x",)
+
+    def test_describe_names_both_gates_and_the_event(self):
+        (race,) = analyze_triggers(race_fixture()).races
+        text = race.describe()
+        assert "g1" in text and "g2" in text and "d-spare" in text
+
+    def test_no_race_without_instant_failure(self):
+        # Same shape, but the spare cannot fail while off: the firing
+        # order is unobservable, so there is no race to report.
+        b = SdFaultTreeBuilder("no-race")
+        b.static_event("x", 0.01).static_event("a", 0.02)
+        b.dynamic_event("d-spare", triggered_repairable(0.01, 0.1))
+        b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+        b.or_("g1", "x", "a")
+        b.or_("g2", "x", "d-spare")
+        b.or_("top", "g1", "g2", "d2")
+        b.trigger("g1", "d-spare")
+        b.trigger("g2", "d2")
+        report = analyze_triggers(b.build("top"))
+        assert report.instant_failure_events == ()
+        assert report.races == ()
+
+    def test_no_race_without_shared_support(self):
+        # Disjoint supports: the triggers cannot fire at one instant.
+        b = SdFaultTreeBuilder("disjoint")
+        b.static_event("x", 0.01).static_event("y", 0.02)
+        b.dynamic_event(
+            "d-spare", triggered_repairable(0.01, 0.1, passive_failure_rate=0.005)
+        )
+        b.dynamic_event("d2", triggered_repairable(0.01, 0.1))
+        b.or_("g1", "x")
+        b.or_("g2", "y", "d-spare")
+        b.or_("top", "g1", "g2", "d2")
+        b.trigger("g1", "d-spare")
+        b.trigger("g2", "d2")
+        report = analyze_triggers(b.build("top"))
+        assert report.instant_failure_events == ("d-spare",)
+        assert report.races == ()
+
+
+class TestGraphFacts:
+    def test_cascade_edge_and_longest_chain(self):
+        report = analyze_triggers(race_fixture())
+        assert report.edges["g1"] == frozenset({"g2"})
+        assert report.longest_cascade == ("g1", "g2")
+
+    def test_instant_failure_requires_reachable_off_failure(self):
+        report = analyze_triggers(race_fixture())
+        assert report.instant_failure_events == ("d-spare",)
+
+    def test_untriggered_model_is_trivial(self):
+        b = SdFaultTreeBuilder("plain")
+        b.static_event("s", 0.1)
+        b.dynamic_event("d", repairable(0.01, 0.1))
+        b.or_("top", "s", "d")
+        report = analyze_triggers(b.build("top"))
+        assert report.gates == ()
+        assert report.races == ()
+        assert report.longest_cascade == ()
+
+
+class TestBundledModels:
+    @pytest.mark.parametrize("builder", ["bwr", "sbo"])
+    def test_bundled_models_have_no_races(self, builder):
+        if builder == "bwr":
+            from repro.models.bwr import build_bwr
+
+            model = build_bwr()
+        else:
+            from repro.models.sbo import build_sbo
+
+            model = build_sbo()
+        report = analyze_triggers(model)
+        assert report.races == ()

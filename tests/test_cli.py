@@ -148,3 +148,91 @@ class TestErrors:
         path.write_text("{")
         assert main(["mcs", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSimplify:
+    @pytest.fixture
+    def fat_model_file(self, tmp_path):
+        """A model with verified diet opportunities (wrapper + vacuity)."""
+        from repro.ft.builder import FaultTreeBuilder
+
+        b = FaultTreeBuilder("fat")
+        b.event("a", 1e-3).event("b", 2e-3).event("c", 3e-3)
+        b.and_("both", "a", "b")
+        b.or_("wrap", "c")
+        b.or_("top", "a", "both", "wrap")
+        path = tmp_path / "fat.json"
+        save_model(b.build("top"), path)
+        return str(path)
+
+    def test_reports_the_diet(self, fat_model_file, capsys):
+        assert main(["simplify", fat_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "BDD-verified" in out
+
+    def test_check_passes_on_verified_diet(self, fat_model_file):
+        assert main(["simplify", fat_model_file, "--check"]) == 0
+
+    def test_check_fails_when_budget_blocks_verification(
+        self, fat_model_file, capsys
+    ):
+        assert (
+            main(["simplify", fat_model_file, "--check", "--node-budget", "1"])
+            == 1
+        )
+        assert "check failed" in capsys.readouterr().err
+
+    def test_output_round_trips_and_shrinks(self, fat_model_file, tmp_path, capsys):
+        from repro.models.formats import load_model
+
+        def gate_count(model):
+            tree = getattr(model, "structure", model)
+            return len(tree.gates)
+
+        target = tmp_path / "small.json"
+        assert main(["simplify", fat_model_file, "--output", str(target)]) == 0
+        assert gate_count(load_model(target)) < gate_count(load_model(fat_model_file))
+
+    def test_json_format(self, fat_model_file, capsys):
+        assert main(["simplify", fat_model_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gates_after"] < payload["gates_before"]
+        assert payload["budget_hit"] is False
+
+    def test_analyze_simplify_flag_preserves_the_answer(
+        self, sd_model_file, capsys
+    ):
+        assert main(["analyze", sd_model_file, "--no-cache"]) == 0
+        plain = capsys.readouterr().out.splitlines()[0]
+        assert (
+            main(["analyze", sd_model_file, "--no-cache", "--simplify"]) == 0
+        )
+        simplified = capsys.readouterr().out.splitlines()[0]
+        assert plain == simplified
+
+
+class TestLintCodeValidation:
+    def test_unknown_disable_code_exits_two(self, sd_model_file, capsys):
+        assert main(["lint", sd_model_file, "--disable", "SD999"]) == 2
+        err = capsys.readouterr().err
+        assert "SD999" in err and "unknown rule code" in err
+
+    def test_unknown_codes_are_all_listed(self, sd_model_file, capsys):
+        assert (
+            main(["lint", sd_model_file, "--disable", "SD998,SD101,SD999"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "SD998" in err and "SD999" in err and "SD101" not in err
+
+    def test_unknown_severity_code_exits_two(self, sd_model_file, capsys):
+        assert main(["lint", sd_model_file, "--severity", "SD999=error"]) == 2
+        assert "SD999" in capsys.readouterr().err
+
+    def test_known_codes_still_accepted(self, sd_model_file):
+        assert (
+            main(
+                ["lint", sd_model_file, "--disable", "SD103",
+                 "--severity", "SD201=info"]
+            )
+            == 0
+        )
