@@ -1,0 +1,233 @@
+"""P10 — incremental what-if re-analysis vs cold analysis.
+
+Measures the :class:`repro.service.session.AnalysisSession` warm path:
+analyze once, apply a single edit, ``reanalyze()`` — against a cold
+``analyze()`` of the edited model.  Run as a script::
+
+    python benchmarks/bench_incremental.py --output BENCH_incremental.json
+
+Cases (each on a fresh session, persistent cache off, so the measured
+speedup is the incremental engine's own — family reuse, retruncation
+and record-level reuse — not disk-cache warmth):
+
+* ``rate-decrease`` — scale one dynamic event's rates down.  Static
+  translation probabilities are non-increasing, so the previous
+  pre-truncation family retruncates without any MOCUS search, and every
+  record whose dependencies exclude the edited event is reused outright.
+  This is the headline case the ``--min-speedup`` CI gate applies to.
+* ``probability-decrease`` — lower one static event's probability
+  (same retruncate path, different edit vocabulary).
+* ``rate-increase`` — scale rates *up*.  New cutsets may appear, so
+  retruncation must refuse; the modular path or a cold fallback serves
+  instead.  Recorded informationally: on models whose top region
+  dominates (the BWR has only a couple of non-trivial modules) this is
+  legitimately not faster than cold — the point is that it is never
+  *wrong*, which the bit-identity assertion proves.
+
+Every case *asserts* bit-identity between the warm result and the cold
+reference (:func:`repro.service.session.assert_bit_identical`) — a
+mismatch is an error, not a data point.  ``validate_payload`` is the
+schema check the CI smoke job runs against the emitted file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+SCHEMA = "repro-bench-incremental/1"
+
+#: Dynamic / static BWR events the scripted edits touch.
+_BWR_DYNAMIC_EDIT = "ECC-A-PUMP-FTR"
+_BWR_STATIC_EDIT = "ECC-A-BREAKER"
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _cases(model):
+    from repro.service.edits import ScaleRates, SetProbability
+
+    dynamic = (
+        _BWR_DYNAMIC_EDIT
+        if _BWR_DYNAMIC_EDIT in model.dynamic_events
+        else sorted(model.dynamic_events)[0]
+    )
+    static = (
+        _BWR_STATIC_EDIT
+        if _BWR_STATIC_EDIT in model.static_events
+        else sorted(model.static_events)[0]
+    )
+    half_p = model.static_events[static].probability * 0.5
+    return [
+        ("rate-decrease", ScaleRates(dynamic, 0.5), True),
+        ("probability-decrease", SetProbability(static, half_p), True),
+        ("rate-increase", ScaleRates(dynamic, 2.0), False),
+    ]
+
+
+def run_case(model, options, name, edit, gated):
+    from repro.core.analyzer import analyze
+    from repro.service.edits import apply_edits, edit_to_dict
+    from repro.service.session import AnalysisSession, assert_bit_identical
+
+    session = AnalysisSession(model, options)
+    started = time.perf_counter()
+    session.analyze()
+    cold_seconds = time.perf_counter() - started
+
+    session.edit(edit)
+    started = time.perf_counter()
+    warm = session.reanalyze()
+    warm_seconds = time.perf_counter() - started
+
+    edited = apply_edits(model, [edit])
+    started = time.perf_counter()
+    cold = analyze(edited, options)
+    cold_edited_seconds = time.perf_counter() - started
+
+    assert_bit_identical(warm, cold)  # raises CrosscheckError on drift
+    return {
+        "name": name,
+        "edit": edit_to_dict(edit),
+        "mode": session.last_mode,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "cold_edited_seconds": round(cold_edited_seconds, 4),
+        "speedup": round(cold_edited_seconds / max(warm_seconds, 1e-9), 2),
+        "gated": gated,
+        "bit_identical": True,
+        "n_cutsets": len(warm.records),
+        "probability": warm.failure_probability,
+    }
+
+
+def build_payload(tiny: bool, min_speedup: float | None) -> dict:
+    from repro.core.analyzer import AnalysisOptions
+
+    if tiny:
+        from repro.ctmc.builders import repairable, triggered_repairable
+        from repro.core.sdft import SdFaultTreeBuilder
+
+        b = SdFaultTreeBuilder("cooling-sd")
+        b.static_event("a", 3e-3).static_event("c", 3e-3)
+        b.static_event("e", 3e-6)
+        b.dynamic_event("b", repairable(0.001, 0.05))
+        b.dynamic_event("d", triggered_repairable(0.001, 0.05))
+        b.or_("pump1", "a", "b").or_("pump2", "c", "d")
+        b.and_("pumps", "pump1", "pump2")
+        b.or_("cooling", "pumps", "e")
+        b.trigger("pump1", "d")
+        model = b.build("cooling")
+    else:
+        from repro.models.bwr import build_bwr
+
+        model = build_bwr()
+    options = AnalysisOptions(horizon=24.0, cutoff=1e-15)
+
+    cases = [
+        run_case(model, options, name, edit, gated)
+        for name, edit, gated in _cases(model)
+    ]
+    gated_speedups = [c["speedup"] for c in cases if c["gated"]]
+    return {
+        "schema": SCHEMA,
+        "model": model.name,
+        "horizon": options.horizon,
+        "cutoff": options.cutoff,
+        "tiny": tiny,
+        "host": {
+            "cpu_count": _cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "cases": cases,
+        "headline_speedup": max(gated_speedups) if gated_speedups else None,
+        "min_speedup": min_speedup,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check for the CI smoke job (raises AssertionError)."""
+    assert payload["schema"] == SCHEMA, payload.get("schema")
+    assert payload["cases"], "no cases recorded"
+    for case in payload["cases"]:
+        for key in (
+            "name",
+            "edit",
+            "mode",
+            "cold_seconds",
+            "warm_seconds",
+            "cold_edited_seconds",
+            "speedup",
+            "gated",
+            "bit_identical",
+            "n_cutsets",
+            "probability",
+        ):
+            assert key in case, f"case {case.get('name')!r} misses {key!r}"
+        assert case["bit_identical"] is True
+    assert any(c["gated"] for c in payload["cases"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_incremental.json")
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="run on the small cooling model (seconds; no speedup gate "
+        "— the model is too small to beat process noise)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every *gated* case (the retruncate-path "
+        "edits) re-analyses at least X times faster than cold",
+    )
+    args = parser.parse_args(argv)
+
+    min_speedup = None if args.tiny else args.min_speedup
+    payload = build_payload(args.tiny, min_speedup)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    for case in payload["cases"]:
+        print(
+            f"{case['name']:22s} mode={case['mode']:10s} "
+            f"cold {case['cold_edited_seconds']:.3f}s -> warm "
+            f"{case['warm_seconds']:.3f}s  ({case['speedup']:.1f}x)"
+        )
+    print(f"payload written to {args.output}")
+
+    if min_speedup is not None:
+        slow = [
+            c
+            for c in payload["cases"]
+            if c["gated"] and c["speedup"] < min_speedup
+        ]
+        if slow:
+            for case in slow:
+                print(
+                    f"FAIL: {case['name']} speedup {case['speedup']:.1f}x "
+                    f"< floor {min_speedup}x",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"gated cases clear the {min_speedup}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    sys.exit(main())

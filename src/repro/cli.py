@@ -13,7 +13,12 @@ Commands
 ``demo-bwr``    Build the fictive BWR study, save or analyse it.
 ``trace``       Summarise a JSONL trace written by ``analyze --trace``.
 ``chaos``       Seeded fault-injection campaign asserting runs fail
-                loudly or stay bracketed (see ``docs/robustness.md``).
+                loudly or stay bracketed (see ``docs/robustness.md``);
+                ``--catalog service`` runs the deterministic service
+                scenarios instead (see ``docs/service.md``).
+``serve``       Long-lived stdio-JSONL analysis daemon: resumable
+                sessions, incremental what-if re-analysis, deadlines,
+                admission control and a crash-safe journal.
 
 Models are JSON files in the format of :mod:`repro.models.formats`;
 files ending in ``.xml``/``.mef`` are read as Open-PSA fault trees
@@ -398,7 +403,69 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON campaign report to FILE",
     )
+    chaos_cmd.add_argument(
+        "--catalog",
+        choices=("default", "service"),
+        default="default",
+        help="'default' = randomized fault-injection campaign against "
+        "one in-process analysis; 'service' = the deterministic "
+        "service scenarios (deadline expiry, daemon SIGKILL + journal "
+        "recovery, journal corruption) — ignores --runs/--seed/--jobs",
+    )
     chaos_cmd.set_defaults(handler=_cmd_chaos)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="stdio-JSONL analysis daemon (one JSON request per line on "
+        "stdin, one response per line on stdout; see docs/service.md)",
+    )
+    _add_analysis_arguments(serve_cmd)
+    serve_cmd.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for quantification (default 1 = serial)",
+    )
+    serve_cmd.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="crash-safe request journal; a daemon restarted on the same "
+        "file replays completed loads/edits and aborts in-flight work",
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="bounded request queue depth; further analysis requests are "
+        "answered immediately with a load-shed error (default 16)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="request worker threads (default 1; sessions are locked, so "
+        "extra workers only help across distinct sessions)",
+    )
+    serve_cmd.add_argument(
+        "--request-trace",
+        metavar="FILE",
+        default=None,
+        help="append one JSONL record per request/response pair to FILE",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="directory of the persistent cross-run solve cache "
+        "(default: $REPRO_CACHE_DIR, else ~/.cache/repro)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent solve cache",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -786,6 +853,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         from repro.models.bwr import build_bwr
 
         sdft = build_bwr()
+    if args.catalog == "service":
+        from repro.service.chaos import run_service_campaign
+
+        report = run_service_campaign(
+            sdft,
+            options=AnalysisOptions(horizon=args.horizon, cutoff=args.cutoff),
+        )
+        print(report.summary())
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"campaign report written to {args.report}")
+        return 0 if report.ok else 1
     report = run_campaign(
         sdft,
         runs=args.runs,
@@ -800,6 +880,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
         print(f"campaign report written to {args.report}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import ServiceDaemon
+
+    options = AnalysisOptions(
+        horizon=args.horizon,
+        cutoff=args.cutoff,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args),
+    )
+    daemon = ServiceDaemon(
+        options,
+        journal_path=args.journal,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        trace_path=args.request_trace,
+    )
+    return daemon.serve()
 
 
 if __name__ == "__main__":

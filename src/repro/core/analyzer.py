@@ -62,6 +62,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "AnalysisOptions",
+    "AnalysisReuse",
     "analyze",
     "analyze_curve",
     "analyze_exact",
@@ -260,7 +261,61 @@ class AnalysisOptions:
 _STATIC_ENGINES = ("auto", "bdd", "mcs")
 
 
-def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> AnalysisResult:
+@dataclass
+class AnalysisReuse:
+    """Work carried between runs of the same pipeline (the session hook).
+
+    :class:`repro.service.session.AnalysisSession` passes one of these
+    into :func:`analyze` to (a) inject cutsets it already proved
+    equivalent to a fresh MOCUS search and a solve store from the
+    previous run, and (b) capture this run's artifacts for the *next*
+    incremental step.  ``analyze(sdft)`` without a reuse hook is the
+    unchanged one-shot pipeline.
+
+    Injected inputs
+    ---------------
+    ``translation`` — a pre-computed
+    :class:`~repro.core.to_static.StaticTranslation` of *this* model at
+    *this* horizon (the session computes it to diff trees; recomputing
+    it would redo every worst-case chain solve).
+    ``cutsets`` — a pre-computed :class:`MocusResult` substituted for
+    the MOCUS stage (the caller vouches it is element-for-element what
+    the search would return; see :mod:`repro.service.incremental`).
+    ``solves`` — ``signature -> (probability, chain_states)`` entries
+    priming the in-memory :class:`QuantificationCache`, so only cutsets
+    whose ``FT_C`` content fingerprint changed are re-solved.  Both the
+    serial loop and the process-pool path consult the primed store
+    before solving.
+    ``records`` — ``cutset -> McsQuantification`` records the caller
+    proved untouched by the edit (unchanged gate/trigger skeleton, no
+    dirty event among the record's ``dependencies``).  They are served
+    through the same checked-restore path checkpoint resume uses —
+    skipping even the ``FT_C`` model build — and re-validated against
+    this run's invariants.
+
+    Captured outputs (filled by :func:`analyze`)
+    --------------------------------------------
+    ``out_translation`` / ``out_mocus`` / ``out_solves`` — the
+    translation, the cutset result and the full solve store of the run
+    that just finished.  They stay ``None`` when the run was served
+    whole from the persistent records cache (nothing new was computed).
+    """
+
+    translation: "object | None" = None
+    cutsets: "MocusResult | None" = None
+    solves: "dict[tuple, tuple[float, int]] | None" = None
+    records: "dict[frozenset, McsQuantification] | None" = None
+    note: str = ""
+    out_translation: "object | None" = None
+    out_mocus: "MocusResult | None" = None
+    out_solves: "dict[tuple, tuple[float, int]] | None" = None
+
+
+def analyze(
+    sdft: SdFaultTree,
+    options: AnalysisOptions | None = None,
+    reuse: "AnalysisReuse | None" = None,
+) -> AnalysisResult:
     """Run the full SD analysis and return an :class:`AnalysisResult`.
 
     With the robustness options of :class:`AnalysisOptions` the pipeline
@@ -269,6 +324,12 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
     remainder bounds) and process kills (checkpoint/resume); everything
     that deviated from the clean path is enumerated in the result's
     :attr:`~repro.core.results.AnalysisResult.health` report.
+
+    ``reuse`` is the incremental-analysis hook of
+    :class:`repro.service.session.AnalysisSession` — see
+    :class:`AnalysisReuse`.  Supplying it bypasses the whole-result
+    records cache (the point is to run the pipeline and capture its
+    artifacts), but never changes any computed value.
     """
     opts = options or AnalysisOptions()
     resolve_mode(opts.verify)
@@ -301,9 +362,11 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         jobs=str(opts.jobs),
     ):
         run_started = time.perf_counter()
-        warm = _restore_cached_result(
-            sdft, opts, solve_cache, budget, manager, resumed, verifier, health
-        )
+        warm = None
+        if reuse is None:
+            warm = _restore_cached_result(
+                sdft, opts, solve_cache, budget, manager, resumed, verifier, health
+            )
         if warm is not None:
             records, static_bound, cache, perf, served = warm
             mcs_truncated = False
@@ -324,7 +387,10 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
         else:
             started = time.perf_counter()
             with obs.tracer.span("translate"):
-                translation = to_static(sdft, opts.horizon)
+                if reuse is not None and reuse.translation is not None:
+                    translation = reuse.translation
+                else:
+                    translation = to_static(sdft, opts.horizon)
                 mocus_tree = translation.tree
                 if opts.mocus_probability_overrides:
                     mocus_tree = mocus_tree.with_probabilities(
@@ -334,16 +400,24 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
 
             started = time.perf_counter()
             with obs.tracer.span("mocus") as mocus_span:
-                mocus_result, restored_records = _generate_cutsets(
-                    mocus_tree,
-                    opts,
-                    budget,
-                    health,
-                    manager,
-                    resumed,
-                    obs,
-                    solve_cache,
-                )
+                if reuse is not None and reuse.cutsets is not None:
+                    # The session already produced (and vouches for) the
+                    # cutsets of this tree; skip the search entirely.
+                    mocus_result, restored_records = reuse.cutsets, {}
+                    health.info(
+                        "service", reuse.note or "cutsets supplied by session"
+                    )
+                else:
+                    mocus_result, restored_records = _generate_cutsets(
+                        mocus_tree,
+                        opts,
+                        budget,
+                        health,
+                        manager,
+                        resumed,
+                        obs,
+                        solve_cache,
+                    )
                 mocus_span.set(
                     cutsets=len(mocus_result.cutsets),
                     truncated=mocus_result.truncated,
@@ -371,6 +445,10 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                     obs,
                     verifier,
                     solve_cache,
+                    primed=reuse.solves if reuse is not None else None,
+                    primed_records=(
+                        reuse.records if reuse is not None else None
+                    ),
                 )
                 quantify_span.set(
                     records=len(records),
@@ -444,6 +522,10 @@ def analyze(sdft: SdFaultTree, options: AnalysisOptions | None = None) -> Analys
                     "bdd": bdd_info,
                 },
             )
+            if reuse is not None:
+                reuse.out_translation = translation
+                reuse.out_mocus = mocus_result
+                reuse.out_solves = dict(cache._store)
 
     if solve_cache is not None:
         health.info("cache", solve_cache.summary())
@@ -1204,6 +1286,8 @@ def _quantify_cutsets(
     obs: Observability = NULL_OBS,
     verifier: Verifier | None = None,
     solve_cache: "SolveCache | None" = None,
+    primed: "dict[tuple, tuple[float, int]] | None" = None,
+    primed_records: "dict[frozenset, McsQuantification] | None" = None,
 ) -> "tuple[list[McsQuantification], bool]":
     """Quantify every cutset with isolation, budgets and checkpoints.
 
@@ -1211,12 +1295,25 @@ def _quantify_cutsets(
     loop (``1``), or the dedup + process-pool farm of :mod:`repro.perf`
     — both produce identical records, totals and health events for the
     same analysis.
+
+    ``primed`` seeds the in-memory cache with a previous run's solves
+    (signature-keyed, so entries for changed ``FT_C`` models can never
+    be hit); only changed models are re-solved.  ``primed_records``
+    serves whole records the caller proved untouched by an edit through
+    the same checked-restore path a checkpoint resume uses (checkpoint
+    restores win on conflict — they belong to *this* run's frame).
     """
     from repro.perf.pool import resolve_jobs
 
     n_jobs = resolve_jobs(opts.jobs)
     cache = QuantificationCache()
     cache.persistent = solve_cache
+    if primed:
+        cache._store.update(primed)
+    if primed_records:
+        merged = dict(primed_records)
+        merged.update(restored)
+        restored = merged
     ctx = _QuantifyContext(
         sdft,
         translation_tree,
@@ -1389,6 +1486,7 @@ class _QuantifyContext:
                     chain_states,
                     0.0,
                     cache_hit=True,
+                    dependencies=model.dependencies,
                 )
             )
         violation = self.verifier.value_violation(
@@ -1440,6 +1538,7 @@ class _QuantifyContext:
                 result.chain_states,
                 result.solve_seconds,
                 rung="lumped" if self.opts.lump_chains else "exact",
+                dependencies=model.dependencies,
             )
         )
 
@@ -1525,6 +1624,17 @@ def _quantify_parallel(
             )
     obs = ctx.obs
     groups = plan.groups
+    # Pre-resolve unique models from the in-memory cache first: a
+    # session-primed (or earlier-run) signature never becomes a pool
+    # task.  The fold then serves every member as a cache hit, exactly
+    # like the serial loop.
+    for task_id, group in enumerate(groups):
+        primed = ctx.cache._store.get(group.key)
+        if primed is not None:
+            probability, chain_states = primed
+            group.result = SolveResult(
+                task_id, probability=probability, chain_states=chain_states
+            )
     persistent = ctx.cache.persistent
     if persistent is not None:
         # Pre-resolve unique models from the on-disk cache: a warm group
@@ -1532,6 +1642,8 @@ def _quantify_parallel(
         # flows through exactly the same fold (value guard, budget
         # charge, in-memory cache prime) as a pool-solved one.
         for task_id, group in enumerate(groups):
+            if group.result is not None:
+                continue
             warm = persistent.get_solve(
                 group.key,
                 opts.epsilon,
@@ -1607,7 +1719,11 @@ def _quantify_parallel(
             next_index += 1
 
     if tasks:
-        farm = warm_farm(n_jobs, task_timeout=opts.pool_task_timeout_seconds)
+        farm = warm_farm(
+            n_jobs,
+            task_timeout=opts.pool_task_timeout_seconds,
+            options_key=_worker_options_key(opts),
+        )
         if use_table:
             farm.set_model_table(
                 [group.representative.model for _, group in pending],
@@ -1630,6 +1746,16 @@ def _quantify_parallel(
     return worker_faults
 
 
+def _worker_options_key(opts: AnalysisOptions) -> tuple:
+    """Fingerprint of the options a pool worker's behaviour depends on.
+
+    Keys the warm farm (see :func:`repro.perf.pool.warm_farm`): when any
+    of these change between analyses, serving the old pool would mean
+    serving stale worker config, so the pool is rebuilt instead.
+    """
+    return (repr(opts.epsilon), opts.max_chain_states, opts.lump_chains)
+
+
 def _surface_farm_events(
     farm: "SolverFarm", health: HealthLog, obs: Observability
 ) -> None:
@@ -1645,11 +1771,19 @@ def _surface_farm_events(
         cutset = frozenset(event.cutset) if event.cutset else None
         if event.kind == "retry":
             health.retry("pool", event.message, cutset=cutset)
+        elif event.kind == "refresh":
+            # A deliberate option-driven rebuild is routine — and it is
+            # a fact about the *previous* run's options, not this run's
+            # analysis, so it stays out of the health report entirely
+            # (health must be identical across jobs and farm history);
+            # it is still counted in the pool.rebuilds metric below.
+            continue
         else:
             health.warning("pool", event.message, cutset=cutset)
     if obs.enabled:
         for kind, metric in (
             ("rebuild", "pool.rebuilds"),
+            ("refresh", "pool.rebuilds"),
             ("timeout", "pool.timeouts"),
             ("retry", "pool.retries"),
             ("quarantine", "pool.quarantined"),

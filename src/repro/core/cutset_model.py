@@ -76,6 +76,24 @@ class CutsetModel:
         return self.n_dynamic_in_model - self.n_dynamic_in_cutset
 
     @property
+    def dependencies(self) -> tuple[str, ...]:
+        """Every basic event whose *content* this model's value reads.
+
+        The cutset members (their probabilities enter the static factor)
+        plus every event pulled into ``FT_C`` (chains and static
+        guards).  Structure and trigger wiring are deliberately not
+        encoded: the incremental engine only reuses records when the
+        gate/trigger skeleton is unchanged, so under that precondition a
+        record whose dependencies are untouched by an edit is guaranteed
+        to re-quantify to the identical value.
+        """
+        names = set(self.cutset)
+        if self.model is not None:
+            names.update(self.model.static_events)
+            names.update(self.model.dynamic_events)
+        return tuple(sorted(names))
+
+    @property
     def is_dynamic(self) -> bool:
         """Whether the cutset needs a Markov-chain quantification."""
         return self.n_dynamic_in_cutset > 0

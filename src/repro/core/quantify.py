@@ -76,6 +76,11 @@ class McsQuantification:
     #: ``"lumped"``, ``"monte_carlo"``, ``"bound"``, or ``"skipped"``
     #: (budget ran out; value is the conservative static bound).
     rung: str = "exact"
+    #: Names of every basic event whose content the value reads (see
+    #: :attr:`repro.core.cutset_model.CutsetModel.dependencies`).  The
+    #: incremental engine uses this to prove a record untouched by an
+    #: edit; empty for skipped records (never reused).
+    dependencies: tuple[str, ...] = ()
 
 
 class QuantificationCache:
@@ -196,6 +201,7 @@ def quantify_model(
             0,
             0.0,
             trivially_zero=True,
+            dependencies=model.dependencies,
         )
     if model.model is None:
         return McsQuantification(
@@ -207,6 +213,7 @@ def quantify_model(
             0,
             0,
             0.0,
+            dependencies=model.dependencies,
         )
 
     key = cache.signature(model.model, horizon) if cache is not None else None
@@ -224,6 +231,7 @@ def quantify_model(
                 chain_states,
                 0.0,
                 cache_hit=True,
+                dependencies=model.dependencies,
             )
 
     if cache is not None and key is not None and cache.persistent is not None:
@@ -250,6 +258,7 @@ def quantify_model(
                 solved_states,
                 0.0,
                 rung="lumped" if lump_chains else "exact",
+                dependencies=model.dependencies,
             )
 
     obs = obs if obs is not None else NULL_OBS
@@ -306,6 +315,7 @@ def quantify_model(
         solved_states,
         elapsed,
         rung="lumped" if lump_chains else "exact",
+        dependencies=model.dependencies,
     )
 
 
@@ -336,4 +346,5 @@ def bound_record(
         bounded=True,
         lower_bound=interval.lower,
         rung="bound",
+        dependencies=model.dependencies,
     )

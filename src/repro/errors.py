@@ -97,6 +97,26 @@ class CheckpointError(AnalysisError):
     """A checkpoint file is unreadable or does not match the model."""
 
 
+class ServiceError(AnalysisError):
+    """A request to the analysis service could not be processed.
+
+    Covers malformed protocol requests, references to unknown sessions
+    and lifecycle misuse (e.g. ``reanalyze`` before any analysis).
+    Raised loudly — the daemon converts it into an error *response*,
+    never a silent default.
+    """
+
+
+class JournalError(ServiceError):
+    """The service journal is corrupted beyond safe replay.
+
+    A torn trailing record is the expected artifact of a crash and is
+    tolerated (with a recovery note); a corrupt *interior* record means
+    the journal cannot be trusted and raises this instead of replaying
+    a guess.
+    """
+
+
 class BddBudgetExceeded(AnalysisError):
     """A BDD compilation grew past its node budget.
 

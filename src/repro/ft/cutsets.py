@@ -104,9 +104,17 @@ def cutset_probability(
     This equals the total probability of all scenarios the cutset
     represents (paper, Section IV-A property ii), thanks to event
     independence.
+
+    Factors multiply in sorted-name order so the rounded product is a
+    pure function of the *logical* set: frozensets iterate in
+    hash-table order, which varies with construction history, and an
+    order-dependent product would make cutoff-boundary membership and
+    probability-tie sort order differ between runs that built the same
+    cutset differently (cold search vs warm cache vs incremental
+    recomposition).
     """
     result = 1.0
-    for name in cutset:
+    for name in sorted(cutset):
         result *= probabilities[name]
     return result
 

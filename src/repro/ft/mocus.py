@@ -14,10 +14,14 @@ Efficiency comes from three prunings:
 
 * the probabilistic **cutoff**: a partial cutset whose event-probability
   product is at or below ``c*`` (the paper uses ``1e-15``) is discarded —
-  gates can only shrink the product further.  Cutsets whose probability
-  lands *exactly on* the cutoff may be kept or dropped depending on
-  floating-point multiplication order; don't park model probabilities on
-  the boundary;
+  gates can only shrink the product further.  In-search pruning carries a
+  tiny ULP slack (``_CUTOFF_SLACK``) so boundary-straddling partials
+  survive to completion and the final *canonical* per-cutset product
+  (:func:`repro.ft.cutsets.cutset_probability`) decides membership: the
+  returned set is a pure function of the model, not of the search's
+  multiplication order.  A probability parked *exactly on* the cutoff is
+  still a single-rounding coin flip — don't park probabilities on the
+  boundary;
 * **deduplication** of identical partial cutsets (shared subtrees in the
   DAG regenerate the same states);
 * **subsumption**: a partial whose events already contain a completed
@@ -60,6 +64,17 @@ __all__ = [
 
 #: Default probabilistic cutoff, matching the paper's experiments.
 DEFAULT_CUTOFF = 1e-15
+
+#: In-search pruning slack.  The running product of a partial cutset is
+#: accumulated in expansion order, which can round a hair differently
+#: from the canonical per-cutset product (:func:`cutset_probability`).
+#: Pruning only when ``running * (1 + slack) <= cutoff`` keeps
+#: boundary-straddling partials alive to completion so the final
+#: canonical ``truncate`` decides membership — making the returned set
+#: {C minimal : canonical(C) > cutoff}, a pure function of the model
+#: rather than of the search's multiplication order.  1e-12 relative
+#: covers ~4500 ULPs, far beyond the drift of any realistic cutset.
+_CUTOFF_SLACK = 1.0 + 1e-12
 
 #: Masks with at most this many set bits use submask enumeration for the
 #: subsumption test; larger ones scan the completed list.
@@ -306,7 +321,7 @@ def mocus(
                         low = bits & -bits
                         new_probability *= compiled.probability[low.bit_length() - 1]
                         bits ^= low
-                if use_cutoff and new_probability <= opts.cutoff:
+                if use_cutoff and new_probability * _CUTOFF_SLACK <= opts.cutoff:
                     stats.partials_cut_off += 1
                     continue
                 new_events = events | add_events

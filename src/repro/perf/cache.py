@@ -67,7 +67,11 @@ __all__ = ["SolveCache", "default_cache_dir", "tree_digest"]
 #: composition or payload layout — old entries then simply never match.
 #: v2: records payloads carry the served method/total (BDD static
 #: engine), and the bdd layer exists.
-SCHEMA_VERSION = 2
+#: v3: cutoff membership is canonical (sorted-order products keep
+#: boundary cutsets the old search pruned), and records carry their
+#: dependency sets for incremental reuse — pre-v3 mocus/records
+#: entries would re-serve the old membership, so they must miss.
+SCHEMA_VERSION = 3
 
 #: Database file name inside the cache directory.
 _DB_NAME = "solve-cache.sqlite"

@@ -307,9 +307,12 @@ class FarmEvent:
     ``kind`` is one of ``"rebuild"`` (the pool was recreated after a
     breakage), ``"retry"`` (a crash victim was requeued), ``"timeout"``
     (the watchdog terminated an overrunning task), ``"quarantine"``
-    (a task that kills workers was taken off the pool for good) or
+    (a task that kills workers was taken off the pool for good),
     ``"probe"`` (a breakage could not be attributed to a task, so the
-    next round runs one task at a time to identify the killer).
+    next round runs one task at a time to identify the killer) or
+    ``"refresh"`` (worker-affecting analysis options changed between
+    runs, so the warm pool was deliberately rebuilt — routine, not a
+    breakage).
     """
 
     kind: str
@@ -374,6 +377,12 @@ class SolverFarm:
         self._pool_epoch = -1
         self._pool_tainted = False  # forked while faults were armed
         self._table_key: object = None
+        #: Fingerprint of the worker-affecting options the pool was
+        #: (re)built for; :func:`warm_farm` compares it between runs.
+        self.options_key: object = None
+        #: Cumulative option-driven rebuilds (never reset per run).
+        self.option_refreshes = 0
+        self._pending_refresh = False
 
     def _reset_run_state(self) -> None:
         """Per-run bookkeeping reset so a warm farm reports per-analysis."""
@@ -381,6 +390,29 @@ class SolverFarm:
         self.rebuilds = 0
         self.batch_sizes = []
         self._probe_requested = False
+        if self._pending_refresh:
+            # Surface the between-runs option refresh in *this* run's
+            # events (the per-run reset would otherwise swallow it).
+            self._pending_refresh = False
+            self.rebuilds += 1
+            self.events.append(
+                FarmEvent(
+                    "refresh",
+                    "analysis options affecting workers changed; "
+                    "warm pool rebuilt",
+                )
+            )
+
+    def refresh_workers(self) -> None:
+        """Recycle the persistent pool because worker options changed.
+
+        The recorded event is flushed into the *next* run's event list
+        (and counted in its ``pool.rebuilds`` metric), since this is
+        called between runs.
+        """
+        self._recycle()
+        self.option_refreshes += 1
+        self._pending_refresh = True
 
     @property
     def timeouts(self) -> int:
@@ -765,23 +797,37 @@ class SolverFarm:
 _WARM_FARM: SolverFarm | None = None
 
 
-def warm_farm(jobs: int, task_timeout: float | None = None) -> SolverFarm:
+def warm_farm(
+    jobs: int,
+    task_timeout: float | None = None,
+    options_key: object = None,
+) -> SolverFarm:
     """The lazily-created shared farm for ``jobs`` workers.
 
     A different ``jobs`` count shuts the previous farm down and builds
     a new one; a different ``task_timeout`` just updates the attribute
     (it only gates the batched/per-task dispatch choice and the
-    watchdog deadline of the next run).  The farm's persistent pool is
-    closed automatically at interpreter exit; call
-    :func:`shutdown_warm_farm` for an explicit shutdown.
+    watchdog deadline of the next run).  ``options_key`` fingerprints
+    the :class:`~repro.core.analyzer.AnalysisOptions` that affect worker
+    behaviour: when it differs from the key the farm was serving, the
+    persistent pool is recycled (surfaced as a ``pool.rebuilds`` metric
+    on the next run) instead of serving stale worker config.  ``None``
+    means "caller doesn't track options" and never
+    forces a rebuild.  The farm's persistent pool is closed
+    automatically at interpreter exit; call :func:`shutdown_warm_farm`
+    for an explicit shutdown.
     """
     global _WARM_FARM
     if _WARM_FARM is not None and _WARM_FARM.jobs != jobs:
         shutdown_warm_farm()
     if _WARM_FARM is None:
         _WARM_FARM = SolverFarm(jobs, task_timeout=task_timeout)
+        _WARM_FARM.options_key = options_key
     else:
         _WARM_FARM.task_timeout = task_timeout
+        if options_key is not None and _WARM_FARM.options_key != options_key:
+            _WARM_FARM.options_key = options_key
+            _WARM_FARM.refresh_workers()
     return _WARM_FARM
 
 

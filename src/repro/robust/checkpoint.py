@@ -73,6 +73,9 @@ def record_from_dict(data: dict) -> McsQuantification:
     """Inverse of :func:`record_to_dict`."""
     fields = dict(data)
     fields["cutset"] = frozenset(fields["cutset"])
+    # JSON turns the tuple into a list; snapshots from before the field
+    # existed simply lack it (such records are never reused anyway).
+    fields["dependencies"] = tuple(fields.get("dependencies", ()))
     return McsQuantification(**fields)
 
 

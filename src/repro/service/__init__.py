@@ -1,0 +1,54 @@
+"""Analysis-as-a-service: sessions, incremental re-analysis, request layer.
+
+The one-shot :func:`repro.core.analyzer.analyze` pipeline becomes a
+long-running system here:
+
+- :class:`~repro.service.session.AnalysisSession` owns a model, its
+  options, the warm farm handle and per-stage checkpoints, and supports
+  start / interrupt / resume / **edit** mid-lifecycle.
+- :mod:`repro.service.incremental` re-runs MOCUS only on modules whose
+  content fingerprint changed and re-quantifies only cutsets whose FT_C
+  fingerprint changed (see ``docs/service.md`` for the soundness
+  argument).
+- :mod:`repro.service.daemon` is the stdio-JSONL request layer behind
+  ``sdft serve``: per-request deadlines become cooperative budgets,
+  overload sheds load explicitly, and a CRC-checked journal makes a
+  killed daemon restartable without silent corruption.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.daemon import ServiceDaemon
+from repro.service.edits import (
+    Edit,
+    RemoveTrigger,
+    ScaleRates,
+    SetGate,
+    SetProbability,
+    SetTrigger,
+    apply_edits,
+    edit_from_dict,
+    edit_to_dict,
+)
+from repro.service.journal import Journal, JournalReplay, replay_journal
+from repro.service.session import AnalysisSession, EditReport
+from repro.service.store import ModelStore
+
+__all__ = [
+    "AnalysisSession",
+    "CircuitBreaker",
+    "Edit",
+    "EditReport",
+    "Journal",
+    "JournalReplay",
+    "ModelStore",
+    "RemoveTrigger",
+    "ScaleRates",
+    "ServiceDaemon",
+    "SetGate",
+    "SetProbability",
+    "SetTrigger",
+    "apply_edits",
+    "edit_from_dict",
+    "edit_to_dict",
+    "replay_journal",
+]

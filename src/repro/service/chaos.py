@@ -1,0 +1,456 @@
+"""Deterministic chaos catalogue for the analysis service.
+
+:mod:`repro.robust.chaos` throws randomized adversity at one in-process
+analysis; this module throws *specific, scripted* adversity at the
+service layer — the failure modes a long-lived daemon actually meets —
+and classifies each scenario with the same vocabulary (``clean`` /
+``loud`` / ``bracketed`` / ``silent`` / ``contract``):
+
+``deadline@quantify``
+    An analysis request whose deadline expires mid-quantification.  The
+    contract: the response is ``ok: true`` and carries the served
+    ``method`` plus a probability ``interval`` that soundly brackets
+    the clean answer — never an error.  An error response here is a
+    ``contract`` breach; an interval that misses the clean answer is
+    ``silent``.
+
+``sigkill@journal_begin``
+    A daemon subprocess is SIGKILLed between writing a request's
+    ``begin`` journal record and committing its result (the
+    ``REPRO_SERVICE_KILL_AFTER`` hook).  A fresh daemon started on the
+    same journal must replay the completed load/edit, abort the
+    in-flight analysis, and then produce a final answer bit-identical
+    to an in-process cold analysis of the edited model.
+
+``corrupt@journal_record``
+    An interior journal record is bit-flipped on disk.  Restarting on
+    that journal must raise a typed
+    :class:`~repro.errors.JournalError` (``loud``) — replaying guessed
+    state would be silent corruption.
+
+``torn@journal_tail``
+    The journal's last record is truncated mid-write (a torn write —
+    the one corruption a crash legitimately produces).  Restart must
+    succeed, drop the torn tail with a recovery note, and keep every
+    intact record.
+
+Everything is deterministic — no seeds, no randomness; the catalogue
+is exposed as ``sdft chaos --catalog service`` and run in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.errors import JournalError, ReproError
+from repro.models.formats import sdft_from_dict, sdft_to_dict
+from repro.robust.chaos import CampaignReport, RunOutcome
+from repro.service.daemon import ServiceDaemon
+from repro.service.edits import apply_edits, edit_from_dict
+
+__all__ = ["run_service_campaign"]
+
+#: Relative slack when testing whether an interval brackets the clean
+#: answer (pure float accumulation differences).
+_BRACKET_RTOL = 1e-9
+
+#: Deadline (seconds) that is guaranteed to expire mid-quantification
+#: of the campaign model on any realistic machine.
+_TINY_DEADLINE = 0.002
+
+#: The scripted what-if edit each scenario applies (a rate change on a
+#: dynamic BWR event; overridden for non-default models by taking the
+#: first dynamic event).
+_EDIT_FACTOR = 1.75
+
+#: How long to wait for the killed daemon subprocess to die.
+_KILL_WAIT_SECONDS = 120.0
+
+
+def _campaign_model(model) -> "tuple[object, dict]":
+    """The model under test (default: built-in BWR) and its dict form."""
+    if model is None:
+        from repro.models.bwr import build_bwr
+
+        model = build_bwr()
+    payload = sdft_to_dict(model)
+    # Round-trip through the wire format so the in-process reference
+    # analyses *exactly* what the daemon deserialises.
+    return sdft_from_dict(payload), payload
+
+
+def _scripted_edit(model) -> dict:
+    """A deterministic rate edit touching the model's dynamic part."""
+    name = sorted(model.dynamic_events)[0]
+    return {"kind": "scale-rates", "event": name, "factor": _EDIT_FACTOR}
+
+
+def _brackets(interval: "tuple[float, float]", truth: float) -> bool:
+    lower, upper = interval
+    slack = _BRACKET_RTOL * max(abs(truth), 1.0)
+    return lower - slack <= truth <= upper + slack
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+def _scenario_deadline(
+    run: int, payload: dict, options: AnalysisOptions, clean: float
+) -> RunOutcome:
+    """Deadline expiry mid-quantify: ok + method + sound interval."""
+    name = "deadline@quantify"
+    daemon = ServiceDaemon(options)
+    loaded = daemon.handle_request({"op": "load", "model": payload})
+    if not loaded.get("ok"):
+        return RunOutcome(
+            run, (name,), "contract", f"load failed: {loaded.get('error')}"
+        )
+    response = daemon.handle_request(
+        {
+            "op": "analyze",
+            "session": loaded["session"],
+            "deadline_seconds": _TINY_DEADLINE,
+        }
+    )
+    if not response.get("ok"):
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            "deadline expiry must yield a sound partial result, got "
+            f"error {response.get('error')}",
+        )
+    if "method" not in response or "interval" not in response:
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            "partial response is missing 'method' or 'interval'",
+        )
+    interval = tuple(response["interval"])
+    if not _brackets(interval, clean):
+        return RunOutcome(
+            run,
+            (name,),
+            "silent",
+            f"served interval {interval} misses clean answer {clean:.6e}",
+            probability=response.get("probability"),
+            interval=interval,
+        )
+    outcome = "bracketed" if response.get("deadline_expired") else "clean"
+    return RunOutcome(
+        run,
+        (name,),
+        outcome,
+        f"method={response['method']} deadline_expired="
+        f"{response.get('deadline_expired')}",
+        probability=response.get("probability"),
+        interval=interval,
+    )
+
+
+def _scenario_sigkill(
+    run: int, payload: dict, options: AnalysisOptions, scratch: Path
+) -> RunOutcome:
+    """SIGKILL between journal begin and commit; restart must recover."""
+    name = "sigkill@journal_begin"
+    journal = scratch / "sigkill.journal"
+    edit = _scripted_edit(sdft_from_dict(payload))
+
+    proc = _spawn_daemon(journal, options, kill_after="journal_begin:reanalyze")
+    try:
+        session_id = _roundtrip(proc, {"op": "load", "model": payload})["session"]
+        _roundtrip(proc, {"op": "edit", "session": session_id, "edits": [edit]})
+        # The daemon SIGKILLs itself right after journalling this one.
+        proc.stdin.write(
+            json.dumps({"op": "reanalyze", "session": session_id}) + "\n"
+        )
+        proc.stdin.flush()
+        returncode = proc.wait(timeout=_KILL_WAIT_SECONDS)
+    except Exception as error:  # noqa: BLE001 - classified, not raised
+        proc.kill()
+        proc.wait()
+        return RunOutcome(
+            run, (name,), "contract", f"daemon subprocess failed: {error}"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if returncode != -9:
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            f"kill hook did not fire (daemon exited {returncode})",
+        )
+
+    # Restart on the same journal: replay load+edit, abort the analysis.
+    try:
+        daemon = ServiceDaemon(options, journal_path=str(journal))
+    except ReproError as error:
+        return RunOutcome(
+            run, (name,), "loud", f"restart refused journal: {error}"
+        )
+    aborted = daemon.counters["aborted_in_flight"]
+    replayed = daemon.counters["replayed"]
+    if aborted < 1 or replayed < 2:
+        return RunOutcome(
+            run,
+            (name,),
+            "silent",
+            f"recovery incomplete: replayed={replayed} (want >=2) "
+            f"aborted_in_flight={aborted} (want >=1)",
+        )
+    response = daemon.handle_request(
+        {"op": "analyze", "session": session_id}
+    )
+    if not response.get("ok"):
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            f"post-recovery analysis failed: {response.get('error')}",
+        )
+    reference = analyze(
+        apply_edits(sdft_from_dict(payload), [edit_from_dict(edit)]), options
+    )
+    if response["probability"] != reference.failure_probability:
+        return RunOutcome(
+            run,
+            (name,),
+            "silent",
+            f"post-recovery answer {response['probability']!r} != cold "
+            f"reference {reference.failure_probability!r}",
+            probability=response["probability"],
+        )
+    return RunOutcome(
+        run,
+        (name,),
+        "clean",
+        f"replayed={replayed} aborted_in_flight={aborted}; recovered "
+        "answer bit-identical to cold analysis",
+        probability=response["probability"],
+        interval=tuple(response["interval"]),
+    )
+
+
+def _scenario_corrupt_journal(
+    run: int, payload: dict, options: AnalysisOptions, scratch: Path
+) -> RunOutcome:
+    """An interior bit-flip must make restart fail loudly."""
+    name = "corrupt@journal_record"
+    journal = scratch / "corrupt.journal"
+    _write_journal(journal, payload, options)
+
+    lines = journal.read_text().splitlines()
+    if len(lines) < 2:
+        return RunOutcome(
+            run, (name,), "contract", "journal too short to corrupt"
+        )
+    # Flip one character inside the *first* record's payload (interior
+    # corruption, not a torn tail — the CRC must catch it).
+    first = lines[0]
+    index = first.find('"op"')
+    corrupted = first[: index + 2] + "0" + first[index + 3 :]
+    journal.write_text("\n".join([corrupted] + lines[1:]) + "\n")
+
+    try:
+        ServiceDaemon(options, journal_path=str(journal))
+    except JournalError as error:
+        return RunOutcome(
+            run, (name,), "loud", f"restart raised JournalError: {error}"
+        )
+    except ReproError as error:
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            f"wrong error type {type(error).__name__}: {error}",
+        )
+    return RunOutcome(
+        run,
+        (name,),
+        "silent",
+        "daemon restarted over a corrupted journal without noticing",
+    )
+
+
+def _scenario_torn_journal(
+    run: int, payload: dict, options: AnalysisOptions, scratch: Path
+) -> RunOutcome:
+    """A truncated last record must be dropped with a recovery note."""
+    name = "torn@journal_tail"
+    journal = scratch / "torn.journal"
+    _write_journal(journal, payload, options)
+
+    text = journal.read_text()
+    lines = text.splitlines()
+    torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+    journal.write_text(torn)
+
+    try:
+        daemon = ServiceDaemon(options, journal_path=str(journal))
+    except ReproError as error:
+        return RunOutcome(
+            run,
+            (name,),
+            "contract",
+            f"torn tail must not refuse restart: {error}",
+        )
+    if not any("torn" in note or "partial" in note for note in daemon.recovery_notes):
+        return RunOutcome(
+            run,
+            (name,),
+            "silent",
+            "torn tail dropped without a recovery note "
+            f"(notes: {daemon.recovery_notes})",
+        )
+    if daemon.counters["replayed"] < 1:
+        return RunOutcome(
+            run,
+            (name,),
+            "silent",
+            "intact journal prefix was not replayed",
+        )
+    return RunOutcome(
+        run,
+        (name,),
+        "clean",
+        f"torn tail dropped; notes: {daemon.recovery_notes}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+
+
+def run_service_campaign(
+    model=None, options: AnalysisOptions | None = None
+) -> CampaignReport:
+    """Run the deterministic service chaos catalogue.
+
+    Returns the same :class:`~repro.robust.chaos.CampaignReport` shape
+    as the randomized analysis campaign, so reporting/CLI code is
+    shared; ``seed`` is 0 (the catalogue is fully scripted).
+    """
+    options = options or AnalysisOptions(horizon=24.0, cutoff=1e-10)
+    options = _plain_options(options)
+    model, payload = _campaign_model(model)
+    started = time.perf_counter()
+    clean = analyze(model, options)
+    clean_interval = clean.failure_probability_interval()
+
+    outcomes: list[RunOutcome] = []
+    with tempfile.TemporaryDirectory(prefix="sdft-service-chaos-") as scratch_str:
+        scratch = Path(scratch_str)
+        outcomes.append(
+            _scenario_deadline(0, payload, options, clean.failure_probability)
+        )
+        outcomes.append(_scenario_sigkill(1, payload, options, scratch))
+        outcomes.append(_scenario_corrupt_journal(2, payload, options, scratch))
+        outcomes.append(_scenario_torn_journal(3, payload, options, scratch))
+
+    return CampaignReport(
+        model=getattr(model, "name", "") or "service-catalog",
+        runs=len(outcomes),
+        seed=0,
+        jobs=options.jobs if isinstance(options.jobs, int) else 1,
+        verify=options.verify or "off",
+        clean_probability=clean.failure_probability,
+        clean_interval=clean_interval,
+        clean_cutsets=len(clean.records),
+        outcomes=tuple(outcomes),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _plain_options(options: AnalysisOptions) -> AnalysisOptions:
+    """Options safe to mirror into the daemon subprocess."""
+    from dataclasses import replace
+
+    return replace(options, checkpoint_path=None)
+
+
+# ----------------------------------------------------------------------
+# Subprocess helpers
+# ----------------------------------------------------------------------
+
+_CHILD_SCRIPT = """\
+import json, sys
+from repro.core.analyzer import AnalysisOptions
+from repro.service.daemon import ServiceDaemon
+
+knobs = json.loads(sys.argv[1])
+options = AnalysisOptions(
+    horizon=knobs["horizon"], cutoff=knobs["cutoff"], jobs=knobs["jobs"]
+)
+sys.exit(ServiceDaemon(options, journal_path=sys.argv[2]).serve())
+"""
+
+
+def _spawn_daemon(
+    journal: Path, options: AnalysisOptions, kill_after: str = ""
+) -> "subprocess.Popen[str]":
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH", "")) if p
+    )
+    if kill_after:
+        env["REPRO_SERVICE_KILL_AFTER"] = kill_after
+    else:
+        env.pop("REPRO_SERVICE_KILL_AFTER", None)
+    knobs = json.dumps(
+        {
+            "horizon": options.horizon,
+            "cutoff": options.cutoff,
+            "jobs": options.jobs if isinstance(options.jobs, int) else 1,
+        }
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD_SCRIPT, knobs, str(journal)],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+
+
+def _roundtrip(proc: "subprocess.Popen[str]", request: dict) -> dict:
+    """One synchronous request/response over the child's stdio."""
+    proc.stdin.write(json.dumps(request) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    if not line:
+        raise RuntimeError(f"daemon died before answering {request.get('op')}")
+    response = json.loads(line)
+    if not response.get("ok"):
+        raise RuntimeError(
+            f"{request.get('op')} failed: {response.get('error')}"
+        )
+    return response
+
+
+def _write_journal(
+    journal: Path, payload: dict, options: AnalysisOptions
+) -> None:
+    """Produce a real journal: a completed load + edit."""
+    daemon = ServiceDaemon(options, journal_path=str(journal))
+    loaded = daemon.handle_request({"op": "load", "model": payload})
+    edit = _scripted_edit(sdft_from_dict(payload))
+    daemon.handle_request(
+        {"op": "edit", "session": loaded["session"], "edits": [edit]}
+    )
+    daemon.journal.close()

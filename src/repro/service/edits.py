@@ -1,0 +1,237 @@
+"""What-if edits on SD fault trees.
+
+:class:`~repro.core.sdft.SdFaultTree` is immutable, so an edit is a
+recipe for constructing a *new* model from an old one.  The edit
+vocabulary matches the service protocol: change a static probability,
+scale the rates of a dynamic event's chain, rewire a gate, or add /
+remove a trigger edge.  All structural validation (acyclicity, trigger
+target checks, duplicate names) is delegated to the ``SdFaultTree``
+constructor, so an invalid edit fails loudly with the same
+:class:`~repro.errors.ModelError` family a hand-built model would raise.
+
+Each edit class serialises to a plain dict (``edit_to_dict`` /
+``edit_from_dict``) for the stdio-JSONL protocol and the session
+journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+from repro.core.sdft import DynamicBasicEvent, SdFaultTree
+from repro.ctmc.chain import Ctmc
+from repro.ctmc.triggered import TriggeredCtmc
+from repro.errors import ModelError
+from repro.ft.tree import BasicEvent, Gate, GateType
+
+
+@dataclass(frozen=True)
+class SetProbability:
+    """Set the per-mission probability of a static basic event."""
+
+    event: str
+    probability: float
+
+
+@dataclass(frozen=True)
+class ScaleRates:
+    """Multiply every transition rate of a dynamic event's chain by ``factor``.
+
+    This is the canonical "rate change" edit: it preserves the chain's
+    state space, initial distribution, failed set and (for triggered
+    chains) the on/off structure, so the edited model is guaranteed to
+    stay valid.
+    """
+
+    event: str
+    factor: float
+
+
+@dataclass(frozen=True)
+class SetGate:
+    """Rewire a gate: replace its type, children and (for ATLEAST) ``k``.
+
+    The named gate must already exist; creating new gates is a modelling
+    operation, not a what-if edit.
+    """
+
+    gate: str
+    gate_type: str
+    children: tuple[str, ...]
+    k: int | None = None
+
+
+@dataclass(frozen=True)
+class SetTrigger:
+    """Make ``gate`` the trigger of the given dynamic events.
+
+    Replaces the gate's previous target list.  Events listed here must
+    not be triggered by another gate (SD fault trees allow one trigger
+    per event); remove the other edge first.
+    """
+
+    gate: str
+    events: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RemoveTrigger:
+    """Delete the trigger edge originating at ``gate``."""
+
+    gate: str
+
+
+Edit = Union[SetProbability, ScaleRates, SetGate, SetTrigger, RemoveTrigger]
+
+_EDIT_KINDS = {
+    "set-probability": SetProbability,
+    "scale-rates": ScaleRates,
+    "set-gate": SetGate,
+    "set-trigger": SetTrigger,
+    "remove-trigger": RemoveTrigger,
+}
+
+
+def _scaled_chain(chain: Ctmc, factor: float) -> Ctmc:
+    if factor < 0.0:
+        raise ModelError(f"rate scale factor must be non-negative, got {factor}")
+    rates = {edge: rate * factor for edge, rate in chain.rates.items()}
+    if isinstance(chain, TriggeredCtmc):
+        return TriggeredCtmc(
+            chain.states,
+            chain.initial,
+            rates,
+            chain.failed,
+            chain.on_states,
+            chain.switch_on,
+            chain.switch_off,
+        )
+    return Ctmc(chain.states, chain.initial, rates, chain.failed)
+
+
+def apply_edits(sdft: SdFaultTree, edits: Sequence[Edit]) -> SdFaultTree:
+    """Return a new model with ``edits`` applied in order.
+
+    Raises :class:`~repro.errors.ModelError` (or a subclass) when an
+    edit references an unknown node or would produce an invalid model.
+    """
+    static: dict[str, BasicEvent] = dict(sdft.static_events)
+    dynamic: dict[str, DynamicBasicEvent] = dict(sdft.dynamic_events)
+    gates: dict[str, Gate] = dict(sdft.structure.gates)
+    triggers: dict[str, tuple[str, ...]] = dict(sdft.triggers)
+
+    for edit in edits:
+        if isinstance(edit, SetProbability):
+            old = static.get(edit.event)
+            if old is None:
+                raise ModelError(
+                    f"edit references unknown static event {edit.event!r}"
+                )
+            static[edit.event] = BasicEvent(
+                old.name, float(edit.probability), old.description
+            )
+        elif isinstance(edit, ScaleRates):
+            old_dyn = dynamic.get(edit.event)
+            if old_dyn is None:
+                raise ModelError(
+                    f"edit references unknown dynamic event {edit.event!r}"
+                )
+            dynamic[edit.event] = DynamicBasicEvent(
+                old_dyn.name,
+                _scaled_chain(old_dyn.chain, float(edit.factor)),
+                old_dyn.description,
+            )
+        elif isinstance(edit, SetGate):
+            old_gate = gates.get(edit.gate)
+            if old_gate is None:
+                raise ModelError(f"edit references unknown gate {edit.gate!r}")
+            try:
+                gate_type = GateType(edit.gate_type)
+            except ValueError:
+                raise ModelError(
+                    f"unknown gate type {edit.gate_type!r}"
+                ) from None
+            gates[edit.gate] = Gate(
+                old_gate.name,
+                gate_type,
+                tuple(edit.children),
+                k=edit.k,
+                description=old_gate.description,
+            )
+        elif isinstance(edit, SetTrigger):
+            triggers[edit.gate] = tuple(edit.events)
+            if not edit.events:
+                triggers.pop(edit.gate, None)
+        elif isinstance(edit, RemoveTrigger):
+            if edit.gate not in triggers:
+                raise ModelError(
+                    f"edit removes a trigger that does not exist on gate "
+                    f"{edit.gate!r}"
+                )
+            del triggers[edit.gate]
+        else:  # pragma: no cover - exhaustive by construction
+            raise ModelError(f"unknown edit {edit!r}")
+
+    return SdFaultTree(
+        sdft.top,
+        static.values(),
+        dynamic.values(),
+        gates.values(),
+        triggers=triggers,
+        name=sdft.name,
+    )
+
+
+def edit_to_dict(edit: Edit) -> dict:
+    """Serialise an edit for the wire protocol / journal."""
+    if isinstance(edit, SetProbability):
+        return {
+            "kind": "set-probability",
+            "event": edit.event,
+            "probability": edit.probability,
+        }
+    if isinstance(edit, ScaleRates):
+        return {"kind": "scale-rates", "event": edit.event, "factor": edit.factor}
+    if isinstance(edit, SetGate):
+        payload: dict = {
+            "kind": "set-gate",
+            "gate": edit.gate,
+            "gate_type": edit.gate_type,
+            "children": list(edit.children),
+        }
+        if edit.k is not None:
+            payload["k"] = edit.k
+        return payload
+    if isinstance(edit, SetTrigger):
+        return {"kind": "set-trigger", "gate": edit.gate, "events": list(edit.events)}
+    if isinstance(edit, RemoveTrigger):
+        return {"kind": "remove-trigger", "gate": edit.gate}
+    raise ModelError(f"unknown edit {edit!r}")  # pragma: no cover
+
+
+def edit_from_dict(data: Mapping) -> Edit:
+    """Parse a protocol edit dict; raises :class:`ModelError` on junk."""
+    kind = data.get("kind")
+    if kind not in _EDIT_KINDS:
+        raise ModelError(f"unknown edit kind {kind!r}")
+    try:
+        if kind == "set-probability":
+            return SetProbability(str(data["event"]), float(data["probability"]))
+        if kind == "scale-rates":
+            return ScaleRates(str(data["event"]), float(data["factor"]))
+        if kind == "set-gate":
+            k = data.get("k")
+            return SetGate(
+                str(data["gate"]),
+                str(data["gate_type"]),
+                tuple(str(c) for c in data["children"]),
+                k=None if k is None else int(k),
+            )
+        if kind == "set-trigger":
+            return SetTrigger(
+                str(data["gate"]), tuple(str(e) for e in data["events"])
+            )
+        return RemoveTrigger(str(data["gate"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"malformed {kind!r} edit: {exc}") from exc

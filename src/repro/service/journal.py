@@ -1,0 +1,178 @@
+"""The crash-safe session journal of the analysis daemon.
+
+Append-only JSONL: every state-changing request is journalled *before*
+it executes (``begin``) and again after its response was committed
+(``done``).  Each line carries a CRC-32 of its canonical payload, so a
+restarted daemon can tell three situations apart:
+
+- **Clean records** — replayed: ``begin``/``done`` pairs rebuild the
+  model store (loads and edits are re-applied; analyses are not re-run
+  — their values live in the persistent solve cache).
+- **A torn final line** (no newline, truncated JSON, or a CRC mismatch
+  on the *last* record) — the expected artifact of a crash mid-write:
+  tolerated, reported as a recovery note, treated as in-flight.
+- **A corrupt interior record** — the journal cannot be trusted;
+  :class:`~repro.errors.JournalError` is raised instead of replaying a
+  guess.  Never silent.
+
+A ``begin`` without a matching ``done`` marks an in-flight request at
+crash time; replay reports it so the daemon can cleanly abort it (the
+client re-issues; re-execution is safe because journalled operations
+are deterministic and content-addressed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.errors import JournalError
+
+__all__ = ["Journal", "JournalRecord", "JournalReplay", "replay_journal"]
+
+_FORMAT_VERSION = 1
+
+
+def _crc(payload: dict) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journalled lifecycle event."""
+
+    seq: int
+    state: str  # "begin" | "done"
+    request: dict
+
+
+@dataclass
+class JournalReplay:
+    """What a restarted daemon learns from its journal."""
+
+    completed: list[JournalRecord] = field(default_factory=list)
+    in_flight: list[JournalRecord] = field(default_factory=list)
+    torn_tail: bool = False
+    notes: list[str] = field(default_factory=list)
+
+
+class Journal:
+    """Append-only CRC-checked JSONL journal (one daemon, one file)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._seq = 0
+        self._file: IO[str] | None = None
+
+    def _open(self) -> IO[str]:
+        if self._file is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        return self._file
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def restore_seq(self, seq: int) -> None:
+        """Continue numbering after a replay."""
+        self._seq = max(self._seq, seq)
+
+    def begin(self, seq: int, request: dict) -> None:
+        self._write({"seq": seq, "state": "begin", "request": request})
+
+    def done(self, seq: int) -> None:
+        self._write({"seq": seq, "state": "done", "request": {}})
+
+    def _write(self, payload: dict) -> None:
+        payload = {"v": _FORMAT_VERSION, **payload}
+        record = {**payload, "crc": _crc(payload)}
+        handle = self._open()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def replay_journal(path: str) -> JournalReplay:
+    """Parse a journal, classifying records (see module docstring).
+
+    Raises :class:`~repro.errors.JournalError` on interior corruption;
+    a missing file replays as empty (a fresh daemon).
+    """
+    replay = JournalReplay()
+    if not os.path.exists(path):
+        return replay
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    begun: dict[int, JournalRecord] = {}
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        record = _parse(line)
+        if record is None:
+            if index == last:
+                # The expected crash artifact: a write torn mid-line.
+                replay.torn_tail = True
+                replay.notes.append(
+                    "journal ends in a torn record (crash artifact); "
+                    "record discarded"
+                )
+                break
+            raise JournalError(
+                f"journal {path} is corrupt at line {index + 1} (not at "
+                f"the tail); refusing to replay"
+            )
+        if record.state == "begin":
+            begun[record.seq] = record
+        elif record.state == "done":
+            done_of = begun.pop(record.seq, None)
+            if done_of is None:
+                raise JournalError(
+                    f"journal {path}: 'done' for seq {record.seq} without "
+                    f"a 'begin'; refusing to replay"
+                )
+            replay.completed.append(done_of)
+        else:
+            raise JournalError(
+                f"journal {path}: unknown record state {record.state!r}"
+            )
+    replay.in_flight = [begun[seq] for seq in sorted(begun)]
+    for record in replay.in_flight:
+        replay.notes.append(
+            f"request seq {record.seq} "
+            f"({record.request.get('op', '?')}) was in flight at crash "
+            f"time; cleanly aborted (re-issue to complete)"
+        )
+    return replay
+
+
+def _parse(line: str) -> JournalRecord | None:
+    """One journal line, or ``None`` when it is torn/corrupt."""
+    try:
+        raw = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(raw, dict) or "crc" not in raw:
+        return None
+    crc = raw.pop("crc")
+    if not isinstance(crc, int) or _crc(raw) != crc:
+        return None
+    try:
+        return JournalRecord(
+            seq=int(raw["seq"]),
+            state=str(raw["state"]),
+            request=dict(raw.get("request") or {}),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None

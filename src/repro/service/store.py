@@ -1,0 +1,89 @@
+"""The fingerprint-addressed model store behind the daemon.
+
+Sessions are addressed by the content fingerprint of the model they
+were *loaded* with (:func:`repro.robust.checkpoint.model_fingerprint`,
+truncated for ergonomics): loading the same model twice converges on
+the same session instead of duplicating state, and a session id in a
+journal or request trace identifies exactly one model content.  Edits
+move the session's *current* fingerprint away from its address — both
+appear in responses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.analyzer import AnalysisOptions
+from repro.core.sdft import SdFaultTree
+from repro.errors import ServiceError
+from repro.robust.checkpoint import model_fingerprint
+from repro.service.session import AnalysisSession
+
+__all__ = ["ModelStore"]
+
+#: Hex digits of the full model fingerprint used as the session id.
+_ID_LENGTH = 12
+
+
+class ModelStore:
+    """Thread-safe map from session id to :class:`AnalysisSession`."""
+
+    def __init__(self, options: AnalysisOptions | None = None) -> None:
+        self.options = options or AnalysisOptions()
+        self._sessions: dict[str, AnalysisSession] = {}
+        self._locks: dict[str, threading.Lock] = {}
+        self._mutex = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._sessions)
+
+    def ids(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._sessions)
+
+    def load(self, model: SdFaultTree) -> tuple[str, AnalysisSession]:
+        """Get-or-create the session addressed by ``model``'s content."""
+        session_id = model_fingerprint(
+            model, self.options.horizon, self.options.cutoff
+        )[:_ID_LENGTH]
+        with self._mutex:
+            session = self._sessions.get(session_id)
+            if session is None:
+                session = AnalysisSession(model, self.options)
+                self._sessions[session_id] = session
+                self._locks[session_id] = threading.Lock()
+        return session_id, session
+
+    def get(self, session_id: str) -> AnalysisSession:
+        with self._mutex:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return session
+
+    def _lock_of(self, session_id: str) -> threading.Lock:
+        with self._mutex:
+            lock = self._locks.get(session_id)
+        if lock is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return lock
+
+    def guard(self, session_id: str) -> "_SessionGuard":
+        """``with``-style exclusive access to one session."""
+        return _SessionGuard(self._lock_of(session_id), self.get(session_id))
+
+
+class _SessionGuard:
+    def __init__(
+        self, lock: threading.Lock, session: AnalysisSession | None = None
+    ) -> None:
+        self._lock = lock
+        self._session = session
+
+    def __enter__(self) -> AnalysisSession:
+        self._lock.acquire()
+        return self._session  # type: ignore[return-value]
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release()

@@ -233,6 +233,39 @@ class TestWarmFarm:
         assert second.task_timeout == 1.5
         shutdown_warm_farm()
 
+    def test_changed_options_key_refreshes_workers(self):
+        # Workers inherit solver knobs (epsilon, max_chain_states,
+        # lump_chains) when the pool forks; a farm kept warm across
+        # runs must not serve a run whose options differ from the ones
+        # it was built with.
+        shutdown_warm_farm()
+        try:
+            first = warm_farm(2, options_key=("1e-12", 200_000, False))
+            assert first.option_refreshes == 0
+            same = warm_farm(2, options_key=("1e-12", 200_000, False))
+            assert same is first
+            assert same.option_refreshes == 0
+
+            changed = warm_farm(2, options_key=("1e-10", 200_000, True))
+            assert changed is first  # same farm object, recycled pool
+            assert changed.option_refreshes == 1
+            # The refresh lands in the *next* run's accounting as a
+            # pool.rebuilds metric (never in the health report — health
+            # is identical across farm history).
+            changed._reset_run_state()
+            assert changed.rebuilds == 1
+            assert [e.kind for e in changed.events] == ["refresh"]
+            # ... and is consumed: the run after that starts clean.
+            changed._reset_run_state()
+            assert changed.rebuilds == 0
+            assert changed.events == []
+
+            # None means "caller doesn't track options": never refresh.
+            untracked = warm_farm(2, options_key=None)
+            assert untracked.option_refreshes == 1
+        finally:
+            shutdown_warm_farm()
+
     def test_shutdown_is_idempotent(self):
         shutdown_warm_farm()
         shutdown_warm_farm()

@@ -1,0 +1,21 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import AnalysisOptions
+from repro.robust import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Safety net: no test leaks an armed fault into the next one."""
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def options():
+    """Plain serial options shared by most service tests."""
+    return AnalysisOptions(horizon=24.0, cutoff=1e-15)

@@ -1,0 +1,63 @@
+"""The deterministic circuit breaker around the warm solver farm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+
+
+def test_closed_until_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_requests=2)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    assert breaker.allows_pool()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_streak():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_cooldown_counts_requests_to_half_open():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_requests=2)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allows_pool()  # denied, cooldown ticks
+    assert breaker.state == "open"
+    assert not breaker.allows_pool()
+    assert breaker.state == "half-open"
+    # The half-open probe goes through to the pool.
+    assert breaker.allows_pool()
+
+
+def test_half_open_outcome_decides():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_requests=1)
+    breaker.record_failure()
+    while not breaker.allows_pool():
+        pass
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+    breaker.record_failure()
+    while not breaker.allows_pool():
+        pass
+    breaker.record_failure()  # probe failed: re-open
+    assert breaker.state == "open"
+    # threshold=1: the initial failure, the post-close failure and the
+    # failed probe each tripped the breaker.
+    assert breaker.trips == 3
+
+
+def test_knob_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_requests=0)

@@ -1,0 +1,29 @@
+"""The deterministic service chaos catalogue (``chaos --catalog service``)."""
+
+from __future__ import annotations
+
+from repro.core.analyzer import AnalysisOptions
+from repro.service.chaos import run_service_campaign
+
+
+def test_catalogue_on_the_cooling_model(cooling_sdft, options):
+    report = run_service_campaign(cooling_sdft, options=options)
+    assert report.ok, report.summary()
+    by_name = {o.faults[0]: o for o in report.outcomes}
+    # Deadline expiry: ok-with-interval, bracketed (or clean when the
+    # run beats the deadline on a fast machine) — never an error.
+    assert by_name["deadline@quantify"].outcome in ("clean", "bracketed")
+    # SIGKILL between journal begin and commit: restart replays, aborts
+    # the in-flight request, and re-answers bit-identically.
+    assert by_name["sigkill@journal_begin"].outcome == "clean"
+    # Interior journal corruption is loud; a torn tail is routine.
+    assert by_name["corrupt@journal_record"].outcome == "loud"
+    assert by_name["torn@journal_tail"].outcome == "clean"
+
+
+def test_report_is_json_serialisable(cooling_sdft, options):
+    report = run_service_campaign(cooling_sdft, options=options)
+    data = report.to_dict()
+    assert data["ok"] is True
+    assert data["runs"] == 4
+    assert set(data["counts"]) <= {"clean", "loud", "bracketed"}

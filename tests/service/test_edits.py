@@ -1,0 +1,97 @@
+"""What-if edit vocabulary: semantics, immutability, serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.service.edits import (
+    RemoveTrigger,
+    ScaleRates,
+    SetGate,
+    SetProbability,
+    SetTrigger,
+    apply_edits,
+    edit_from_dict,
+    edit_to_dict,
+)
+
+
+def test_set_probability(cooling_sdft):
+    edited = apply_edits(cooling_sdft, [SetProbability("e", 5e-6)])
+    assert edited.static_events["e"].probability == 5e-6
+    # Everything else — and the original model — is untouched.
+    assert cooling_sdft.static_events["e"].probability == 3e-6
+    assert edited.static_events["a"].probability == 3e-3
+
+
+def test_scale_rates(cooling_sdft):
+    edited = apply_edits(cooling_sdft, [ScaleRates("b", 2.0)])
+    old = cooling_sdft.dynamic_events["b"].chain
+    new = edited.dynamic_events["b"].chain
+    assert new.fingerprint() != old.fingerprint()
+    for edge, rate in old.rates.items():
+        assert new.rates[edge] == rate * 2.0
+    # Scaling by 1.0 is content-identical.
+    same = apply_edits(cooling_sdft, [ScaleRates("b", 1.0)])
+    assert same.dynamic_events["b"].chain.fingerprint() == old.fingerprint()
+
+
+def test_negative_scale_factor_rejected(cooling_sdft):
+    with pytest.raises(ModelError, match="non-negative"):
+        apply_edits(cooling_sdft, [ScaleRates("b", -1.0)])
+
+
+def test_unknown_events_rejected(cooling_sdft):
+    with pytest.raises(ModelError, match="unknown static event"):
+        apply_edits(cooling_sdft, [SetProbability("nope", 0.5)])
+    with pytest.raises(ModelError, match="unknown dynamic event"):
+        apply_edits(cooling_sdft, [ScaleRates("nope", 0.5)])
+
+
+def test_trigger_rewiring(cooling_sdft):
+    # Both edits in one application: removal alone would leave the
+    # triggered chain of 'd' unowned, which model validation rejects.
+    # (Only pump1 can own it here — every other cooling gate contains
+    # 'd', and a gate triggering its own child is cyclic.)
+    rewired = apply_edits(
+        cooling_sdft, [RemoveTrigger("pump1"), SetTrigger("pump1", ("d",))]
+    )
+    assert rewired.triggers == cooling_sdft.triggers
+
+
+def test_orphaned_triggered_chain_rejected(cooling_sdft):
+    from repro.errors import TriggerError
+
+    with pytest.raises(TriggerError, match="no gate triggers it"):
+        apply_edits(cooling_sdft, [RemoveTrigger("pump1")])
+
+
+def test_set_gate(cooling_sdft):
+    edited = apply_edits(
+        cooling_sdft, [SetGate("pumps", "or", ("pump1", "pump2"))]
+    )
+    gate = edited.structure.gates["pumps"]
+    assert gate.gate_type.value == "or"
+    assert gate.children == ("pump1", "pump2")
+
+
+@pytest.mark.parametrize(
+    "edit",
+    [
+        SetProbability("e", 0.25),
+        ScaleRates("b", 1.5),
+        SetGate("pumps", "atleast", ("pump1", "pump2"), k=1),
+        SetTrigger("pump1", ("d",)),
+        RemoveTrigger("pump1"),
+    ],
+)
+def test_dict_round_trip(edit):
+    assert edit_from_dict(edit_to_dict(edit)) == edit
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ModelError, match="unknown edit kind"):
+        edit_from_dict({"kind": "frobnicate"})
+    with pytest.raises(ModelError, match="malformed"):
+        edit_from_dict({"kind": "scale-rates", "event": "b"})

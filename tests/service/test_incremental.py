@@ -1,0 +1,87 @@
+"""Incremental cutset generation and the canonical-cutoff contract."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.ft.cutsets import cutset_probability
+from repro.service.edits import ScaleRates, SetProbability
+from repro.service.session import AnalysisSession
+
+
+def test_rate_decrease_uses_retruncate(cooling_sdft, options):
+    session = AnalysisSession(cooling_sdft, options)
+    session.analyze()
+    session.edit(ScaleRates("b", 0.5))
+    session.reanalyze(crosscheck=True)
+    assert session.last_mode == "retruncate"
+    assert session.incremental_runs == 1
+
+
+def test_rate_increase_still_bit_identical(cooling_sdft, options):
+    # Increasing a probability can admit new cutsets, so the retruncate
+    # fast path must refuse; whatever mode serves instead (modular or a
+    # cold fallback) has to agree with the cold run bit for bit.
+    session = AnalysisSession(cooling_sdft, options)
+    session.analyze()
+    session.edit(ScaleRates("b", 4.0))
+    session.reanalyze(crosscheck=True)
+    assert session.last_mode in ("modular", "full")
+
+
+def test_repeated_edits_stay_bit_identical(cooling_sdft, options):
+    session = AnalysisSession(cooling_sdft, options)
+    session.analyze()
+    for edit in (
+        SetProbability("e", 5e-6),
+        ScaleRates("d", 0.25),
+        SetProbability("a", 8e-3),
+        ScaleRates("d", 4.0),
+    ):
+        session.edit(edit)
+        session.reanalyze(crosscheck=True)
+
+
+def test_cutset_probability_is_order_independent():
+    # frozenset iteration order depends on hash-table construction
+    # history, so the rounded product must not follow it: the canonical
+    # product iterates the *sorted* cutset.
+    names = [f"EV-{i:02d}" for i in range(12)]
+    probabilities = {n: 0.1 + 0.001 * i for i, n in enumerate(names)}
+    forward = frozenset(names)
+    backward = frozenset(reversed(names))
+    grown = frozenset()
+    for name in names[::2] + names[1::2]:
+        grown = grown | {name}
+    canonical = math.prod(probabilities[n] for n in sorted(names))
+    assert cutset_probability(forward, probabilities) == canonical
+    assert cutset_probability(backward, probabilities) == canonical
+    assert cutset_probability(grown, probabilities) == canonical
+
+
+def test_cold_mocus_membership_is_canonical():
+    """Regression: boundary cutsets survive search-order rounding.
+
+    Three all-static BWR cutsets have a canonical probability a couple
+    of ULPs *above* the 1e-15 cutoff, but the search's running product
+    — multiplied in a different order — rounds to exactly 1e-15 and
+    used to be pruned mid-search.  The in-search cutoff now carries a
+    relative slack and the final strict truncation (canonical product)
+    decides membership, so the cold list is a pure function of the
+    model.
+    """
+    from repro.models.bwr import build_bwr
+
+    result = analyze(build_bwr(), AnalysisOptions(horizon=24.0, cutoff=1e-15))
+    boundary = frozenset(
+        {
+            "ECC-A-BREAKER",
+            "ECC-B-MOV-FTO",
+            "EFW-A-MOV-FTO",
+            "EFW-B-DC-BUS",
+            "IE-TRANSIENT",
+        }
+    )
+    cutsets = {record.cutset for record in result.records}
+    assert boundary in cutsets

@@ -1,0 +1,80 @@
+"""The crash-safe request journal: replay, torn tails, corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.journal import Journal, replay_journal
+
+
+def _journal_with(path, *ops):
+    journal = Journal(str(path))
+    for op, complete in ops:
+        seq = journal.next_seq()
+        journal.begin(seq, {"op": op, "n": seq})
+        if complete:
+            journal.done(seq)
+    journal.close()
+    return str(path)
+
+
+def test_missing_file_replays_empty(tmp_path):
+    replay = replay_journal(str(tmp_path / "absent.journal"))
+    assert replay.completed == []
+    assert replay.in_flight == []
+    assert not replay.torn_tail
+
+
+def test_completed_and_in_flight(tmp_path):
+    path = _journal_with(
+        tmp_path / "j", ("load", True), ("edit", True), ("reanalyze", False)
+    )
+    replay = replay_journal(path)
+    assert [r.request["op"] for r in replay.completed] == ["load", "edit"]
+    assert [r.request["op"] for r in replay.in_flight] == ["reanalyze"]
+    assert any("in flight" in note for note in replay.notes)
+
+
+def test_torn_tail_is_tolerated_with_note(tmp_path):
+    path = _journal_with(tmp_path / "j", ("load", True), ("edit", True))
+    with open(path, "r+", encoding="utf-8") as handle:
+        text = handle.read()
+        handle.seek(0)
+        handle.truncate()
+        handle.write(text[: len(text) - 12])  # tear the last record
+    replay = replay_journal(path)
+    assert replay.torn_tail
+    assert any("torn" in note for note in replay.notes)
+    # The intact prefix survives: load completed; edit's 'done' was the
+    # torn record, so the edit is reported as in-flight, never lost.
+    assert [r.request["op"] for r in replay.completed] == ["load"]
+    assert [r.request["op"] for r in replay.in_flight] == ["edit"]
+
+
+def test_interior_corruption_is_loud(tmp_path):
+    path = _journal_with(tmp_path / "j", ("load", True), ("edit", True))
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[0] = lines[0].replace('"op": "load"', '"op": "lo4d"')
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt at line 1"):
+        replay_journal(path)
+
+
+def test_done_without_begin_is_loud(tmp_path):
+    journal = Journal(str(tmp_path / "j"))
+    journal.done(7)
+    journal.close()
+    with pytest.raises(JournalError, match="without"):
+        replay_journal(str(tmp_path / "j"))
+
+
+def test_restore_seq_continues_numbering(tmp_path):
+    journal = Journal(str(tmp_path / "j"))
+    journal.restore_seq(41)
+    assert journal.next_seq() == 42
+    # restore_seq never moves the counter backwards.
+    journal.restore_seq(3)
+    assert journal.next_seq() == 43
+    journal.close()

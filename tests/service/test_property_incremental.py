@@ -1,0 +1,62 @@
+"""Property: any single edit + reanalyze() is bit-identical to cold.
+
+The acceptance property of the incremental engine, exercised across
+the edit vocabulary, serial and parallel quantification, and with the
+persistent solve cache on and off: for any supported single edit,
+
+    session.analyze(); session.edit(e); session.reanalyze()
+
+produces exactly the result of ``analyze(apply_edits(model, [e]))`` —
+same probability, method, interval, and per-record semantic fields.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import AnalysisOptions, analyze
+from repro.service.edits import ScaleRates, SetProbability, apply_edits
+from repro.service.session import AnalysisSession, assert_bit_identical
+
+_EDITS = st.one_of(
+    st.builds(
+        SetProbability,
+        st.sampled_from(["a", "c", "e"]),
+        st.sampled_from([1e-6, 1e-4, 5e-3, 0.02, 0.3]),
+    ),
+    st.builds(
+        ScaleRates,
+        st.sampled_from(["b", "d"]),
+        st.sampled_from([0.25, 0.5, 1.0, 1.7, 4.0]),
+    ),
+)
+
+
+@given(
+    edit=_EDITS,
+    jobs=st.sampled_from([1, 2]),
+    cache=st.booleans(),
+)
+# A cache directory shared across examples is deliberate — warm cache
+# hits are part of what the bit-identity contract must survive.
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_single_edit_reanalyze_bit_identical(
+    cooling_sdft, tmp_path, edit, jobs, cache
+):
+    options = AnalysisOptions(
+        horizon=24.0,
+        cutoff=1e-15,
+        jobs=jobs,
+        cache_dir=str(tmp_path / "solve-cache") if cache else None,
+    )
+    session = AnalysisSession(cooling_sdft, options)
+    session.analyze()
+    session.edit(edit)
+    warm = session.reanalyze()
+    cold = analyze(apply_edits(cooling_sdft, [edit]), options)
+    assert_bit_identical(warm, cold)

@@ -225,6 +225,51 @@ class TestChaosSmoke:
         assert "verify full" in capsys.readouterr().out
 
 
+class TestServeSmoke:
+    def test_stdio_round_trip(self, sd_model_file, tmp_path, monkeypatch, capsys):
+        import io
+
+        model = json.loads(open(sd_model_file).read())
+        requests = [
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "load", "model": model},
+            {"id": 3, "op": "stats"},
+            {"id": 4, "op": "shutdown"},
+        ]
+        stdin = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+        monkeypatch.setattr("sys.stdin", stdin)
+        assert main(["serve", "--no-cache", "--journal", str(tmp_path / "j")]) == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        by_id = {r["id"]: r for r in responses}
+        assert all(by_id[i]["ok"] for i in (1, 2, 3, 4))
+        assert by_id[2]["session"]
+
+    def test_service_chaos_catalog(self, sd_model_file, tmp_path, capsys):
+        report = tmp_path / "service.json"
+        assert (
+            main(
+                [
+                    "chaos",
+                    sd_model_file,
+                    "--catalog",
+                    "service",
+                    "--report",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no silent corruption" in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["runs"] == 4
+
+
 class TestImportanceSmoke:
     def test_importance_table(self, sd_model_file, capsys):
         assert main(["importance", sd_model_file]) == 0
